@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+experiment modules and reports both the regenerated rows (printed, use
+``-s`` to see them mid-run; they are also summarized at the end) and the
+wall-clock cost of producing them (pytest-benchmark).
+
+Set ``REPRO_BENCH_FULL=1`` to run the experiments at full paper scale
+(minutes) instead of the fast scaled mode.
+"""
+
+import os
+
+import pytest
+
+#: Fast mode keeps the whole benchmark suite within a few minutes.
+FAST = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+_collected: list = []
+
+
+@pytest.fixture
+def record_result():
+    """Stores an ExperimentResult so the session summary can print it."""
+
+    def _record(result):
+        _collected.append(result)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _collected:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables/figures")
+    for result in _collected:
+        terminalreporter.write_line(result.format())
+        terminalreporter.write_line("")

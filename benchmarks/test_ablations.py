@@ -1,0 +1,85 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Two compiler-level ablations on top of the paper's figures:
+
+- §3.1 *redundant computation* vs broadcast-everything (the paper argues
+  redundancy wins by avoiding shared-memory round trips);
+- *deferred reductions* (our extension): hoisting per-tile combines out of
+  sequential tile loops (MV-style kernels).
+"""
+
+import numpy as np
+import pytest
+from conftest import FAST
+
+from repro.kernels.mv import MvBenchmark
+from repro.kernels.tmv import TmvBenchmark
+from repro.npc.config import NpConfig
+
+
+def _speedup(bench, config, sample):
+    base = bench.run_baseline(sample_blocks=sample)
+    res = bench.run_variant(config, sample_blocks=sample)
+    return base.timing.seconds / res.timing.seconds
+
+
+def test_ablation_redundant_compute(benchmark, record_result):
+    """Redundant computation should not lose to broadcast-everything."""
+    from repro.experiments.util import ExperimentResult
+
+    bench = TmvBenchmark(
+        width=512 if FAST else 2048, height=512 if FAST else 2048, block=128
+    )
+    sample = 2 if FAST else 4
+
+    def run():
+        on = _speedup(
+            bench, NpConfig(slave_size=8, np_type="inter"), sample
+        )
+        off = _speedup(
+            bench,
+            NpConfig(slave_size=8, np_type="inter", redundant_compute=False),
+            sample,
+        )
+        result = ExperimentResult(
+            exp_id="ablation-redundant",
+            title="§3.1 redundant computation vs broadcast-everything (TMV)",
+            headers=["variant", "speedup over baseline"],
+            rows=[["redundant compute (paper)", round(on, 2)],
+                  ["broadcast everything (ablation)", round(off, 2)]],
+        )
+        return result, on, off
+
+    result, on, off = benchmark.pedantic(run, iterations=1, rounds=1)
+    record_result(result)
+    assert on >= off * 0.99
+
+
+def test_ablation_deferred_reductions(benchmark, record_result):
+    """Hoisting MV's per-tile combines must help (and never hurt)."""
+    from repro.experiments.util import ExperimentResult
+
+    bench = MvBenchmark(
+        width=512 if FAST else 2048, height=512 if FAST else 2048, block=128
+    )
+    sample = 2 if FAST else 4
+
+    def run():
+        on = _speedup(bench, NpConfig(slave_size=8, np_type="inter"), sample)
+        off = _speedup(
+            bench,
+            NpConfig(slave_size=8, np_type="inter", defer_reductions=False),
+            sample,
+        )
+        result = ExperimentResult(
+            exp_id="ablation-defer",
+            title="Deferred reductions: one combine per row vs one per tile (MV)",
+            headers=["variant", "speedup over baseline"],
+            rows=[["deferred (one combine)", round(on, 2)],
+                  ["per-tile combines (ablation)", round(off, 2)]],
+        )
+        return result, on, off
+
+    result, on, off = benchmark.pedantic(run, iterations=1, rounds=1)
+    record_result(result)
+    assert on >= off

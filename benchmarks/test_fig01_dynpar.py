@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 1 (dynamic-parallelism memcopy)."""
+
+from conftest import FAST
+
+from repro.experiments.fig01_dynpar_memcopy import run
+
+
+def test_fig01_dynpar_memcopy(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    # Shape assertion: bandwidth collapses monotonically with launch count.
+    bws = [row[2] for row in result.rows[2:]]
+    assert bws == sorted(bws, reverse=True)
+    assert result.rows[0][2] > result.rows[1][2]  # plain > DP-enabled

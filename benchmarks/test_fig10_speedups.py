@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 (auto-tuned speedups + geometric mean)."""
+
+from conftest import FAST
+
+from repro.experiments.fig10_speedups import run
+
+
+def test_fig10_speedups(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    body = result.rows[:-1]
+    gm_row = result.rows[-1]
+    assert gm_row[0] == "GM"
+    assert all(row[4] > 1.0 for row in body), "every benchmark must speed up"
+    assert gm_row[4] > 1.5, "geometric-mean speedup should be substantial"

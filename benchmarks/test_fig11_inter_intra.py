@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 11 (inter vs intra-warp NP, slave sweep)."""
+
+from conftest import FAST
+
+from repro.experiments.fig11_inter_intra import run
+
+
+def test_fig11_inter_intra(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    assert len(result.rows) == 10
+    # The paper's headline finding: LU and NN prefer intra-warp NP.
+    (anchor,) = [a for a in result.paper_anchors if "intra-warp" in a[0]]
+    measured = anchor[2]
+    assert "LU" in measured and "NN" in measured

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 12 (padding vs no-padding on LE)."""
+
+from conftest import FAST
+
+from repro.experiments.fig12_padding import run
+
+
+def test_fig12_padding(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    assert all(row[4] for row in result.rows), "no-padding must always win"

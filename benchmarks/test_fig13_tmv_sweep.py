@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 13 (TMV vs CUBLAS width sweep)."""
+
+from conftest import FAST
+
+from repro.experiments.fig13_tmv_sweep import run
+
+
+def test_fig13_tmv_sweep(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    # CUDA-NP beats the baseline everywhere; the advantage is largest at
+    # the smallest width (fewest threads).
+    gains = [row[5] for row in result.rows]
+    assert all(g > 1.0 for g in gains)
+    assert gains[0] >= gains[-1]

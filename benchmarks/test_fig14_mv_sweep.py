@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 14 (MV vs CUBLAS vs SMM height sweep)."""
+
+from conftest import FAST
+
+from repro.experiments.fig14_mv_sweep import run
+
+
+def test_fig14_mv_sweep(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    assert all(row[5] for row in result.rows), "CUDA-NP must always win"

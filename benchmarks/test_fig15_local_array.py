@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 15 (local-array placement comparison)."""
+
+from conftest import FAST
+
+from repro.experiments.fig15_local_array import run
+
+
+def test_fig15_local_array(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    assert all(row[4] == "partition" for row in result.rows), (
+        "register partitioning must win for LE and LIB (paper Fig. 15)"
+    )

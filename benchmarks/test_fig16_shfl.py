@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 16 (__shfl vs shared-memory reduction/scan)."""
+
+from conftest import FAST
+
+from repro.experiments.fig16_shfl import run
+
+
+def test_fig16_shfl(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    assert len(result.rows) >= 8
+    gains = {row[0]: row[3] for row in result.rows}
+    # __shfl helps LU (heavy shared usage) and never hurts badly.
+    assert gains.get("LU", 0) > 1.0
+    assert all(g > 0.85 for g in gains.values())

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the §6 dynamic-parallelism slowdown comparison."""
+
+from conftest import FAST
+
+from repro.experiments.sec6_dynpar_slowdown import run
+
+
+def test_sec6_dynpar_slowdown(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    # Every dynamic-parallelism version is slower than its baseline, and
+    # the one-launch-per-TB NN improves on the per-thread-launch NN.
+    assert all(row[2] > 1.0 for row in result.rows)
+    naive = next(row[2] for row in result.rows if row[0] == "NN")
+    opt = next(row[2] for row in result.rows if "1 launch/TB" in str(row[0]))
+    assert opt < naive

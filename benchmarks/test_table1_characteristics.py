@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (benchmark characteristics, BL vs OPT)."""
+
+from conftest import FAST
+
+from repro.experiments.table1_characteristics import run
+
+
+def test_table1_characteristics(benchmark, record_result):
+    result = benchmark.pedantic(run, kwargs={"fast": FAST}, iterations=1, rounds=1)
+    record_result(result)
+    assert [row[0] for row in result.rows] == [
+        "MC", "LU", "LE", "MV", "SS", "LIB", "CFD", "BK", "TMV", "NN",
+    ]
+    # Local-memory-bound benchmarks must shed local bytes after CUDA-NP.
+    for row in result.rows:
+        if row[0] in ("LE", "LIB", "CFD"):
+            assert row[10] < row[7]

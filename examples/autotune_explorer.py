@@ -1,0 +1,61 @@
+"""Auto-tuning explorer: exhaustively search the CUDA-NP variant space.
+
+The paper's compiler generates a handful of variants per kernel (§4) and
+picks the best by measurement.  This example runs that flow for any of the
+ten paper benchmarks, prints the ranked variant table, and dumps the
+winning kernel as source.
+
+Run:  python examples/autotune_explorer.py [BENCH]       (default: MV)
+      python examples/autotune_explorer.py LU --dump     (also print kernel)
+      python examples/autotune_explorer.py LE --profile  (profiler view)
+"""
+
+import sys
+
+from repro.kernels import BENCHMARKS
+from repro.minicuda.pretty import emit_kernel
+
+
+def main(argv: list[str]) -> int:
+    names = [a for a in argv if not a.startswith("-")]
+    name = (names[0] if names else "MV").upper()
+    if name not in BENCHMARKS:
+        print(f"unknown benchmark {name!r}; choose from {', '.join(BENCHMARKS)}")
+        return 2
+
+    bench = BENCHMARKS[name]()
+    print(f"auto-tuning {name} ({bench.scaled_input}, "
+          f"block={bench.flat_block_size}, grid={bench.grid}) ...")
+    report = bench.autotune()
+
+    print(f"\nbaseline: {report.baseline.timing.milliseconds:.4f} ms")
+    print(f"{'variant':<28} {'modeled ms':>11} {'speedup':>8}  output")
+    for point in sorted(report.points, key=lambda p: p.seconds):
+        if point.result is None:
+            print(f"{point.label:<28} {'n/a':>11} {'n/a':>8}  {point.error}")
+            continue
+        ok = "ok" if point.output_ok else "WRONG"
+        print(
+            f"{point.label:<28} {point.seconds * 1e3:>11.4f} "
+            f"{report.speedup_of(point):>7.2f}x  {ok}"
+        )
+
+    best = report.best
+    print(f"\nbest: {best.label} at {report.best_speedup:.2f}x")
+    print("applied transformations:")
+    for note in best.variant.notes:
+        print(f"  - {note}")
+
+    if "--profile" in argv:
+        from repro.gpusim.report import compare_report
+
+        print()
+        print(compare_report(report.baseline, best.result))
+    if "--dump" in argv:
+        print("\n--- winning kernel ---")
+        print(emit_kernel(best.variant.kernel))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

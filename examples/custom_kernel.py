@@ -1,0 +1,74 @@
+"""Bring-your-own-kernel: apply CUDA-NP to a kernel you write yourself.
+
+Shows the full user workflow on a fresh kernel (a per-row softmax, which
+has two reduction loops and one element-wise loop):
+
+1. write the mini-CUDA kernel with ``#pragma np`` directives,
+2. validate the baseline against numpy,
+3. enumerate and compile variants, checking each functionally,
+4. inspect what the compiler did.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.gpusim.launch import run_kernel
+from repro.npc.autotune import launch_variant
+from repro.npc.pipeline import compile_np, enumerate_configs
+
+SOFTMAX = """
+__global__ void softmax(float *x, float *y, int n) {
+    int row = threadIdx.x + blockIdx.x * blockDim.x;
+    float mx = -3.4e38f;
+    #pragma np parallel for reduction(max:mx)
+    for (int i = 0; i < n; i++)
+        mx = fmaxf(mx, x[row * n + i]);
+    float z = 0;
+    #pragma np parallel for reduction(+:z)
+    for (int i = 0; i < n; i++)
+        z += expf(x[row * n + i] - mx);
+    #pragma np parallel for
+    for (int i = 0; i < n; i++)
+        y[row * n + i] = expf(x[row * n + i] - mx) / z;
+}
+"""
+
+ROWS, COLS, BLOCK = 128, 96, 32
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=1, keepdims=True)
+    e = np.exp(x - m, dtype=np.float32)
+    return (e / e.sum(axis=1, keepdims=True)).astype(np.float32)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    x = rng.standard_normal((ROWS, COLS)).astype(np.float32)
+    expected = reference(x)
+
+    def args():
+        return dict(x=x.ravel().copy(), y=np.zeros(ROWS * COLS, np.float32), n=COLS)
+
+    base = run_kernel(SOFTMAX, ROWS // BLOCK, BLOCK, args())
+    assert np.allclose(base.buffer("y"), expected.ravel(), rtol=1e-3, atol=1e-4)
+    print(f"baseline softmax ok: {base.timing.milliseconds:.4f} ms")
+
+    print(f"\n{'variant':<28} {'ms':>9} {'speedup':>8}  correct")
+    for config in enumerate_configs(SOFTMAX, BLOCK, slave_sizes=(2, 4, 8)):
+        variant = compile_np(SOFTMAX, BLOCK, config)
+        res = launch_variant(variant, ROWS // BLOCK, args())
+        ok = np.allclose(res.buffer("y"), expected.ravel(), rtol=1e-3, atol=1e-4)
+        print(
+            f"{config.describe():<28} {res.timing.milliseconds:>9.4f} "
+            f"{base.timing.seconds / res.timing.seconds:>7.2f}x  {ok}"
+        )
+
+    print("\nAll variants compute the same softmax; the compiler handled the "
+          "max/plus reductions, the live-in broadcasts of mx and z, and the "
+          "iteration distribution automatically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Whole-application view: LU factorization's shrinking-grid sweep.
+
+Rodinia's LUD launches the perimeter kernel once per diagonal step, with
+the grid shrinking from ~dim/16 blocks down to a single block.  The late
+steps are exactly the TLP-starved regime nested parallelism fixes, so the
+*application-level* win is larger than any single launch suggests.  This
+example sums modeled kernel time across the sweep for the baseline and for
+two CUDA-NP mappings.
+
+Run:  python examples/lud_factorization.py [dim]        (default 512)
+"""
+
+import sys
+
+from repro.kernels.lu import BS, LuBenchmark
+from repro.npc.config import NpConfig
+
+CONFIGS = {
+    "inter-warp S=4": NpConfig(slave_size=4, np_type="inter"),
+    "intra-warp S=4 (shfl)": NpConfig(
+        slave_size=4, np_type="intra", use_shfl=True, padded=True
+    ),
+}
+
+
+def sweep_time(dim: int, config: NpConfig | None) -> float:
+    """Sum modeled perimeter-kernel time over every diagonal step."""
+    total = 0.0
+    offset = 0
+    while (dim - offset) // BS - 1 >= 1:
+        bench = LuBenchmark(matrix_dim=dim, offset=offset)
+        sample = min(4, bench.grid)
+        if config is None:
+            result = bench.run_baseline(sample_blocks=sample)
+        else:
+            result = bench.run_variant(config, sample_blocks=sample)
+        total += result.timing.seconds
+        offset += BS
+    return total
+
+
+def main() -> None:
+    dim = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    steps = dim // BS - 1
+    print(f"LU factorization sweep: {dim}x{dim} matrix, {steps} perimeter steps")
+    base = sweep_time(dim, None)
+    print(f"  baseline: {base * 1e3:9.4f} ms")
+    for label, config in CONFIGS.items():
+        t = sweep_time(dim, config)
+        print(f"  {label:22s}: {t * 1e3:9.4f} ms  ({base / t:.2f}x)")
+    print(
+        "\nLate steps run with a handful of thread blocks — the starved "
+        "regime where slave threads matter most (and where intra-warp NP's "
+        "divergence elimination gives LU its edge, paper §5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

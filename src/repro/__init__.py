@@ -1,0 +1,39 @@
+"""CUDA-NP reproduction (Yang & Zhou, PPoPP 2014).
+
+A directive-based source-to-source compiler that realizes *nested
+thread-level parallelism* inside GPU kernels, reproduced in pure Python on a
+software GPU:
+
+- :mod:`repro.minicuda` — the CUDA-C-subset kernel language + ``#pragma np``
+- :mod:`repro.analysis` — liveness, uniformity, memory spaces, resources
+- :mod:`repro.npc`      — the CUDA-NP compiler (master/slave transformation,
+  broadcast, reduction/scan, local-array replacement, padding, auto-tuning)
+- :mod:`repro.gpusim`   — functional SIMT simulator + Hong–Kim timing model
+- :mod:`repro.kernels`  — the ten paper benchmarks and comparators
+- :mod:`repro.experiments` — regenerates every table and figure
+
+Quickstart::
+
+    from repro.kernels import TmvBenchmark
+
+    bench = TmvBenchmark(width=256, height=256)
+    report = bench.autotune()          # explore the CUDA-NP variant space
+    print(report.best.label, report.best_speedup)
+"""
+
+__version__ = "1.0.0"
+
+from .npc.pipeline import compile_np, CompiledVariant  # noqa: E402,F401
+from .gpusim.launch import run_kernel, launch  # noqa: E402,F401
+from .gpusim.device import GTX680, K20C, DeviceSpec  # noqa: E402,F401
+
+__all__ = [
+    "__version__",
+    "compile_np",
+    "CompiledVariant",
+    "run_kernel",
+    "launch",
+    "GTX680",
+    "K20C",
+    "DeviceSpec",
+]

@@ -1,0 +1,30 @@
+"""Static analyses used by the CUDA-NP compiler.
+
+- :mod:`~repro.analysis.symbols` — symbol tables + memory-space classes
+- :mod:`~repro.analysis.liveness` — section live-in/live-out sets
+- :mod:`~repro.analysis.uniformity` — slave-invariance (redundant compute)
+- :mod:`~repro.analysis.loops` — parallel-loop normalization + partitioning
+- :mod:`~repro.analysis.resources` — REG/SM/LM per-thread estimation
+"""
+
+from .liveness import (
+    SectionLiveness,
+    expr_uses,
+    section_liveness,
+    stmt_array_stores,
+    stmt_defs,
+    stmt_uses,
+)
+from .loops import LoopInfo, accesses_of, normalize_loop, partitionable
+from .resources import ResourceReport, estimate_resources
+from .symbols import (
+    BUILTIN_NAMES,
+    Space,
+    SymbolInfo,
+    SymbolTable,
+    build_symbol_table,
+    space_of,
+)
+from .uniformity import UniformityState, redundant_executable
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,197 @@
+"""Structured def/use and live-in/live-out analysis (paper §3.1, §3.2).
+
+CUDA-NP splits a kernel into sequential and parallel *code sections* and must
+know, per parallel section, which private scalars flow in (→ broadcast from
+the master thread) and which flow out (→ reduction/scan/collect back to the
+master).  The code is structured (no goto), so a simple syntactic def/use
+walk over the section boundaries is sound: a variable is
+
+- *live-in* to a section if the section reads it and some earlier statement
+  (or a parameter) may define it;
+- *live-out* of a section if the section writes it and a later statement
+  reads it.
+
+These are over-approximations (no path sensitivity); extra broadcasts are
+semantically harmless, and an extra reduction would only be generated when
+the user's pragma names the variable anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..minicuda.nodes import (
+    Assign,
+    Block,
+    Call,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    Member,
+    Name,
+    Node,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+    walk,
+)
+from .symbols import BUILTIN_NAMES
+
+
+def expr_uses(expr: Expr) -> set[str]:
+    """Names read by an expression (excluding builtin dim3 bases)."""
+    uses: set[str] = set()
+    for node in walk(expr):
+        if isinstance(node, Name) and node.id not in BUILTIN_NAMES:
+            uses.add(node.id)
+        elif isinstance(node, Member) and isinstance(node.base, Name):
+            uses.discard(node.base.id)
+    return uses
+
+
+def _target_parts(target: Expr) -> tuple[str | None, set[str]]:
+    """For an assignment target, return (scalar def name or None, uses).
+
+    Assigning through an Index chain *uses* the base (address computation)
+    and defines memory, not a scalar name.
+    """
+    if isinstance(target, Name):
+        return target.id, set()
+    if isinstance(target, Index):
+        uses: set[str] = set()
+        node: Expr = target
+        while isinstance(node, Index):
+            uses |= expr_uses(node.index)
+            node = node.base
+        uses |= expr_uses(node)
+        return None, uses
+    return None, expr_uses(target)
+
+
+def stmt_defs(stmt: Stmt) -> set[str]:
+    """Scalar names that may be (re)defined anywhere inside ``stmt``."""
+    defs: set[str] = set()
+    for node in walk(stmt):
+        if isinstance(node, VarDecl):
+            defs.add(node.name)
+        elif isinstance(node, Assign):
+            target, _ = _target_parts(node.target)
+            if target is not None:
+                defs.add(target)
+    return defs
+
+
+def stmt_array_stores(stmt: Stmt) -> set[str]:
+    """Root names of Index targets written anywhere inside ``stmt``."""
+    stores: set[str] = set()
+    for node in walk(stmt):
+        if isinstance(node, Assign) and isinstance(node.target, Index):
+            base: Expr = node.target
+            while isinstance(base, Index):
+                base = base.base
+            if isinstance(base, Name):
+                stores.add(base.id)
+        elif isinstance(node, Call) and node.func == "atomicAdd" and node.args:
+            base = node.args[0]
+            while isinstance(base, Index):
+                base = base.base
+            if isinstance(base, Name):
+                stores.add(base.id)
+    return stores
+
+
+def stmt_uses(stmt: Stmt) -> set[str]:
+    """Names that may be read anywhere inside ``stmt``.
+
+    Compound assignments read their target; plain ``=`` to a scalar does not.
+    """
+    uses: set[str] = set()
+
+    def visit(node: Node) -> None:
+        if isinstance(node, VarDecl):
+            if node.init is not None:
+                uses.update(expr_uses(node.init))
+            return
+        if isinstance(node, Assign):
+            target, target_uses = _target_parts(node.target)
+            uses.update(target_uses)
+            if node.op != "=" and target is not None:
+                uses.add(target)
+            uses.update(expr_uses(node.value))
+            return
+        if isinstance(node, ExprStmt):
+            uses.update(expr_uses(node.expr))
+            return
+        if isinstance(node, If):
+            uses.update(expr_uses(node.cond))
+            for s in node.then.stmts:
+                visit(s)
+            if node.els is not None:
+                for s in node.els.stmts:
+                    visit(s)
+            return
+        if isinstance(node, For):
+            if node.init is not None:
+                visit(node.init)
+            if node.cond is not None:
+                uses.update(expr_uses(node.cond))
+            if node.update is not None:
+                visit(node.update)
+            for s in node.body.stmts:
+                visit(s)
+            return
+        if isinstance(node, While):
+            uses.update(expr_uses(node.cond))
+            for s in node.body.stmts:
+                visit(s)
+            return
+        if isinstance(node, Return):
+            if node.value is not None:
+                uses.update(expr_uses(node.value))
+            return
+        if isinstance(node, Block):
+            for s in node.stmts:
+                visit(s)
+            return
+        # Break/Continue: nothing.
+
+    visit(stmt)
+    return uses
+
+
+@dataclass
+class SectionLiveness:
+    """Live-in/live-out sets for one parallel section."""
+
+    live_in: set[str] = field(default_factory=set)
+    live_out: set[str] = field(default_factory=set)
+
+
+def section_liveness(
+    before: list[Stmt],
+    section: Stmt,
+    after: list[Stmt],
+    params: set[str],
+) -> SectionLiveness:
+    """Liveness of ``section`` relative to surrounding statements.
+
+    ``before``/``after`` are the statements preceding/following the section
+    in the same (flattened) kernel body; ``params`` are kernel parameter
+    names (always defined on entry).
+    """
+    defined_before: set[str] = set(params)
+    for stmt in before:
+        defined_before |= stmt_defs(stmt)
+        # Iterator declared in a for-init is also visible after in our
+        # flat-scope model; stmt_defs already includes it via walk.
+
+    used_after: set[str] = set()
+    for stmt in after:
+        used_after |= stmt_uses(stmt)
+
+    live_in = stmt_uses(section) & defined_before
+    live_out = stmt_defs(section) & used_after
+    return SectionLiveness(live_in=live_in, live_out=live_out)

@@ -1,0 +1,163 @@
+"""Parallel-loop normalization and local-array partition legality (§3.3).
+
+The NP transformation distributes loop iterations across slave threads, so
+it must recover the canonical form of each pragma-marked loop::
+
+    for (i = lower; i < upper; i += step) body
+
+and, for the register-partitioning optimization, prove that a local array is
+*iterator-indexed*: every access inside parallel loops uses exactly the loop
+iterator, so after distributing ``i = ni*slave_size + slave_id`` each slave
+touches a disjoint ``i % slave_size`` residue class and the array can be
+split into per-slave slices held in registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..minicuda.errors import TransformError
+from ..minicuda.nodes import (
+    Assign,
+    Binary,
+    Expr,
+    For,
+    Index,
+    IntLit,
+    Name,
+    Stmt,
+    VarDecl,
+    walk,
+)
+from ..minicuda.parser import const_eval
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """Canonical description of a pragma-marked parallel loop."""
+
+    iterator: str
+    lower: Expr
+    upper: Expr          # exclusive bound (cond was '<' or normalized '<=')
+    step: int
+    declares_iterator: bool
+
+    def trip_count(self) -> Optional[int]:
+        """Constant trip count when bounds fold, else None."""
+        lo = const_eval(self.lower)
+        hi = const_eval(self.upper)
+        if lo is None or hi is None:
+            return None
+        if self.step <= 0:
+            return None
+        return max(0, -(-(int(hi) - int(lo)) // self.step))
+
+
+def normalize_loop(loop: For) -> LoopInfo:
+    """Extract the canonical form; raises TransformError for exotic loops."""
+    # --- init: iterator and lower bound
+    declares = False
+    if isinstance(loop.init, VarDecl):
+        iterator = loop.init.name
+        if loop.init.init is None:
+            raise TransformError("parallel loop iterator needs an initial value", loop.loc)
+        lower = loop.init.init
+        declares = True
+    elif isinstance(loop.init, Assign) and isinstance(loop.init.target, Name):
+        if loop.init.op != "=":
+            raise TransformError("parallel loop init must be a plain assignment", loop.loc)
+        iterator = loop.init.target.id
+        lower = loop.init.value
+    else:
+        raise TransformError("parallel loop must initialize its iterator", loop.loc)
+
+    # --- condition: i < upper  (or i <= upper-1)
+    cond = loop.cond
+    if not isinstance(cond, Binary) or not isinstance(cond.lhs, Name) or cond.lhs.id != iterator:
+        raise TransformError(
+            "parallel loop condition must compare the iterator on the left", loop.loc
+        )
+    if cond.op == "<":
+        upper = cond.rhs
+    elif cond.op == "<=":
+        upper = Binary("+", cond.rhs, IntLit(1))
+    else:
+        raise TransformError(
+            f"parallel loop condition must use < or <= (got {cond.op})", loop.loc
+        )
+
+    # --- update: i++ / i += c / i = i + c
+    update = loop.update
+    step: Optional[int] = None
+    if isinstance(update, Assign) and isinstance(update.target, Name) and update.target.id == iterator:
+        if update.op == "+=":
+            step = const_eval(update.value)
+        elif update.op == "=":
+            value = update.value
+            if (
+                isinstance(value, Binary)
+                and value.op == "+"
+                and isinstance(value.lhs, Name)
+                and value.lhs.id == iterator
+            ):
+                step = const_eval(value.rhs)
+    if step is None or not isinstance(step, int) or step <= 0:
+        raise TransformError(
+            "parallel loop must step its iterator by a positive constant", loop.loc
+        )
+    return LoopInfo(iterator, lower, upper, step, declares)
+
+
+def accesses_of(stmt: Stmt, array: str) -> list[Expr]:
+    """All index expressions used to access ``array`` inside ``stmt``."""
+    out: list[Expr] = []
+    for node in walk(stmt):
+        if isinstance(node, Index) and isinstance(node.base, Name) and node.base.id == array:
+            out.append(node.index)
+    return out
+
+
+def partitionable(
+    array: str,
+    parallel_loops: list[For],
+    other_stmts: list[Stmt],
+    require_equal_trips: bool = False,
+) -> bool:
+    """Option-3 legality (§3.3): the array may be split into per-slave
+    register slices iff every access (a) occurs inside a parallel loop and
+    (b) indexes with exactly that loop's iterator.
+
+    With *chunked* iteration distribution (used when the kernel has scan
+    loops) the per-slave slice is the iterator's chunk, so every accessing
+    loop must additionally have the same constant trip count
+    (``require_equal_trips``).
+    """
+    for stmt in other_stmts:
+        if accesses_of(stmt, array):
+            return False
+    trips: set[int] = set()
+    accessed_anywhere = False
+    for loop in parallel_loops:
+        indices = accesses_of(loop.body, array)
+        try:
+            info = normalize_loop(loop)
+        except TransformError:
+            return False
+        for index in indices:
+            if not (isinstance(index, Name) and index.id == info.iterator):
+                return False
+        if indices:
+            accessed_anywhere = True
+            # The slice-index rewrites assume the canonical 'for (i = 0;
+            # i < N; i++)' form, so the residue/chunk maps stay aligned.
+            if info.step != 1 or const_eval(info.lower) != 0:
+                return False
+            if require_equal_trips:
+                trip = info.trip_count()
+                if trip is None:
+                    return False
+                trips.add(trip)
+    if require_equal_trips and accessed_anywhere and len(trips) != 1:
+        return False
+    return True

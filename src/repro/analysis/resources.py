@@ -1,0 +1,137 @@
+"""Per-thread resource estimation (Table 1's REG / SM / LM columns).
+
+We have no nvcc, so register pressure is estimated from the AST: every named
+scalar/pointer costs registers, plus a temporary-register estimate derived
+from the deepest expression tree (a Sethi–Ullman-style bound).  Shared and
+local memory are exact — they are declared sizes.
+
+The absolute numbers differ from ptxas output, but the estimator is
+monotone in the same quantities (more live scalars / bigger arrays → more
+bytes), which is what the occupancy calculation needs to reproduce the
+paper's resource-pressure effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..minicuda.nodes import (
+    ArrayType,
+    Binary,
+    Call,
+    Cast,
+    Expr,
+    Index,
+    Kernel,
+    Member,
+    PointerType,
+    ScalarType,
+    Ternary,
+    Unary,
+    VarDecl,
+    walk,
+)
+from ..gpusim.occupancy import ResourceUsage
+from .symbols import Space, SymbolTable, build_symbol_table
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Estimated per-thread/per-block resource footprint of a kernel."""
+
+    reg_bytes_per_thread: int
+    shared_bytes_per_block: int
+    local_bytes_per_thread: int
+
+    def as_usage(self) -> ResourceUsage:
+        return ResourceUsage(
+            reg_bytes_per_thread=self.reg_bytes_per_thread,
+            shared_bytes_per_block=self.shared_bytes_per_block,
+            local_bytes_per_thread=self.local_bytes_per_thread,
+        )
+
+
+def _expr_temp_need(expr: Expr) -> int:
+    """Sethi–Ullman register need of one expression tree."""
+    if isinstance(expr, Binary):
+        l, r = _expr_temp_need(expr.lhs), _expr_temp_need(expr.rhs)
+        return max(l, r) if l != r else l + 1
+    if isinstance(expr, (Unary, Cast)):
+        return _expr_temp_need(expr.operand if isinstance(expr, Unary) else expr.expr)
+    if isinstance(expr, Ternary):
+        return max(
+            _expr_temp_need(expr.cond),
+            _expr_temp_need(expr.then),
+            _expr_temp_need(expr.els),
+        ) + 1
+    if isinstance(expr, Index):
+        return _expr_temp_need(expr.base) + _expr_temp_need(expr.index)
+    if isinstance(expr, Call):
+        need = 1
+        for a in expr.args:
+            need = max(need, _expr_temp_need(a) + 1)
+        return need
+    if isinstance(expr, Member):
+        return 1
+    return 1  # literal / name
+
+
+def estimate_resources(kernel: Kernel, table: SymbolTable | None = None) -> ResourceReport:
+    """Estimate the kernel's resource footprint from its AST."""
+    if table is None:
+        table = build_symbol_table(kernel)
+
+    reg_bytes = 0
+    shared_bytes = 0
+    local_bytes = 0
+    for info in table._symbols.values():  # noqa: SLF001 - same package
+        if info.const and not info.is_param:
+            continue  # compile-time constants fold away
+        if info.space is Space.REGISTER:
+            if isinstance(info.type, ArrayType):
+                reg_bytes += info.type.numel * 4  # register-promoted partition
+            else:
+                reg_bytes += 4
+        elif info.space is Space.GLOBAL:
+            reg_bytes += 8  # 64-bit pointer
+        elif isinstance(info.type, ArrayType):
+            nbytes = info.type.numel * 4
+            if info.space is Space.SHARED:
+                shared_bytes += nbytes
+            elif info.space is Space.LOCAL:
+                local_bytes += nbytes
+
+    # Temporary registers: worst single expression in the kernel.
+    max_temp = 0
+    for node in walk(kernel.body):
+        if isinstance(node, Expr):
+            continue  # visiting statements is enough: exprs reached below
+        for child_expr in _stmt_exprs(node):
+            max_temp = max(max_temp, _expr_temp_need(child_expr))
+    reg_bytes += 4 * max_temp
+
+    return ResourceReport(
+        reg_bytes_per_thread=reg_bytes,
+        shared_bytes_per_block=shared_bytes,
+        local_bytes_per_thread=local_bytes,
+    )
+
+
+def _stmt_exprs(stmt) -> list[Expr]:
+    from ..minicuda.nodes import Assign, ExprStmt, For, If, Return, While
+
+    if isinstance(stmt, VarDecl):
+        return [stmt.init] if stmt.init is not None else []
+    if isinstance(stmt, Assign):
+        return [stmt.target, stmt.value]
+    if isinstance(stmt, ExprStmt):
+        return [stmt.expr]
+    if isinstance(stmt, If):
+        return [stmt.cond]
+    if isinstance(stmt, While):
+        return [stmt.cond]
+    if isinstance(stmt, For):
+        return [stmt.cond] if stmt.cond is not None else []
+    if isinstance(stmt, Return):
+        return [stmt.value] if stmt.value is not None else []
+    return []

@@ -1,0 +1,120 @@
+"""Symbol tables and memory-space classification.
+
+The CUDA-NP transformations need to know, for every name in a kernel, where
+it lives (§3.1–3.3): scalars in the *register file* and arrays in *local
+memory* are private to a thread and must be broadcast/partitioned, while
+*global*, *shared*, and *constant* memory are already visible to the slave
+threads and need no handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..minicuda.nodes import (
+    ArrayType,
+    Kernel,
+    PointerType,
+    ScalarType,
+    Type,
+    VarDecl,
+    walk,
+)
+
+#: Builtin dim3 structures (never treated as user symbols).
+BUILTIN_NAMES = frozenset({"threadIdx", "blockIdx", "blockDim", "gridDim"})
+
+
+class Space(Enum):
+    """Memory space of a kernel symbol."""
+
+    REGISTER = "register"   # private scalar
+    LOCAL = "local"         # private array (spilled)
+    SHARED = "shared"
+    GLOBAL = "global"       # pointer into device DRAM
+    CONSTANT = "constant"
+
+
+@dataclass(frozen=True)
+class SymbolInfo:
+    name: str
+    type: Type
+    space: Space
+    is_param: bool = False
+    const: bool = False
+
+    @property
+    def is_private(self) -> bool:
+        """Private to one thread — invisible to its slave threads."""
+        return self.space in (Space.REGISTER, Space.LOCAL)
+
+
+def space_of(type_: Type) -> Space:
+    if isinstance(type_, PointerType):
+        return Space.GLOBAL
+    if isinstance(type_, ArrayType):
+        return {
+            "local": Space.LOCAL,
+            "shared": Space.SHARED,
+            "constant": Space.CONSTANT,
+            "reg": Space.REGISTER,  # register-promoted partition (§3.3)
+        }[type_.space]
+    if isinstance(type_, ScalarType):
+        return Space.REGISTER
+    raise TypeError(f"unknown type {type_!r}")
+
+
+class SymbolTable:
+    """Flat (function-scope) symbol table for one kernel."""
+
+    def __init__(self) -> None:
+        self._symbols: dict[str, SymbolInfo] = {}
+
+    def add(self, info: SymbolInfo) -> None:
+        self._symbols[info.name] = info
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __getitem__(self, name: str) -> SymbolInfo:
+        return self._symbols[name]
+
+    def get(self, name: str) -> SymbolInfo | None:
+        return self._symbols.get(name)
+
+    def names(self) -> set[str]:
+        return set(self._symbols)
+
+    def in_space(self, space: Space) -> list[SymbolInfo]:
+        return [s for s in self._symbols.values() if s.space is space]
+
+    def params(self) -> list[SymbolInfo]:
+        return [s for s in self._symbols.values() if s.is_param]
+
+
+def build_symbol_table(kernel: Kernel) -> SymbolTable:
+    """Collect every parameter and declaration in the kernel (flat scope)."""
+    table = SymbolTable()
+    for param in kernel.params:
+        table.add(
+            SymbolInfo(
+                name=param.name,
+                type=param.type,
+                space=space_of(param.type),
+                is_param=True,
+            )
+        )
+    for node in walk(kernel.body):
+        if isinstance(node, VarDecl):
+            table.add(
+                SymbolInfo(
+                    name=node.name,
+                    type=node.type,
+                    space=space_of(node.type),
+                    const=node.const,
+                )
+            )
+    for cname in kernel.const_env:
+        table.add(SymbolInfo(name=cname, type=ScalarType("int"), space=Space.REGISTER, const=True))
+    return table

@@ -1,0 +1,139 @@
+"""Slave-invariance (uniform vector) analysis — paper §3.1.
+
+When a sequential-section instruction's inputs are compile-time constants or
+outputs of other slave-invariant instructions, CUDA-NP lets every slave
+thread execute it *redundantly* instead of running it on the master and
+broadcasting the result (redundant ALU work is cheaper than shared-memory
+round trips and extra control flow).  The paper cites Collange et al.'s
+uniform-vector detection [7].
+
+A value is **slave-invariant** when re-executing its computation on a slave
+thread yields the master's value.  In the transformed kernel, slave threads
+share the master's original thread id (master_id), so values derived from
+
+- literals and kernel scalar parameters,
+- blockIdx/blockDim/gridDim,
+- the original threadIdx (= master_id after the rewrite),
+
+through pure arithmetic are slave-invariant.  Anything touching memory
+(loads may race with stores from other sections) or calls with side effects
+is conservatively variant, matching the paper's "simple ALU computations"
+policy.
+"""
+
+from __future__ import annotations
+
+from ..minicuda.nodes import (
+    Assign,
+    Binary,
+    BoolLit,
+    Call,
+    Cast,
+    Expr,
+    FloatLit,
+    Index,
+    IntLit,
+    Member,
+    Name,
+    Stmt,
+    Ternary,
+    Unary,
+    VarDecl,
+)
+
+#: Pure math builtins that may be recomputed redundantly.
+_PURE_CALLS = frozenset(
+    {
+        "sqrtf", "sqrt", "rsqrtf", "expf", "__expf", "logf", "sinf", "cosf",
+        "fabsf", "fabs", "floorf", "ceilf", "powf", "fminf", "fmaxf",
+        "fmodf", "min", "max", "abs",
+    }
+)
+
+
+class UniformityState:
+    """Tracks which scalar names are currently slave-invariant."""
+
+    def __init__(self, params: set[str], const_names: set[str] = frozenset()):
+        # Scalar parameters are identical for every thread in the grid.
+        self._invariant: set[str] = set(params) | set(const_names)
+
+    def is_invariant_name(self, name: str) -> bool:
+        return name in self._invariant
+
+    def expr_invariant(self, expr: Expr) -> bool:
+        """True when re-evaluating ``expr`` on a slave reproduces the master
+        value without touching memory."""
+        if isinstance(expr, (IntLit, FloatLit, BoolLit)):
+            return True
+        if isinstance(expr, Name):
+            return expr.id in self._invariant
+        if isinstance(expr, Member):
+            # threadIdx/blockIdx/...: in the transformed kernel the original
+            # thread id maps to the master_id, which slaves share.
+            return isinstance(expr.base, Name)
+        if isinstance(expr, Unary):
+            return self.expr_invariant(expr.operand)
+        if isinstance(expr, Cast):
+            return self.expr_invariant(expr.expr)
+        if isinstance(expr, Binary):
+            return self.expr_invariant(expr.lhs) and self.expr_invariant(expr.rhs)
+        if isinstance(expr, Ternary):
+            return (
+                self.expr_invariant(expr.cond)
+                and self.expr_invariant(expr.then)
+                and self.expr_invariant(expr.els)
+            )
+        if isinstance(expr, Index):
+            return False  # memory load: conservatively variant
+        if isinstance(expr, Call):
+            if expr.func in _PURE_CALLS:
+                return all(self.expr_invariant(a) for a in expr.args)
+            return False
+        return False
+
+    def update(self, stmt: Stmt) -> None:
+        """Transfer function for one *simple* statement (decl or assign)."""
+        if isinstance(stmt, VarDecl):
+            if stmt.init is not None and self.expr_invariant(stmt.init):
+                self._invariant.add(stmt.name)
+            else:
+                self._invariant.discard(stmt.name)
+        elif isinstance(stmt, Assign) and isinstance(stmt.target, Name):
+            rhs_ok = self.expr_invariant(stmt.value)
+            if stmt.op != "=":
+                rhs_ok = rhs_ok and stmt.target.id in self._invariant
+            if rhs_ok:
+                self._invariant.add(stmt.target.id)
+            else:
+                self._invariant.discard(stmt.target.id)
+
+    def kill(self, names: set[str]) -> None:
+        """Invalidate names (e.g. defined inside non-straight-line code)."""
+        self._invariant -= names
+
+    def mark_invariant(self, names: set[str]) -> None:
+        """Force names invariant — used for reduction/scan results, which
+        are identical on every thread of a slave group after the combine."""
+        self._invariant |= names
+
+    def snapshot(self) -> set[str]:
+        return set(self._invariant)
+
+    def restore(self, snap: set[str]) -> None:
+        self._invariant = set(snap)
+
+
+def redundant_executable(stmt: Stmt, state: UniformityState) -> bool:
+    """Can this sequential statement run redundantly on slave threads?
+
+    Policy (paper §3.1): only scalar declarations/assignments whose RHS is
+    slave-invariant; memory stores and control flow always run master-only.
+    """
+    if isinstance(stmt, VarDecl):
+        return stmt.init is None or state.expr_invariant(stmt.init)
+    if isinstance(stmt, Assign) and isinstance(stmt.target, Name):
+        if stmt.op != "=" and not state.is_invariant_name(stmt.target.id):
+            return False
+        return state.expr_invariant(stmt.value)
+    return False

@@ -1,0 +1,47 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+``EXPERIMENTS`` maps experiment ids to their ``run(fast: bool)`` callables;
+``run_all`` executes them and returns formatted reports.  ``python -m
+repro.experiments`` prints everything (use ``--fast`` for the scaled-down
+sweep sizes).
+"""
+
+from . import (
+    fig01_dynpar_memcopy,
+    fig10_speedups,
+    fig11_inter_intra,
+    fig12_padding,
+    fig13_tmv_sweep,
+    fig14_mv_sweep,
+    fig15_local_array,
+    fig16_shfl,
+    sec6_dynpar_slowdown,
+    table1_characteristics,
+)
+from .util import ExperimentResult, format_table, geomean
+
+EXPERIMENTS = {
+    "fig01": fig01_dynpar_memcopy.run,
+    "table1": table1_characteristics.run,
+    "fig10": fig10_speedups.run,
+    "fig11": fig11_inter_intra.run,
+    "fig12": fig12_padding.run,
+    "fig13": fig13_tmv_sweep.run,
+    "fig14": fig14_mv_sweep.run,
+    "fig15": fig15_local_array.run,
+    "fig16": fig16_shfl.run,
+    "sec6": sec6_dynpar_slowdown.run,
+}
+
+
+def run_all(fast: bool = False, only: list[str] | None = None) -> list[ExperimentResult]:
+    """Run every experiment (or the selected ids) and return the results."""
+    results = []
+    for exp_id, fn in EXPERIMENTS.items():
+        if only and exp_id not in only:
+            continue
+        results.append(fn(fast=fast))
+    return results
+
+
+__all__ = ["EXPERIMENTS", "run_all", "ExperimentResult", "format_table", "geomean"]

@@ -1,0 +1,102 @@
+"""Terminal bar charts for the regenerated figures.
+
+The paper's evaluation is all bar charts; a terminal-first reproduction
+should render them too.  ``bar_chart`` draws horizontal bars with aligned
+labels and values; ``grouped_bar_chart`` interleaves series (e.g. inter- vs
+intra-warp per benchmark, Fig. 11 style).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_FULL = "█"
+_PART = (" ", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value) / scale * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    out = _FULL * whole
+    if frac and whole < width:
+        out += _PART[frac]
+    return out
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; ``baseline`` draws a reference tick (e.g. 1.0x)."""
+    if not data:
+        return title
+    scale = max(data.values())
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        bar = _bar(value, scale, width)
+        mark = ""
+        if baseline is not None and scale > 0:
+            pos = int(baseline / scale * width)
+            if 0 <= pos < width:
+                padded = bar.ljust(width)
+                mark_char = "|" if pos >= len(bar) else "+"
+                padded = padded[:pos] + mark_char + padded[pos + 1:]
+                bar = padded.rstrip()
+        lines.append(f"{label:<{label_w}} {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 36,
+    unit: str = "x",
+) -> str:
+    """One block per group, one bar per series (Fig. 11-style layout)."""
+    lines = [title] if title else []
+    all_values = [v for series in groups.values() for v in series.values()]
+    scale = max(all_values) if all_values else 1.0
+    series_w = max(
+        (len(s) for series in groups.values() for s in series), default=0
+    )
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            lines.append(
+                f"  {name:<{series_w}} {_bar(value, scale, width)} "
+                f"{value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def chart_fig10(result) -> str:
+    """Render a fig10-shaped ExperimentResult as bars with the 1x tick."""
+    data = {
+        str(row[0]): float(row[4])
+        for row in result.rows
+        if isinstance(row[4], (int, float))
+    }
+    return bar_chart(
+        data, title=result.title, unit="x", baseline=1.0
+    )
+
+
+def chart_fig11(result) -> str:
+    """Render a fig11-shaped ExperimentResult as grouped bars."""
+    groups: dict[str, dict[str, float]] = {}
+    headers = result.headers[1:]
+    for row in result.rows:
+        series = {
+            h: float(v)
+            for h, v in zip(headers, row[1:])
+            if isinstance(v, (int, float))
+        }
+        groups[str(row[0])] = series
+    return grouped_bar_chart(groups, title=result.title)

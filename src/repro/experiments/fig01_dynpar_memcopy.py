@@ -1,0 +1,50 @@
+"""Figure 1 — dynamic-parallelism memcopy throughput.
+
+64M floats copied by m parent threads × n child-kernel threads (m·n fixed);
+the paper shows bandwidth collapsing as the number of child launches grows,
+with three stated anchors: 142 GB/s plain, 63 GB/s DP-enabled, ~34 GB/s at
+16k-thread children.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.device import K20C
+from ..gpusim.dynpar import DynParModel
+from .util import ExperimentResult
+
+TOTAL_FLOATS = 64 * 1024 * 1024
+#: Parent-thread counts m; child size n = TOTAL/m  (the paper's x-axis).
+PARENT_COUNTS = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 1: bandwidth vs number of child-kernel launches."""
+    model = DynParModel(device=K20C)
+    result = ExperimentResult(
+        exp_id="fig01",
+        title="Dynamic-parallelism memcopy throughput (K20c, 64M floats)",
+        headers=["parents m", "child threads n", "bandwidth GB/s"],
+    )
+    result.rows.append(["(plain)", "-", round(model.plain_bandwidth_gbs, 1)])
+    result.rows.append(["(DP-enabled, no launch)", "-", round(model.enabled_bandwidth_gbs, 1)])
+    measured_34 = None
+    for m in PARENT_COUNTS:
+        n = TOTAL_FLOATS // m
+        bw = model.memcopy_bandwidth_gbs(TOTAL_FLOATS, m)
+        result.rows.append([m, n, round(bw, 1)])
+        if n == 16384:
+            measured_34 = bw
+    result.paper_anchors = [
+        ("plain memcopy bandwidth", "142 GB/s", f"{model.plain_bandwidth_gbs:.1f} GB/s"),
+        ("DP-enabled kernel bandwidth", "63 GB/s", f"{model.enabled_bandwidth_gbs:.1f} GB/s"),
+        ("bandwidth at 16k-thread children", "34 GB/s", f"{measured_34:.1f} GB/s"),
+    ]
+    result.notes.append(
+        "monotone collapse with launch count reproduces the paper's shape; "
+        "the per-launch overhead (1.7 us) was calibrated from the 34 GB/s anchor"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,68 @@
+"""Figure 14 — MV vs CUBLAS vs SMM across matrix heights (width fixed 2K).
+
+The height sets the baseline's thread count.  The paper reports that the
+CUDA-NP version always outperforms both CUBLAS and the SMM version of [42],
+with the gap largest at small heights (few threads).
+"""
+
+from __future__ import annotations
+
+from ..kernels.cublas_proxy import CublasGemvN, SmmMv
+from ..kernels.mv import MvBenchmark
+from ..npc.config import NpConfig
+from .util import ExperimentResult
+
+FULL_HEIGHTS = (1024, 2048, 4096, 8192, 16384, 65536)
+FAST_HEIGHTS = (512, 1024, 2048)
+NP_SLAVE_SIZES = (2, 4, 8)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig. 14: MV vs CUBLAS/SMM proxies across heights."""
+    heights = FAST_HEIGHTS if fast else FULL_HEIGHTS
+    width = 512 if fast else 2048
+    sample = 2 if fast else 4
+    result = ExperimentResult(
+        exp_id="fig14",
+        title=f"MV sweep: heights x width={width} (modeled ms; lower is better)",
+        headers=["height", "CUBLAS ms", "SMM ms", "baseline ms", "CUDA-NP ms",
+                 "NP wins"],
+    )
+    always_wins = True
+    for h in heights:
+        cublas = CublasGemvN(width=width, height=h, block=128)
+        t_cublas = cublas.run_baseline(sample_blocks=sample).timing.seconds
+        smm = SmmMv(width=width, height=h, block=128)
+        t_smm = smm.run_baseline(sample_blocks=sample).timing.seconds
+        bench = MvBenchmark(width=width, height=h, block=128)
+        t_base = bench.run_baseline(sample_blocks=sample).timing.seconds
+        # The auto-tuner picks the slave count per problem size (§4); large
+        # heights saturate the GPU, so smaller groups win there.
+        t_np = min(
+            bench.run_variant(
+                NpConfig(slave_size=s, np_type="inter"), sample_blocks=sample
+            ).timing.seconds
+            for s in NP_SLAVE_SIZES
+        )
+        # "wins" up to model noise: at the bandwidth-bound tail every
+        # implementation converges to the same traffic.
+        wins = t_np <= min(t_cublas, t_smm) * 1.05
+        always_wins &= wins
+        result.rows.append(
+            [h, round(t_cublas * 1e3, 4), round(t_smm * 1e3, 4),
+             round(t_base * 1e3, 4), round(t_np * 1e3, 4), wins]
+        )
+    result.paper_anchors = [
+        ("CUDA-NP outperforms SMM and CUBLAS",
+         "always", "always" if always_wins else "NOT always"),
+    ]
+    result.notes.append(
+        "NP column is the best slave count per height; ties within 5% at "
+        "the saturated tail count as wins (all kernels are traffic-bound "
+        "there)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,68 @@
+"""Machine-readable experiment reports.
+
+``to_json``/``save_json`` serialize :class:`ExperimentResult` objects so CI
+can diff regenerated tables across commits, and ``load_json`` round-trips
+them for comparison tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Union
+
+from .util import ExperimentResult
+
+
+def to_json(results: Iterable[ExperimentResult]) -> str:
+    """Serialize results (stable key order, human-diffable)."""
+    payload = [
+        {
+            "exp_id": r.exp_id,
+            "title": r.title,
+            "headers": list(r.headers),
+            "rows": [[_plain(c) for c in row] for row in r.rows],
+            "paper_anchors": [list(a) for a in r.paper_anchors],
+            "notes": list(r.notes),
+        }
+        for r in results
+    ]
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _plain(cell):
+    if isinstance(cell, (bool, int, float, str)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def save_json(results: Iterable[ExperimentResult], path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the JSON report; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(to_json(results))
+    return path
+
+
+def load_json(path: Union[str, pathlib.Path]) -> list[ExperimentResult]:
+    """Reload a saved report as result objects."""
+    raw = json.loads(pathlib.Path(path).read_text())
+    return [
+        ExperimentResult(
+            exp_id=e["exp_id"],
+            title=e["title"],
+            headers=e["headers"],
+            rows=e["rows"],
+            paper_anchors=[tuple(a) for a in e["paper_anchors"]],
+            notes=e["notes"],
+        )
+        for e in raw
+    ]
+
+
+def anchors_table(results: Iterable[ExperimentResult]) -> list[tuple[str, str, str, str]]:
+    """Flatten every paper anchor as (experiment, claim, paper, measured)."""
+    out = []
+    for r in results:
+        for desc, paper, measured in r.paper_anchors:
+            out.append((r.exp_id, desc, paper, measured))
+    return out

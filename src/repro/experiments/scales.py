@@ -1,0 +1,52 @@
+"""Paper-scale benchmark configurations for the performance experiments.
+
+Functional correctness is established by the test suite at small scale
+(every block executed, outputs checked against numpy).  The *performance*
+experiments need the paper's grid sizes — otherwise every baseline is
+latency-starved by a tiny grid and any slave count looks linearly good —
+so they instantiate the benchmarks near paper scale and sample a few
+representative blocks per launch (the timing model extrapolates per-warp
+statistics to the full grid).
+
+``paper_scale(name)`` returns (benchmark instance, sample_blocks).
+"""
+
+from __future__ import annotations
+
+from ..kernels import BENCHMARKS
+from ..kernels.common import GpuBenchmark
+
+#: Constructor arguments approximating each paper input (Table 1), chosen so
+#: a sampled run stays interactive in the Python interpreter.
+PAPER_SCALE_KWARGS: dict[str, dict] = {
+    "MC": dict(nvox=8192),
+    "LU": dict(matrix_dim=2048, offset=1024),  # mid-factorization step
+    "LE": dict(positions=4096),
+    "MV": dict(width=2048, height=2048, block=128),
+    "SS": dict(dim=512, points=8192, block=64),
+    "LIB": dict(npath=16384),
+    "CFD": dict(ncells=65536),
+    "BK": dict(elements=262144),
+    "TMV": dict(width=2048, height=2048, block=128),
+    "NN": dict(records=1024, queries=8192),
+}
+
+#: Blocks to execute functionally per launch at paper scale.
+SAMPLE_BLOCKS = 4
+
+
+def paper_scale(name: str, fast: bool = False) -> tuple[GpuBenchmark, int]:
+    """Instantiate benchmark ``name`` at (near-)paper scale.
+
+    ``fast`` quarters the grid-defining dimension to keep CI-style runs
+    quick while preserving the large-grid regime.
+    """
+    kwargs = dict(PAPER_SCALE_KWARGS[name])
+    if fast:
+        for key in ("nvox", "matrix_dim", "positions", "height", "points",
+                    "npath", "ncells", "elements", "queries", "offset"):
+            if key in kwargs:
+                floor = 0 if key == "offset" else 256
+                kwargs[key] = max(kwargs[key] // 4, floor)
+    bench = BENCHMARKS[name](**kwargs)
+    return bench, SAMPLE_BLOCKS

@@ -1,0 +1,32 @@
+"""Software GPU: functional SIMT interpreter + analytical timing.
+
+The substrate that stands in for the paper's GTX 680 / K20c hardware:
+
+- :mod:`~repro.gpusim.device` — device specifications
+- :mod:`~repro.gpusim.memory` — global/shared/local/constant memories
+- :mod:`~repro.gpusim.coalescing` — transaction + bank-conflict models
+- :mod:`~repro.gpusim.cache` — functional L1 + analytical capacity model
+- :mod:`~repro.gpusim.interp` — warp-level interpreter (divergence masks)
+- :mod:`~repro.gpusim.occupancy` — CUDA occupancy calculator
+- :mod:`~repro.gpusim.timing` — Hong–Kim MWP/CWP kernel-time model
+- :mod:`~repro.gpusim.launch` — host-side launch API
+- :mod:`~repro.gpusim.dynpar` — dynamic-parallelism overhead model
+- :mod:`~repro.gpusim.report` — nvprof-style kernel profiles
+"""
+
+from .device import FERMI, GTX680, K20C, DeviceSpec
+from .errors import (
+    DivergenceError,
+    IntrinsicError,
+    LaunchError,
+    MemoryFault,
+    SimError,
+    SyncError,
+)
+from .launch import LaunchResult, launch, run_kernel
+from .report import compare_report, profile_report
+from .occupancy import Occupancy, ResourceUsage, compute_occupancy
+from .stats import KernelStats, PerWarpStats
+from .timing import TimingResult, estimate_kernel_time
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,87 @@
+"""L1 cache models for local-memory traffic.
+
+Two cooperating models:
+
+- :class:`SetAssociativeCache` — a functional LRU set-associative cache,
+  used in unit tests and microbenchmarks to validate the analytical model's
+  qualitative behaviour;
+- :class:`CapacityModel` — the analytical hit-rate estimate the timing model
+  uses.  Local (spilled) arrays are thread-private and resident threads on an
+  SMX share the L1, so the combined working set is
+  ``local_bytes_per_thread × resident_threads``.  When that exceeds the L1
+  capacity the cache thrashes and local accesses go to DRAM — this is the
+  effect that makes LE/LIB/CFD slow in the baseline (paper §3.3, Table 1) and
+  fast once CUDA-NP partitions the arrays into registers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+class SetAssociativeCache:
+    """A functional LRU set-associative cache over byte addresses."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 128, ways: int = 4):
+        if size_bytes % (line_bytes * ways):
+            raise ValueError("cache size must be a multiple of line*ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, byte_addr: int) -> bool:
+        """Access one address; returns True on hit."""
+        line = byte_addr // self.line_bytes
+        set_idx = line % self.num_sets
+        ways = self._sets[set_idx]
+        if line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[line] = None
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+        return False
+
+    def access_many(self, byte_addrs) -> int:
+        """Access a sequence of addresses; returns the number of hits."""
+        return sum(self.access(int(a)) for a in byte_addrs)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Analytical L1 hit-rate estimate for thread-private local memory.
+
+    ``hit_rate = min(1, l1_bytes / working_set)`` with a small floor for
+    short-term reuse that survives even under thrashing (streaming accesses
+    still hit within a 128B line: 32 consecutive 4-byte elements share 4
+    lines per warp access in the interleaved local layout).
+    """
+
+    l1_bytes: int
+    reuse_floor: float = 0.0
+
+    def hit_rate(self, local_bytes_per_thread: float, resident_threads: int) -> float:
+        if local_bytes_per_thread <= 0 or resident_threads <= 0:
+            return 1.0
+        working_set = local_bytes_per_thread * resident_threads
+        if working_set <= self.l1_bytes:
+            return 1.0
+        rate = self.l1_bytes / working_set
+        return max(self.reuse_floor, min(1.0, rate))

@@ -1,0 +1,82 @@
+"""Global-memory coalescing and shared-memory bank-conflict models.
+
+Kepler coalesces a warp's global accesses into 128-byte cache-line
+transactions: the number of DRAM transactions for one warp-wide access is the
+number of distinct 128-byte segments touched by the active lanes.  Shared
+memory has 32 banks of 4-byte words; lanes hitting the same bank at
+*different* word addresses serialize (replays), while lanes reading the same
+word broadcast for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def transactions_for(
+    byte_addrs: np.ndarray, mask: np.ndarray, segment_bytes: int = 128
+) -> int:
+    """Number of ``segment_bytes`` transactions for one warp memory access.
+
+    ``byte_addrs`` are per-lane byte addresses; only lanes with ``mask`` set
+    participate.  Returns 0 when no lane is active.
+    """
+    active = byte_addrs[mask]
+    if active.size == 0:
+        return 0
+    segments = np.unique(active // segment_bytes)
+    return int(segments.size)
+
+
+def is_fully_coalesced(
+    byte_addrs: np.ndarray,
+    mask: np.ndarray,
+    elem_bytes: int = 4,
+    segment_bytes: int = 128,
+) -> bool:
+    """True when the active lanes achieve the minimum transaction count."""
+    active = byte_addrs[mask]
+    if active.size == 0:
+        return True
+    needed = int(
+        np.ceil(active.size * elem_bytes / segment_bytes)
+    )
+    return transactions_for(byte_addrs, mask, segment_bytes) <= max(needed, 1)
+
+
+def bank_conflict_replays(
+    byte_addrs: np.ndarray,
+    mask: np.ndarray,
+    num_banks: int = 32,
+    bank_width: int = 4,
+) -> int:
+    """Extra serialized passes caused by shared-memory bank conflicts.
+
+    A conflict-free access costs one pass (0 replays).  Lanes touching the
+    same 4-byte word count once (hardware broadcast); lanes touching
+    different words in the same bank serialize, so an access whose worst bank
+    serves ``k`` distinct words costs ``k - 1`` replays.
+    """
+    active = byte_addrs[mask]
+    if active.size == 0:
+        return 0
+    words = active // bank_width
+    banks = words % num_banks
+    # Count distinct words per bank; the max determines the pass count.
+    max_degree = 1
+    for bank in np.unique(banks):
+        degree = np.unique(words[banks == bank]).size
+        if degree > max_degree:
+            max_degree = int(degree)
+    return max_degree - 1
+
+
+def broadcast_segments(
+    byte_addrs: np.ndarray, mask: np.ndarray
+) -> bool:
+    """True when all active lanes read the same address (constant-memory
+    broadcast friendly — paper §3.4's constant-array concern)."""
+    active = byte_addrs[mask]
+    if active.size == 0:
+        return True
+    return bool(np.all(active == active[0]))

@@ -1,0 +1,111 @@
+"""GPU device specifications.
+
+The paper evaluates on an NVIDIA GTX 680 (Kepler GK104, sm_30) and uses a
+Tesla K20c (GK110, sm_35) for the dynamic-parallelism microbenchmark.  These
+specs drive the occupancy calculator, the Hong–Kim timing model, and the
+dynamic-parallelism overhead model.
+
+Only parameters the models consume are included; they are taken from the
+CUDA C programming guide for compute capability 3.0/3.5 and from the paper's
+measurements (e.g. the 142 GB/s baseline memcopy bandwidth on K20c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of a simulated GPU."""
+
+    name: str
+    sm_version: int                  # compute capability ×10 (30 = sm_30)
+    num_smx: int                     # streaming multiprocessors
+    warp_size: int = 32
+    # Thread-block / SMX occupancy limits (CUDA CC 3.x values).
+    max_threads_per_block: int = 1024
+    max_threads_per_smx: int = 2048
+    max_blocks_per_smx: int = 16
+    max_warps_per_smx: int = 64
+    registers_per_smx: int = 65536          # 32-bit registers
+    max_registers_per_thread: int = 63      # sm_30 (sm_35 allows 255)
+    register_alloc_granularity: int = 256   # warp-level allocation unit
+    shared_per_smx: int = 48 * 1024         # bytes (48 KB config)
+    max_shared_per_block: int = 48 * 1024
+    shared_alloc_granularity: int = 256
+    l1_size: int = 16 * 1024                # bytes (with 48 KB shared config)
+    # Clock / memory system.
+    core_clock_ghz: float = 1.006
+    mem_bandwidth_gbs: float = 192.2        # peak DRAM bandwidth
+    mem_latency_cycles: int = 400           # global memory round trip
+    l1_latency_cycles: int = 30             # local-memory hit latency
+    transaction_bytes: int = 128            # coalescing segment size
+    departure_delay_cycles: int = 4         # per-transaction issue delay
+    issue_cycles_per_inst: float = 1.0      # SP pipeline issue rate per warp
+    #: Resident warps needed to saturate the issue pipelines on dependent
+    #: code (≈ arithmetic latency × schedulers / ILP); below this, compute-
+    #: bound kernels leave bubbles (Volkov-style ILP/TLP trade-off).
+    issue_saturation_warps: int = 24
+    # Dynamic parallelism cost model (meaningful for sm >= 35).
+    supports_dynamic_parallelism: bool = False
+    dynpar_launch_overhead_us: float = 1.5  # device-side per-launch gap
+    dynpar_enabled_tax: float = 2.25        # 142 GB/s -> 63 GB/s (paper §2.1)
+
+    @property
+    def supports_shfl(self) -> bool:
+        """``__shfl`` register exchange exists from Kepler (sm_30) onward."""
+        return self.sm_version >= 30
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        """DRAM bytes per core cycle across the whole chip."""
+        return self.mem_bandwidth_gbs / self.core_clock_ghz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.core_clock_ghz * 1e9)
+
+    def with_shared_config(self, shared_kb: int) -> "DeviceSpec":
+        """Return a copy with the shared/L1 split reconfigured (16/32/48 KB)."""
+        if shared_kb not in (16, 32, 48):
+            raise ValueError("shared memory config must be 16, 32 or 48 KB")
+        l1_kb = 64 - shared_kb - 16  # 64 KB array minus 16 KB texture slice
+        return replace(
+            self,
+            shared_per_smx=shared_kb * 1024,
+            l1_size=max(l1_kb, 16) * 1024 if shared_kb != 48 else 16 * 1024,
+        )
+
+
+#: GeForce GTX 680 — the paper's main evaluation platform (Kepler GK104).
+GTX680 = DeviceSpec(
+    name="GTX 680",
+    sm_version=30,
+    num_smx=8,
+    core_clock_ghz=1.006,
+    mem_bandwidth_gbs=192.2,
+)
+
+#: Tesla K20c — used for the dynamic-parallelism microbenchmark (Fig. 1).
+K20C = DeviceSpec(
+    name="Tesla K20c",
+    sm_version=35,
+    num_smx=13,
+    max_registers_per_thread=255,
+    core_clock_ghz=0.706,
+    mem_bandwidth_gbs=208.0,
+    supports_dynamic_parallelism=True,
+)
+
+#: A pre-Kepler device (no __shfl) for exercising the sm_version pragma path.
+FERMI = DeviceSpec(
+    name="Fermi-class (sm_20)",
+    sm_version=20,
+    num_smx=16,
+    max_threads_per_smx=1536,
+    max_blocks_per_smx=8,
+    max_warps_per_smx=48,
+    registers_per_smx=32768,
+    core_clock_ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+)

@@ -1,0 +1,125 @@
+"""Dynamic-parallelism cost model (paper §2.1 Fig. 1, §6).
+
+Kepler (sm_35) lets a GPU thread launch a child kernel through the *device
+runtime*.  The paper measures three costs on a Tesla K20c, which this model
+reproduces:
+
+1. **enabled-kernel tax** — merely compiling with the dynamic-parallelism
+   flag drops the memcopy microbenchmark from 142 GB/s to 63 GB/s;
+2. **per-launch overhead** — each device-side launch costs on the order of
+   microseconds; with 4096 child launches the 64M-float copy lands around
+   34 GB/s, which calibrates the per-launch gap to ≈1.7 µs;
+3. **global-memory communication** — parent→child argument passing must go
+   through global memory (no registers/shared across a launch boundary).
+
+The model composes with the functional simulator: child kernels can be run
+as ordinary launches (the parent's loop is semantically a host loop over
+child grids), and this module adds the launch/communication time on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec, K20C
+from .launch import LaunchResult
+
+
+@dataclass(frozen=True)
+class DynParModel:
+    """Calibrated dynamic-parallelism costs for one device."""
+
+    device: DeviceSpec = K20C
+    #: Fraction of peak DRAM bandwidth the plain memcopy achieves
+    #: (142 / 208 GB/s on K20c).
+    copy_efficiency: float = 0.683
+    #: Bandwidth ratio plain vs DP-enabled build (142 / 63 GB/s).
+    enabled_tax: float = 2.25
+    #: Device-runtime cost per child-kernel launch.
+    launch_overhead_us: float = 1.7
+    #: Extra latency per launch for parent->child argument traffic through
+    #: global memory (one round trip each way).
+    comm_overhead_us: float = 0.9
+    #: A child grid cannot retire faster than this floor (scheduling +
+    #: drain), regardless of its size.
+    min_child_us: float = 2.0
+
+    # -- Fig. 1: the memcopy microbenchmark --------------------------------
+
+    @property
+    def plain_bandwidth_gbs(self) -> float:
+        """The baseline memcopy bandwidth (no DP anywhere)."""
+        return self.device.mem_bandwidth_gbs * self.copy_efficiency
+
+    @property
+    def enabled_bandwidth_gbs(self) -> float:
+        """Same kernel, built with the dynamic-parallelism flag (§2.1)."""
+        return self.plain_bandwidth_gbs / self.enabled_tax
+
+    def memcopy_time_s(self, total_floats: int, num_launches: int) -> float:
+        """Copy ``total_floats`` via ``num_launches`` child kernels."""
+        if num_launches < 1:
+            raise ValueError("need at least one launch")
+        bytes_moved = total_floats * 4 * 2  # read + write
+        copy_time = bytes_moved / (self.enabled_bandwidth_gbs * 1e9)
+        per_child = max(
+            copy_time / num_launches, self.min_child_us * 1e-6
+        )
+        return (
+            per_child * num_launches
+            + num_launches * self.launch_overhead_us * 1e-6
+        )
+
+    def memcopy_bandwidth_gbs(self, total_floats: int, num_launches: int) -> float:
+        """Achieved bandwidth for the Fig. 1 sweep."""
+        bytes_moved = total_floats * 4 * 2
+        return bytes_moved / self.memcopy_time_s(total_floats, num_launches) / 1e9
+
+    # -- §6: per-benchmark dynamic-parallelism slowdowns --------------------
+
+    def kernel_time_with_dp(
+        self,
+        sequential_time_s: float,
+        child_work_time_s: float,
+        num_launches: int,
+        live_bytes_per_launch: int = 32,
+    ) -> float:
+        """Total time when the parallel sections become child kernels.
+
+        ``sequential_time_s`` is the parent's residual (sequential) time,
+        ``child_work_time_s`` the aggregate useful child work (at enabled-
+        build speed), ``num_launches`` the number of device-side launches.
+        """
+        per_child_floor = self.min_child_us * 1e-6
+        comm = (
+            self.comm_overhead_us * 1e-6
+            + live_bytes_per_launch / (self.plain_bandwidth_gbs * 1e9)
+        )
+        child_total = max(child_work_time_s * self.enabled_tax,
+                          num_launches * per_child_floor)
+        return (
+            sequential_time_s * self.enabled_tax
+            + child_total
+            + num_launches * (self.launch_overhead_us * 1e-6 + comm)
+        )
+
+    def slowdown_vs_baseline(
+        self,
+        baseline: LaunchResult,
+        num_launches: int,
+        parallel_fraction: float = 0.9,
+        live_bytes_per_launch: int = 32,
+    ) -> float:
+        """§6 comparison: DP version time / original baseline time.
+
+        ``parallel_fraction`` is the share of baseline time spent in the
+        pragma-marked loops (which DP offloads to child kernels).
+        """
+        base = baseline.timing.seconds
+        seq = base * (1.0 - parallel_fraction)
+        work = base * parallel_fraction
+        dp = self.kernel_time_with_dp(
+            seq, work, num_launches, live_bytes_per_launch
+        )
+        return dp / base

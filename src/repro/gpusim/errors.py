@@ -1,0 +1,27 @@
+"""Runtime errors raised by the GPU simulator."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for simulator failures."""
+
+
+class LaunchError(SimError):
+    """Invalid launch configuration (block too large, bad arguments, ...)."""
+
+
+class MemoryFault(SimError):
+    """Out-of-bounds or ill-typed access to a simulated memory."""
+
+
+class DivergenceError(SimError):
+    """An unsupported divergent construct (e.g. non-uniform ``break``)."""
+
+
+class SyncError(SimError):
+    """``__syncthreads`` reached by only part of a thread block."""
+
+
+class IntrinsicError(SimError):
+    """Unknown or mis-used device intrinsic."""

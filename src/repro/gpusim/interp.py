@@ -1,0 +1,782 @@
+"""Warp-level SIMT interpreter for mini-CUDA kernels.
+
+Execution model (paper §2.1): threads run in warps of 32 lanes that share one
+instruction pointer.  The interpreter evaluates every expression *warp-wide*
+as numpy arrays of shape ``(32,)`` and handles control-flow divergence with
+active-lane masks — both sides of a divergent branch are executed, serially,
+exactly like SIMD hardware, so divergence and intra-warp load imbalance cost
+real issue cycles in the statistics.
+
+``__syncthreads`` is implemented by running each warp as a Python generator
+and advancing all warps of a block round-robin between barrier yields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..minicuda.nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IntLit,
+    Kernel,
+    Member,
+    Name,
+    PointerType,
+    Return,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+    walk,
+)
+from . import coalescing
+from .errors import IntrinsicError, MemoryFault, SimError, SyncError
+from .intrinsics import (
+    BINOP_WEIGHTS,
+    DEFAULT_BINOP_WEIGHT,
+    MATH_INTRINSICS,
+    shfl,
+    shfl_down,
+    shfl_up,
+)
+from .memory import (
+    ConstArray,
+    GlobalBuffer,
+    LocalArray,
+    SharedArray,
+    dtype_for,
+)
+from .stats import AccessTrace, KernelStats
+
+WARP_SIZE = 32
+
+_DIM_NAMES = ("threadIdx", "blockIdx", "blockDim", "gridDim")
+
+
+@dataclass
+class PointerValue:
+    """A pointer into a global buffer: per-lane element offsets."""
+
+    buffer: GlobalBuffer
+    offsets: np.ndarray  # int64 (WARP_SIZE,)
+
+    def shifted(self, delta: np.ndarray) -> "PointerValue":
+        return PointerValue(self.buffer, self.offsets + delta.astype(np.int64))
+
+
+@dataclass
+class _LoopFrame:
+    """Per-lane liveness bookkeeping for one loop nest level."""
+
+    broken: np.ndarray
+    cont: np.ndarray
+    exited: np.ndarray
+
+    @classmethod
+    def new(cls) -> "_LoopFrame":
+        z = np.zeros(WARP_SIZE, dtype=bool)
+        return cls(z.copy(), z.copy(), z.copy())
+
+
+class WarpContext:
+    """All per-warp interpreter state."""
+
+    def __init__(
+        self,
+        env: dict,
+        init_mask: np.ndarray,
+        stats: KernelStats,
+        trace: AccessTrace,
+    ):
+        self.env = env
+        self.init_mask = init_mask
+        self.inactive = np.zeros(WARP_SIZE, dtype=bool)
+        self.returned = np.zeros(WARP_SIZE, dtype=bool)
+        self.loop_stack: list[_LoopFrame] = []
+        self.stats = stats
+        self.trace = trace
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def _broadcast(value, dtype=np.int32) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value
+    return np.full(WARP_SIZE, value, dtype=dtype)
+
+
+def _c_int_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C semantics: integer division truncates toward zero."""
+    with np.errstate(all="ignore"):
+        safe_b = np.where(b == 0, 1, b)
+        q = np.abs(a) // np.abs(safe_b)
+        q = (np.sign(a) * np.sign(safe_b)).astype(q.dtype) * q
+        return np.where(b == 0, 0, q).astype(np.result_type(a, b))
+
+
+def _c_int_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    q = _c_int_div(a, b)
+    with np.errstate(all="ignore"):
+        return (a - q * np.where(b == 0, 1, b)).astype(np.result_type(a, b))
+
+
+def _is_float(arr: np.ndarray) -> bool:
+    return np.issubdtype(arr.dtype, np.floating)
+
+
+def _numeric_binop(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if op in ("&&", "||"):
+        av, bv = a.astype(bool), b.astype(bool)
+        return (av & bv) if op == "&&" else (av | bv)
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        fn = {
+            "==": np.equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            ">": np.greater,
+            "<=": np.less_equal,
+            ">=": np.greater_equal,
+        }[op]
+        return fn(a, b)
+    if op in ("&", "|", "^", "<<", ">>"):
+        ai, bi = a.astype(np.int64), b.astype(np.int64)
+        fn = {
+            "&": np.bitwise_and,
+            "|": np.bitwise_or,
+            "^": np.bitwise_xor,
+            "<<": np.left_shift,
+            ">>": np.right_shift,
+        }[op]
+        return fn(ai, bi).astype(np.int32)
+    # Arithmetic with C-like promotion: any float operand -> float32.
+    if _is_float(a) or _is_float(b):
+        af, bf = a.astype(np.float32), b.astype(np.float32)
+        with np.errstate(all="ignore"):
+            fn = {
+                "+": np.add,
+                "-": np.subtract,
+                "*": np.multiply,
+                "/": np.divide,
+                "%": np.fmod,
+            }[op]
+            return fn(af, bf).astype(np.float32)
+    ai = a.astype(np.int32) if a.dtype == np.bool_ else a
+    bi = b.astype(np.int32) if b.dtype == np.bool_ else b
+    if op == "/":
+        return _c_int_div(ai, bi)
+    if op == "%":
+        return _c_int_mod(ai, bi)
+    with np.errstate(all="ignore"):
+        fn = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
+        return fn(ai, bi).astype(np.result_type(ai, bi))
+
+
+def _resolve_index_chain(expr: Index) -> tuple[Expr, list[Expr]]:
+    """Split a chain ``base[i][j]...`` into (root expr, [i, j, ...])."""
+    indices: list[Expr] = []
+    node: Expr = expr
+    while isinstance(node, Index):
+        indices.append(node.index)
+        node = node.base
+    indices.reverse()
+    return node, indices
+
+
+def eval_expr(ctx: WarpContext, expr: Expr, mask: np.ndarray):
+    """Evaluate ``expr`` warp-wide; returns ndarray / PointerValue / memory
+    object (memory objects only appear as Index bases)."""
+    stats = ctx.stats
+    if isinstance(expr, IntLit):
+        value = expr.value & 0xFFFFFFFF
+        if value > 0x7FFFFFFF:
+            value -= 0x100000000  # wrap to int32 like C
+        return _broadcast(value, np.int32)
+    if isinstance(expr, FloatLit):
+        return _broadcast(expr.value, np.float32)
+    if isinstance(expr, BoolLit):
+        return _broadcast(expr.value, np.bool_)
+    if isinstance(expr, Name):
+        try:
+            value = ctx.env[expr.id]
+        except KeyError as exc:
+            raise SimError(f"undefined variable {expr.id!r}", ) from exc
+        if isinstance(value, (int, np.integer)):
+            return _broadcast(int(value), np.int32)
+        if isinstance(value, float):
+            return _broadcast(value, np.float32)
+        if isinstance(value, GlobalBuffer):
+            return PointerValue(value, np.zeros(WARP_SIZE, dtype=np.int64))
+        return value
+    if isinstance(expr, Member):
+        if isinstance(expr.base, Name) and expr.base.id in _DIM_NAMES:
+            key = f"{expr.base.id}.{expr.name}"
+            try:
+                return ctx.env[key]
+            except KeyError as exc:
+                raise SimError(f"unknown builtin {key}") from exc
+        raise SimError(f"unsupported member access .{expr.name}")
+    if isinstance(expr, Unary):
+        value = eval_expr(ctx, expr.operand, mask)
+        stats.alu_insts += 1
+        if expr.op == "-":
+            return -value
+        if expr.op == "+":
+            return value
+        if expr.op == "!":
+            return ~value.astype(bool)
+        if expr.op == "~":
+            return (~value.astype(np.int64)).astype(np.int32)
+        raise SimError(f"unknown unary op {expr.op}")
+    if isinstance(expr, Binary):
+        lhs = eval_expr(ctx, expr.lhs, mask)
+        rhs = eval_expr(ctx, expr.rhs, mask)
+        weight = BINOP_WEIGHTS.get(expr.op, DEFAULT_BINOP_WEIGHT)
+        if expr.op in ("/", "%") and _is_const_operand(ctx, expr.rhs):
+            # Division by a compile-time constant strength-reduces (the
+            # NP variants divide by the template parameter slave_size).
+            weight = 1.0
+        stats.alu_insts += weight
+        if isinstance(lhs, PointerValue) or isinstance(rhs, PointerValue):
+            return _pointer_arith(expr.op, lhs, rhs)
+        return _numeric_binop(expr.op, lhs, rhs)
+    if isinstance(expr, Ternary):
+        cond = eval_expr(ctx, expr.cond, mask).astype(bool)
+        then = eval_expr(ctx, expr.then, mask)
+        els = eval_expr(ctx, expr.els, mask)
+        stats.alu_insts += 1  # select
+        if _is_float(then) or _is_float(els):
+            then = then.astype(np.float32)
+            els = els.astype(np.float32)
+        return np.where(cond, then, els)
+    if isinstance(expr, Cast):
+        value = eval_expr(ctx, expr.expr, mask)
+        stats.alu_insts += 1
+        if isinstance(value, PointerValue):
+            return value
+        return value.astype(dtype_for(expr.type.name))
+    if isinstance(expr, Index):
+        return _eval_load(ctx, expr, mask)
+    if isinstance(expr, Call):
+        return _eval_call(ctx, expr, mask)
+    raise SimError(f"cannot evaluate expression {expr!r}")
+
+
+def _is_const_operand(ctx: WarpContext, expr: Expr) -> bool:
+    if isinstance(expr, IntLit):
+        return True
+    if isinstance(expr, Name):
+        return isinstance(ctx.env.get(expr.id), (int, np.integer))
+    return False
+
+
+def _pointer_arith(op: str, lhs, rhs) -> PointerValue:
+    if op == "+" and isinstance(lhs, PointerValue) and isinstance(rhs, np.ndarray):
+        return lhs.shifted(rhs)
+    if op == "+" and isinstance(rhs, PointerValue) and isinstance(lhs, np.ndarray):
+        return rhs.shifted(lhs)
+    if op == "-" and isinstance(lhs, PointerValue) and isinstance(rhs, np.ndarray):
+        return lhs.shifted(-rhs)
+    raise SimError(f"unsupported pointer arithmetic {op!r}")
+
+
+def _eval_load(ctx: WarpContext, expr: Index, mask: np.ndarray):
+    root_expr, index_exprs = _resolve_index_chain(expr)
+    root = eval_expr(ctx, root_expr, mask)
+    indices = [
+        eval_expr(ctx, ie, mask).astype(np.int64) for ie in index_exprs
+    ]
+    return _load_object(ctx, root, indices, mask)
+
+
+def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.ndarray):
+    stats = ctx.stats
+    if isinstance(root, PointerValue):
+        if len(indices) != 1:
+            raise MemoryFault("global pointers are 1-D; use manual 2-D math")
+        offsets = root.offsets + indices[0]
+        addrs = root.buffer.byte_addrs(offsets)
+        txns = coalescing.transactions_for(addrs, mask)
+        stats.global_load_insts += 1
+        stats.global_transactions += txns
+        if not coalescing.is_fully_coalesced(addrs, mask, root.buffer.itemsize):
+            stats.uncoalesced_accesses += 1
+        ctx.trace.record_global(root.buffer.name, txns, int(mask.sum()))
+        return root.buffer.load(offsets, mask)
+    if isinstance(root, SharedArray):
+        flat = root.flat_index(indices)
+        stats.shared_load_insts += 1
+        replays = coalescing.bank_conflict_replays(root.byte_addrs(flat), mask)
+        stats.shared_bank_replays += replays
+        ctx.trace.record_shared(root.name, replays)
+        return root.load(flat, mask)
+    if isinstance(root, LocalArray):
+        if len(indices) != 1:
+            raise MemoryFault("local arrays are 1-D in this subset")
+        idx = indices[0]
+        if root.in_registers:
+            pass  # register operand: free (the template unrolls the index)
+        else:
+            stats.local_load_insts += 1
+            addrs = root.byte_addrs(idx)
+            stats.local_transactions += coalescing.transactions_for(addrs, mask)
+            stats.local_bytes += int(mask.sum()) * root.itemsize
+        return root.load(idx, mask)
+    if isinstance(root, ConstArray):
+        if len(indices) != 1:
+            raise MemoryFault("constant arrays are 1-D")
+        idx = indices[0]
+        stats.const_load_insts += 1
+        if not coalescing.broadcast_segments(root.byte_addrs(idx), mask):
+            stats.const_serialized += 1
+        return root.load(idx, mask)
+    raise MemoryFault(f"cannot index into {type(root).__name__}")
+
+
+def _store_object(
+    ctx: WarpContext, root, indices: list[np.ndarray], mask: np.ndarray, values
+) -> None:
+    stats = ctx.stats
+    values = np.asarray(values)
+    if isinstance(root, PointerValue):
+        if len(indices) != 1:
+            raise MemoryFault("global pointers are 1-D; use manual 2-D math")
+        offsets = root.offsets + indices[0]
+        addrs = root.buffer.byte_addrs(offsets)
+        txns = coalescing.transactions_for(addrs, mask)
+        stats.global_store_insts += 1
+        stats.global_transactions += txns
+        if not coalescing.is_fully_coalesced(addrs, mask, root.buffer.itemsize):
+            stats.uncoalesced_accesses += 1
+        ctx.trace.record_global(root.buffer.name, txns, int(mask.sum()))
+        root.buffer.store(offsets, mask, values)
+        return
+    if isinstance(root, SharedArray):
+        flat = root.flat_index(indices)
+        stats.shared_store_insts += 1
+        replays = coalescing.bank_conflict_replays(root.byte_addrs(flat), mask)
+        stats.shared_bank_replays += replays
+        ctx.trace.record_shared(root.name, replays)
+        root.store(flat, mask, values)
+        return
+    if isinstance(root, LocalArray):
+        if len(indices) != 1:
+            raise MemoryFault("local arrays are 1-D in this subset")
+        idx = indices[0]
+        if root.in_registers:
+            pass  # register operand: free (the template unrolls the index)
+        else:
+            stats.local_store_insts += 1
+            addrs = root.byte_addrs(idx)
+            stats.local_transactions += coalescing.transactions_for(addrs, mask)
+            stats.local_bytes += int(mask.sum()) * root.itemsize
+        root.store(idx, mask, values)
+        return
+    if isinstance(root, ConstArray):
+        raise MemoryFault(f"constant array {root.name!r} is read-only")
+    raise MemoryFault(f"cannot store into {type(root).__name__}")
+
+
+def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
+    stats = ctx.stats
+    func = expr.func
+    if func == "__syncthreads":
+        raise SimError("__syncthreads() must be a standalone statement")
+    if func in ("__shfl", "__shfl_down", "__shfl_up"):
+        if len(expr.args) != 3:
+            raise IntrinsicError(f"{func} expects (var, lane, width)")
+        var = eval_expr(ctx, expr.args[0], mask)
+        lane = eval_expr(ctx, expr.args[1], mask)
+        width_arr = eval_expr(ctx, expr.args[2], mask)
+        width = int(width_arr[0])
+        stats.shfl_insts += 1
+        if func == "__shfl":
+            return shfl(var, lane, width)
+        if func == "__shfl_down":
+            return shfl_down(var, int(lane[0]), width)
+        return shfl_up(var, int(lane[0]), width)
+    if func == "atomicAdd":
+        # atomicAdd(lvalue, value): lvalue is an Index expression.
+        if len(expr.args) != 2 or not isinstance(expr.args[0], Index):
+            raise IntrinsicError("atomicAdd expects (array[index], value)")
+        root_expr, index_exprs = _resolve_index_chain(expr.args[0])
+        root = eval_expr(ctx, root_expr, mask)
+        indices = [eval_expr(ctx, ie, mask).astype(np.int64) for ie in index_exprs]
+        delta = eval_expr(ctx, expr.args[1], mask)
+        stats.atomic_insts += 1
+        return _atomic_add(root, indices, mask, delta)
+    if func == "tex1Dfetch":
+        if len(expr.args) != 2 or not isinstance(expr.args[0], Name):
+            raise IntrinsicError("tex1Dfetch expects (texture_name, index)")
+        tex = ctx.env.get(expr.args[0].id)
+        idx = eval_expr(ctx, expr.args[1], mask).astype(np.int64)
+        if isinstance(tex, (ConstArray, GlobalBuffer)):
+            # Textures are global memory behind the read-only texture cache,
+            # which captures streaming/2-D locality: DRAM traffic amortizes
+            # to the useful bytes (each 128-byte line is consumed across
+            # nearby fetches), unlike an uncached gather.
+            stats.global_load_insts += 1
+            active = int(mask.sum())
+            stats.global_transactions += max(1, (active * tex.itemsize + 127) // 128)
+            return tex.load(idx, mask)
+        raise IntrinsicError(f"texture {expr.args[0].id!r} not bound")
+    intrinsic = MATH_INTRINSICS.get(func)
+    if intrinsic is not None:
+        if len(expr.args) != intrinsic.arity:
+            raise IntrinsicError(
+                f"{func} expects {intrinsic.arity} args, got {len(expr.args)}"
+            )
+        args = [eval_expr(ctx, a, mask) for a in expr.args]
+        stats.alu_insts += intrinsic.weight
+        return intrinsic.fn(*args)
+    raise IntrinsicError(f"unknown device function {func!r}")
+
+
+def _atomic_add(root, indices, mask, delta):
+    if isinstance(root, PointerValue):
+        offsets = (root.offsets + indices[0])[mask]
+        old = root.buffer.data[offsets].copy()
+        np.add.at(root.buffer.data, offsets, delta[mask].astype(root.buffer.data.dtype))
+        out = np.zeros(WARP_SIZE, dtype=root.buffer.data.dtype)
+        out[mask] = old
+        return out
+    if isinstance(root, SharedArray):
+        flat = root.flat_index(indices)[mask]
+        old = root.data[flat].copy()
+        np.add.at(root.data, flat, delta[mask].astype(root.data.dtype))
+        out = np.zeros(WARP_SIZE, dtype=root.data.dtype)
+        out[mask] = old
+        return out
+    raise IntrinsicError("atomicAdd target must be global or shared memory")
+
+
+# ---------------------------------------------------------------------------
+# Statement execution (generators; yields are __syncthreads barriers)
+# ---------------------------------------------------------------------------
+
+
+def exec_block(ctx: WarpContext, body: Block, mask: np.ndarray) -> Iterator:
+    for stmt in body.stmts:
+        m = mask & ~ctx.inactive
+        if not m.any():
+            return
+        yield from exec_stmt(ctx, stmt, m)
+
+
+def exec_stmt(ctx: WarpContext, stmt: Stmt, mask: np.ndarray) -> Iterator:
+    stats = ctx.stats
+    if isinstance(stmt, VarDecl):
+        _exec_decl(ctx, stmt, mask)
+    elif isinstance(stmt, Assign):
+        _exec_assign(ctx, stmt, mask)
+    elif isinstance(stmt, ExprStmt):
+        if isinstance(stmt.expr, Call) and stmt.expr.func == "__syncthreads":
+            stats.syncthreads += 1
+            yield "sync"
+        else:
+            eval_expr(ctx, stmt.expr, mask)
+    elif isinstance(stmt, Block):
+        yield from exec_block(ctx, stmt, mask)
+    elif isinstance(stmt, If):
+        cond = eval_expr(ctx, stmt.cond, mask).astype(bool)
+        stats.control_insts += 1
+        m_then = mask & cond
+        m_else = mask & ~cond
+        has_else = stmt.els is not None and stmt.els.stmts
+        if m_then.any() and (m_else.any() and has_else):
+            stats.divergent_branches += 1
+        if m_then.any():
+            yield from exec_block(ctx, stmt.then, m_then)
+        if has_else and m_else.any():
+            yield from exec_block(ctx, stmt.els, m_else)
+    elif isinstance(stmt, For):
+        yield from _exec_for(ctx, stmt, mask)
+    elif isinstance(stmt, While):
+        yield from _exec_while(ctx, stmt, mask)
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            eval_expr(ctx, stmt.value, mask)
+        ctx.returned |= mask
+        ctx.inactive |= mask
+    elif isinstance(stmt, Break):
+        if not ctx.loop_stack:
+            raise SimError("break outside loop")
+        ctx.loop_stack[-1].broken |= mask
+        ctx.inactive |= mask
+    elif isinstance(stmt, Continue):
+        if not ctx.loop_stack:
+            raise SimError("continue outside loop")
+        ctx.loop_stack[-1].cont |= mask
+        ctx.inactive |= mask
+    else:
+        raise SimError(f"cannot execute statement {type(stmt).__name__}")
+
+
+def _exec_decl(ctx: WarpContext, stmt: VarDecl, mask: np.ndarray) -> None:
+    type_ = stmt.type
+    if isinstance(type_, ArrayType):
+        if type_.space == "shared":
+            # Pre-allocated by the block executor; the declaration itself is free.
+            if stmt.name not in ctx.env:
+                raise SimError(f"shared array {stmt.name!r} was not pre-allocated")
+            return
+        if type_.space == "constant":
+            if stmt.name not in ctx.env:
+                raise SimError(f"constant array {stmt.name!r} was not bound")
+            return
+        existing = ctx.env.get(stmt.name)
+        if isinstance(existing, LocalArray) and existing.numel == type_.numel:
+            existing.data[...] = 0
+        else:
+            base = ctx.env.get("__local_base__", 1 << 32)
+            arr = LocalArray(
+                stmt.name,
+                type_.numel,
+                type_.elem.name,
+                base_addr=base,
+                in_registers=(type_.space == "reg"),
+            )
+            ctx.env["__local_base__"] = base + arr.bytes_per_thread * WARP_SIZE
+            ctx.env[stmt.name] = arr
+        return
+    if stmt.init is None:
+        dtype = np.float32 if isinstance(type_, ScalarType) and type_.name == "float" else np.int32
+        if isinstance(type_, PointerType):
+            raise SimError(f"pointer {stmt.name!r} declared without initializer")
+        ctx.env[stmt.name] = np.zeros(WARP_SIZE, dtype=dtype)
+        return
+    value = eval_expr(ctx, stmt.init, mask)
+    if isinstance(type_, PointerType):
+        if not isinstance(value, PointerValue):
+            raise SimError(f"pointer {stmt.name!r} initialized with non-pointer")
+        ctx.env[stmt.name] = value
+        return
+    if isinstance(value, PointerValue):
+        raise SimError(f"scalar {stmt.name!r} initialized with pointer")
+    ctx.env[stmt.name] = value.astype(dtype_for(type_.name))
+
+
+def _exec_assign(ctx: WarpContext, stmt: Assign, mask: np.ndarray) -> None:
+    # Compound assignment: evaluate target op value.
+    if stmt.op != "=":
+        binop = stmt.op[:-1]
+        value = eval_expr(ctx, Binary(binop, stmt.target, stmt.value), mask)
+    else:
+        value = eval_expr(ctx, stmt.value, mask)
+
+    target = stmt.target
+    if isinstance(target, Name):
+        old = ctx.env.get(target.id)
+        if isinstance(value, PointerValue):
+            ctx.env[target.id] = value
+            return
+        if old is None:
+            raise SimError(f"assignment to undeclared variable {target.id!r}")
+        if isinstance(old, (int, float)):
+            # Scalar kernel parameters are broadcast per warp on first write.
+            old = _broadcast(old, np.int32 if isinstance(old, int) else np.float32)
+        if isinstance(old, PointerValue):
+            ctx.env[target.id] = value
+            return
+        merged = np.where(mask, value.astype(old.dtype), old)
+        ctx.env[target.id] = merged
+        return
+    if isinstance(target, Index):
+        root_expr, index_exprs = _resolve_index_chain(target)
+        root = eval_expr(ctx, root_expr, mask)
+        indices = [eval_expr(ctx, ie, mask).astype(np.int64) for ie in index_exprs]
+        _store_object(ctx, root, indices, mask, value)
+        return
+    raise SimError(f"invalid assignment target {type(target).__name__}")
+
+
+def _exec_for(ctx: WarpContext, stmt: For, mask: np.ndarray) -> Iterator:
+    if stmt.init is not None:
+        yield from exec_stmt(ctx, stmt.init, mask)
+    frame = _LoopFrame.new()
+    ctx.loop_stack.append(frame)
+    try:
+        while True:
+            m = mask & ~ctx.inactive
+            if not m.any():
+                break
+            if stmt.cond is not None:
+                cond = eval_expr(ctx, stmt.cond, m).astype(bool)
+                ctx.stats.control_insts += 1
+                leaving = m & ~cond
+                frame.exited |= leaving
+                ctx.inactive |= leaving
+                m = m & cond
+                if not m.any():
+                    break
+            yield from exec_block(ctx, stmt.body, m)
+            # Reactivate lanes parked by 'continue' for the update step.
+            ctx.inactive &= ~frame.cont
+            frame.cont[:] = False
+            if stmt.update is not None:
+                mu = mask & ~ctx.inactive
+                if mu.any():
+                    yield from exec_stmt(ctx, stmt.update, mu)
+    finally:
+        ctx.loop_stack.pop()
+        ctx.inactive &= ~(frame.broken | frame.exited)
+
+
+def _exec_while(ctx: WarpContext, stmt: While, mask: np.ndarray) -> Iterator:
+    frame = _LoopFrame.new()
+    ctx.loop_stack.append(frame)
+    try:
+        while True:
+            m = mask & ~ctx.inactive
+            if not m.any():
+                break
+            cond = eval_expr(ctx, stmt.cond, m).astype(bool)
+            ctx.stats.control_insts += 1
+            leaving = m & ~cond
+            frame.exited |= leaving
+            ctx.inactive |= leaving
+            m = m & cond
+            if not m.any():
+                break
+            yield from exec_block(ctx, stmt.body, m)
+            ctx.inactive &= ~frame.cont
+            frame.cont[:] = False
+    finally:
+        ctx.loop_stack.pop()
+        ctx.inactive &= ~(frame.broken | frame.exited)
+
+
+# ---------------------------------------------------------------------------
+# Block execution
+# ---------------------------------------------------------------------------
+
+
+def shared_decls(kernel: Kernel) -> list[VarDecl]:
+    """All __shared__ declarations anywhere in the kernel body."""
+    return [
+        node
+        for node in walk(kernel.body)
+        if isinstance(node, VarDecl)
+        and isinstance(node.type, ArrayType)
+        and node.type.space == "shared"
+    ]
+
+
+class BlockExecutor:
+    """Runs all warps of one thread block, honouring ``__syncthreads``."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        block_idx: tuple[int, int, int],
+        block_dim: tuple[int, int, int],
+        grid_dim: tuple[int, int, int],
+        base_env: dict,
+        stats: KernelStats,
+        trace: Optional[AccessTrace] = None,
+    ):
+        self.kernel = kernel
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.base_env = base_env
+        self.stats = stats
+        self.trace = trace or AccessTrace()
+        self.shared: dict[str, SharedArray] = {}
+        self._alloc_shared()
+
+    def _alloc_shared(self) -> None:
+        offset = 0
+        for decl in shared_decls(self.kernel):
+            assert isinstance(decl.type, ArrayType)
+            arr = SharedArray(
+                decl.name, decl.type.dims, decl.type.elem.name, base_offset=offset
+            )
+            offset += arr.nbytes
+            self.shared[decl.name] = arr
+
+    @property
+    def shared_bytes(self) -> int:
+        return sum(arr.nbytes for arr in self.shared.values())
+
+    def _warp_env(self, warp_idx: int) -> tuple[dict, np.ndarray]:
+        bx, by, bz = self.block_dim
+        total = bx * by * bz
+        linear = warp_idx * WARP_SIZE + np.arange(WARP_SIZE)
+        mask = linear < total
+        linear = np.minimum(linear, total - 1)
+        env = dict(self.base_env)
+        env.update(self.shared)
+        env.update(self.kernel.const_env)
+        env["threadIdx.x"] = (linear % bx).astype(np.int32)
+        env["threadIdx.y"] = ((linear // bx) % by).astype(np.int32)
+        env["threadIdx.z"] = (linear // (bx * by)).astype(np.int32)
+        gx, gy, gz = self.grid_dim
+        cx, cy, cz = self.block_idx
+        env["blockIdx.x"] = _broadcast(cx)
+        env["blockIdx.y"] = _broadcast(cy)
+        env["blockIdx.z"] = _broadcast(cz)
+        env["blockDim.x"] = _broadcast(bx)
+        env["blockDim.y"] = _broadcast(by)
+        env["blockDim.z"] = _broadcast(bz)
+        env["gridDim.x"] = _broadcast(gx)
+        env["gridDim.y"] = _broadcast(gy)
+        env["gridDim.z"] = _broadcast(gz)
+        # Pointer params get per-warp offset arrays (no aliasing across warps).
+        for key, value in list(env.items()):
+            if isinstance(value, GlobalBuffer):
+                env[key] = PointerValue(value, np.zeros(WARP_SIZE, dtype=np.int64))
+            elif isinstance(value, PointerValue):
+                env[key] = PointerValue(value.buffer, value.offsets.copy())
+        return env, mask
+
+    def run(self) -> None:
+        bx, by, bz = self.block_dim
+        total = bx * by * bz
+        num_warps = (total + WARP_SIZE - 1) // WARP_SIZE
+        gens = []
+        for w in range(num_warps):
+            env, mask = self._warp_env(w)
+            ctx = WarpContext(env, mask, self.stats, self.trace)
+            gens.append(exec_block(ctx, self.kernel.body, mask))
+        self.stats.blocks_executed += 1
+        self.stats.warps_executed += num_warps
+        self.stats.threads_launched += total
+
+        alive = gens
+        while alive:
+            still_alive = []
+            synced = 0
+            for gen in alive:
+                try:
+                    event = next(gen)
+                except StopIteration:
+                    continue
+                if event != "sync":  # pragma: no cover - defensive
+                    raise SyncError(f"unexpected warp event {event!r}")
+                synced += 1
+                still_alive.append(gen)
+            if still_alive and synced != len(still_alive):  # pragma: no cover
+                raise SyncError("warps disagreed on __syncthreads count")
+            alive = still_alive

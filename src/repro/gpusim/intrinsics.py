@@ -1,0 +1,109 @@
+"""Device intrinsics and math builtins for the SIMT interpreter.
+
+Each entry maps a CUDA function name to a vectorized numpy implementation
+plus an instruction-weight used by the issue-cycle accounting (special
+function unit operations cost several SP instructions on Kepler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .errors import IntrinsicError
+
+
+@dataclass(frozen=True)
+class MathIntrinsic:
+    fn: Callable[..., np.ndarray]
+    weight: float  # ALU instruction weight (SP instruction equivalents)
+    arity: int
+
+
+def _f32(fn):
+    def wrapped(*args):
+        with np.errstate(all="ignore"):
+            return fn(*[np.asarray(a, dtype=np.float32) for a in args]).astype(
+                np.float32
+            )
+
+    return wrapped
+
+
+def _int_like(fn):
+    def wrapped(*args):
+        return fn(*args)
+
+    return wrapped
+
+
+MATH_INTRINSICS: dict[str, MathIntrinsic] = {
+    # Single-precision math (SFU-assisted on real hardware).
+    "sqrtf": MathIntrinsic(_f32(np.sqrt), 8.0, 1),
+    "sqrt": MathIntrinsic(_f32(np.sqrt), 8.0, 1),
+    "rsqrtf": MathIntrinsic(_f32(lambda x: 1.0 / np.sqrt(x)), 8.0, 1),
+    "expf": MathIntrinsic(_f32(np.exp), 8.0, 1),
+    "__expf": MathIntrinsic(_f32(np.exp), 4.0, 1),
+    "logf": MathIntrinsic(_f32(np.log), 8.0, 1),
+    "sinf": MathIntrinsic(_f32(np.sin), 8.0, 1),
+    "cosf": MathIntrinsic(_f32(np.cos), 8.0, 1),
+    "fabsf": MathIntrinsic(_f32(np.abs), 1.0, 1),
+    "fabs": MathIntrinsic(_f32(np.abs), 1.0, 1),
+    "floorf": MathIntrinsic(_f32(np.floor), 1.0, 1),
+    "ceilf": MathIntrinsic(_f32(np.ceil), 1.0, 1),
+    "powf": MathIntrinsic(_f32(np.power), 16.0, 2),
+    "fminf": MathIntrinsic(_f32(np.minimum), 1.0, 2),
+    "fmaxf": MathIntrinsic(_f32(np.maximum), 1.0, 2),
+    "fmodf": MathIntrinsic(_f32(np.fmod), 4.0, 2),
+    # Integer / generic min-max (CUDA header functions).
+    "min": MathIntrinsic(_int_like(np.minimum), 1.0, 2),
+    "max": MathIntrinsic(_int_like(np.maximum), 1.0, 2),
+    "abs": MathIntrinsic(_int_like(np.abs), 1.0, 1),
+}
+
+#: Weight of ordinary binary operators in SP-instruction equivalents.
+BINOP_WEIGHTS: dict[str, float] = {
+    "/": 4.0,   # fp division expands to several instructions
+    "%": 4.0,
+}
+DEFAULT_BINOP_WEIGHT = 1.0
+
+
+def shfl(values: np.ndarray, lane_id: np.ndarray, lane_size: int, warp_size: int = 32) -> np.ndarray:
+    """Kepler ``__shfl(var, laneID, laneSize)`` (paper §2.1).
+
+    The warp is partitioned into groups of ``lane_size`` threads; every lane
+    reads ``var`` from the thread at position ``laneID`` *within its group*.
+    """
+    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
+        raise IntrinsicError(f"__shfl laneSize must be a power of two <= {warp_size}")
+    lanes = np.arange(warp_size)
+    src = (lanes // lane_size) * lane_size + np.asarray(lane_id) % lane_size
+    return values[src]
+
+
+def shfl_down(values: np.ndarray, delta: int, lane_size: int, warp_size: int = 32) -> np.ndarray:
+    """``__shfl_down(var, delta, width)`` — read from lane + delta in group."""
+    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
+        raise IntrinsicError(f"__shfl_down width must be a power of two <= {warp_size}")
+    lanes = np.arange(warp_size)
+    group = lanes // lane_size
+    pos = lanes % lane_size + int(delta)
+    # Out-of-range lanes read their own value (hardware behaviour).
+    pos = np.where(pos < lane_size, pos, lanes % lane_size)
+    src = group * lane_size + pos
+    return values[src]
+
+
+def shfl_up(values: np.ndarray, delta: int, lane_size: int, warp_size: int = 32) -> np.ndarray:
+    """``__shfl_up(var, delta, width)`` — read from lane - delta in group."""
+    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
+        raise IntrinsicError(f"__shfl_up width must be a power of two <= {warp_size}")
+    lanes = np.arange(warp_size)
+    group = lanes // lane_size
+    pos = lanes % lane_size - int(delta)
+    pos = np.where(pos >= 0, pos, lanes % lane_size)
+    src = group * lane_size + pos
+    return values[src]

@@ -1,0 +1,211 @@
+"""Kernel launch API: the simulator's host-side runtime.
+
+``launch`` plays the role of ``kernel<<<grid, block>>>(args)``: it allocates
+global buffers for array arguments, runs every thread block through the SIMT
+interpreter (optionally sampling blocks for very large grids), and combines
+the collected statistics with the occupancy calculator and the Hong–Kim
+timing model into a :class:`LaunchResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..minicuda.nodes import Kernel, PointerType
+from ..minicuda.parser import parse_kernel
+from .device import DeviceSpec, GTX680
+from .errors import LaunchError
+from .interp import WARP_SIZE, BlockExecutor
+from .memory import ConstArray, GlobalMemory, dtype_for
+from .occupancy import Occupancy, ResourceUsage, compute_occupancy
+from .stats import AccessTrace, KernelStats
+from .timing import TimingResult, estimate_kernel_time
+
+Dim = Union[int, tuple[int, ...]]
+
+
+def _as_dim3(value: Dim) -> tuple[int, int, int]:
+    if isinstance(value, int):
+        value = (value,)
+    dims = tuple(int(v) for v in value) + (1, 1, 1)
+    if any(v <= 0 for v in dims[:3]):
+        raise LaunchError(f"dimensions must be positive, got {value!r}")
+    return dims[:3]
+
+
+@dataclass
+class LaunchResult:
+    """Everything a host program learns from one simulated launch."""
+
+    kernel_name: str
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+    device: DeviceSpec
+    stats: KernelStats
+    occupancy: Occupancy
+    timing: TimingResult
+    usage: ResourceUsage
+    gmem: GlobalMemory
+    trace: AccessTrace = field(default_factory=AccessTrace)
+    sampled_blocks: Optional[int] = None
+
+    def buffer(self, name: str) -> np.ndarray:
+        """Final contents of the global buffer bound to parameter ``name``."""
+        return self.gmem[name].data
+
+    @property
+    def total_blocks(self) -> int:
+        gx, gy, gz = self.grid
+        return gx * gy * gz
+
+    @property
+    def threads_per_block(self) -> int:
+        bx, by, bz = self.block
+        return bx * by * bz
+
+    @property
+    def total_warps(self) -> int:
+        return self.total_blocks * math.ceil(self.threads_per_block / WARP_SIZE)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.timing.milliseconds
+
+
+def launch(
+    kernel: Kernel,
+    grid: Dim,
+    block: Dim,
+    args: Mapping[str, Union[np.ndarray, int, float]],
+    device: DeviceSpec = GTX680,
+    const_arrays: Optional[Mapping[str, np.ndarray]] = None,
+    usage: Optional[ResourceUsage] = None,
+    sample_blocks: Optional[int] = None,
+    trace: bool = False,
+) -> LaunchResult:
+    """Simulate one kernel launch.
+
+    ``args`` maps parameter names to numpy arrays (allocated as global
+    buffers; the result exposes their final contents) or scalars.
+    ``const_arrays`` binds texture references / constant buffers accessed by
+    name inside the kernel.  ``sample_blocks`` runs only that many evenly
+    spaced blocks and extrapolates the statistics — functional output is then
+    partial, so use it for timing-only studies.
+    """
+    grid3 = _as_dim3(grid)
+    block3 = _as_dim3(block)
+    threads_per_block = block3[0] * block3[1] * block3[2]
+    if threads_per_block > device.max_threads_per_block:
+        raise LaunchError(
+            f"block {block3} has {threads_per_block} threads; device limit is "
+            f"{device.max_threads_per_block}"
+        )
+
+    # --- bind arguments ----------------------------------------------------
+    gmem = GlobalMemory()
+    base_env: dict = {}
+    param_names = {p.name for p in kernel.params}
+    missing = param_names - set(args)
+    if missing:
+        raise LaunchError(f"missing kernel arguments: {sorted(missing)}")
+    extra = set(args) - param_names
+    if extra:
+        raise LaunchError(f"unknown kernel arguments: {sorted(extra)}")
+    for param in kernel.params:
+        value = args[param.name]
+        if isinstance(param.type, PointerType):
+            if not isinstance(value, np.ndarray):
+                raise LaunchError(f"parameter {param.name!r} expects an array")
+            expected = dtype_for(param.type.elem.name)
+            buf = gmem.alloc(param.name, np.asarray(value, dtype=expected))
+            base_env[param.name] = buf
+        else:
+            if isinstance(value, np.ndarray):
+                raise LaunchError(f"parameter {param.name!r} expects a scalar")
+            base_env[param.name] = (
+                float(value) if param.type.name == "float" else int(value)
+            )
+    for cname, cdata in (const_arrays or {}).items():
+        base_env[cname] = ConstArray(cname, np.asarray(cdata))
+
+    # --- execute blocks -----------------------------------------------------
+    stats = KernelStats()
+    access_trace = AccessTrace(enabled=trace)
+    gx, gy, gz = grid3
+    total_blocks = gx * gy * gz
+    if sample_blocks is not None and sample_blocks < total_blocks:
+        step = total_blocks / sample_blocks
+        block_ids = sorted({int(i * step) for i in range(sample_blocks)})
+    else:
+        block_ids = list(range(total_blocks))
+
+    shared_bytes = 0
+    for linear in block_ids:
+        bz_i, rem = divmod(linear, gx * gy)
+        by_i, bx_i = divmod(rem, gx)
+        executor = BlockExecutor(
+            kernel,
+            block_idx=(bx_i, by_i, bz_i),
+            block_dim=block3,
+            grid_dim=grid3,
+            base_env=base_env,
+            stats=stats,
+            trace=access_trace,
+        )
+        shared_bytes = executor.shared_bytes
+        executor.run()
+
+    executed = len(block_ids)
+    timing_stats = stats
+    if executed < total_blocks:
+        timing_stats = stats.scaled(total_blocks / executed)
+
+    # --- resources / occupancy / timing --------------------------------------
+    if usage is None:
+        from ..analysis.resources import estimate_resources
+
+        report = estimate_resources(kernel)
+        usage = ResourceUsage(
+            reg_bytes_per_thread=report.reg_bytes_per_thread,
+            shared_bytes_per_block=max(report.shared_bytes_per_block, shared_bytes),
+            local_bytes_per_thread=report.local_bytes_per_thread,
+        )
+    occupancy = compute_occupancy(device, threads_per_block, usage)
+    total_warps = total_blocks * math.ceil(threads_per_block / WARP_SIZE)
+    timing = estimate_kernel_time(
+        device, timing_stats, occupancy, usage, total_warps=total_warps
+    )
+
+    return LaunchResult(
+        kernel_name=kernel.name,
+        grid=grid3,
+        block=block3,
+        device=device,
+        stats=stats,
+        occupancy=occupancy,
+        timing=timing,
+        usage=usage,
+        gmem=gmem,
+        trace=access_trace,
+        sampled_blocks=executed if executed < total_blocks else None,
+    )
+
+
+def run_kernel(
+    source_or_kernel: Union[str, Kernel],
+    grid: Dim,
+    block: Dim,
+    args: Mapping[str, Union[np.ndarray, int, float]],
+    **kwargs,
+) -> LaunchResult:
+    """Convenience wrapper: accepts kernel source text or a parsed kernel."""
+    kernel = (
+        parse_kernel(source_or_kernel)
+        if isinstance(source_or_kernel, str)
+        else source_or_kernel
+    )
+    return launch(kernel, grid, block, args, **kwargs)

@@ -1,0 +1,257 @@
+"""Simulated GPU memory spaces.
+
+Four spaces, mirroring the paper's resource discussion (§2.3, Table 1):
+
+- **global** (:class:`GlobalMemory` / :class:`GlobalBuffer`) — device DRAM,
+  visible to all threads, accessed through 128-byte coalesced transactions;
+- **shared** (:class:`SharedArray`) — per-thread-block scratchpad with
+  32 banks;
+- **local** (:class:`LocalArray`) — per-thread spilled arrays; physically in
+  DRAM but cached in L1, laid out interleaved so lane-uniform indices are
+  coalesced;
+- **constant** (:class:`ConstArray`) — read-only, broadcast when all lanes
+  read the same address.
+
+All warp-wide operations are vectorized over the 32 lanes with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .errors import MemoryFault
+
+_DTYPES = {
+    "float": np.float32,
+    "int": np.int32,
+    "uint": np.uint32,
+    "bool": np.bool_,
+}
+
+
+def dtype_for(type_name: str) -> np.dtype:
+    try:
+        return np.dtype(_DTYPES[type_name])
+    except KeyError as exc:
+        raise MemoryFault(f"no device dtype for {type_name!r}") from exc
+
+
+class GlobalBuffer:
+    """A 1-D typed allocation in simulated device DRAM."""
+
+    def __init__(self, name: str, data: np.ndarray, base_addr: int):
+        if data.ndim != 1:
+            raise MemoryFault(f"global buffer {name!r} must be 1-D")
+        self.name = name
+        self.data = data
+        self.base_addr = base_addr
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def byte_addrs(self, elem_offsets: np.ndarray) -> np.ndarray:
+        return self.base_addr + elem_offsets.astype(np.int64) * self.itemsize
+
+    def _check(self, offsets: np.ndarray, mask: np.ndarray) -> None:
+        active = offsets[mask]
+        if active.size and (active.min() < 0 or active.max() >= self.size):
+            bad = int(active[(active < 0) | (active >= self.size)][0])
+            raise MemoryFault(
+                f"global buffer {self.name!r}: index {bad} out of range "
+                f"[0, {self.size})"
+            )
+
+    def load(self, offsets: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather per-lane elements; inactive lanes read element 0 safely."""
+        self._check(offsets, mask)
+        safe = np.where(mask, offsets, 0)
+        return self.data[safe]
+
+    def store(self, offsets: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._check(offsets, mask)
+        # CUDA leaves intra-warp write collisions to the same address
+        # unordered; numpy fancy assignment keeps the last lane, which is one
+        # of the permitted outcomes.
+        self.data[offsets[mask]] = values[mask].astype(self.data.dtype)
+
+
+class GlobalMemory:
+    """The device DRAM heap: named, 256-byte-aligned buffers."""
+
+    _ALIGN = 256
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, GlobalBuffer] = {}
+        self._next_addr = self._ALIGN
+
+    def alloc(self, name: str, data: np.ndarray) -> GlobalBuffer:
+        """Allocate a buffer initialized with a copy of ``data``."""
+        if name in self._buffers:
+            raise MemoryFault(f"buffer {name!r} already allocated")
+        arr = np.ascontiguousarray(data).reshape(-1).copy()
+        buf = GlobalBuffer(name, arr, self._next_addr)
+        self._next_addr += (buf.nbytes + self._ALIGN - 1) // self._ALIGN * self._ALIGN
+        self._buffers[name] = buf
+        return buf
+
+    def alloc_zeros(self, name: str, size: int, type_name: str = "float") -> GlobalBuffer:
+        return self.alloc(name, np.zeros(size, dtype=dtype_for(type_name)))
+
+    def __getitem__(self, name: str) -> GlobalBuffer:
+        return self._buffers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def buffers(self) -> dict[str, GlobalBuffer]:
+        return dict(self._buffers)
+
+
+class SharedArray:
+    """A per-thread-block shared-memory array with bank-conflict addressing."""
+
+    def __init__(self, name: str, dims: tuple[int, ...], type_name: str, base_offset: int = 0):
+        self.name = name
+        self.dims = dims
+        self.data = np.zeros(dims, dtype=dtype_for(type_name)).reshape(-1)
+        self.base_offset = base_offset  # byte offset within the block's smem
+
+    @property
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def flat_index(self, indices: list[np.ndarray]) -> np.ndarray:
+        """Row-major flattening of per-lane multi-dim indices."""
+        if len(indices) != len(self.dims):
+            raise MemoryFault(
+                f"shared array {self.name!r} expects {len(self.dims)} indices, "
+                f"got {len(indices)}"
+            )
+        flat = np.zeros_like(indices[0], dtype=np.int64)
+        for dim, idx in zip(self.dims, indices):
+            flat = flat * dim + idx.astype(np.int64)
+        return flat
+
+    def byte_addrs(self, flat: np.ndarray) -> np.ndarray:
+        return self.base_offset + flat * self.itemsize
+
+    def _check(self, flat: np.ndarray, mask: np.ndarray) -> None:
+        active = flat[mask]
+        if active.size and (active.min() < 0 or active.max() >= self.numel):
+            raise MemoryFault(
+                f"shared array {self.name!r}: flat index out of range "
+                f"(size {self.numel})"
+            )
+
+    def load(self, flat: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._check(flat, mask)
+        return self.data[np.where(mask, flat, 0)]
+
+    def store(self, flat: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._check(flat, mask)
+        self.data[flat[mask]] = values[mask].astype(self.data.dtype)
+
+
+class LocalArray:
+    """A per-thread local-memory array, stored warp-wide as (32, numel).
+
+    CUDA interleaves local memory so that, when every lane of a warp accesses
+    the same array element ``j``, the 32 words are consecutive in DRAM.
+    :meth:`byte_addrs` reproduces that layout for the coalescing/L1 models.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        numel: int,
+        type_name: str,
+        warp_size: int = 32,
+        base_addr: int = 0,
+        in_registers: bool = False,
+    ):
+        self.name = name
+        self.numel = numel
+        self.warp_size = warp_size
+        self.data = np.zeros((warp_size, numel), dtype=dtype_for(type_name))
+        self.base_addr = base_addr
+        #: True for register-promoted partitions (no local-memory traffic).
+        self.in_registers = in_registers
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    @property
+    def bytes_per_thread(self) -> int:
+        return self.numel * self.itemsize
+
+    def byte_addrs(self, idx: np.ndarray) -> np.ndarray:
+        lanes = np.arange(self.warp_size, dtype=np.int64)
+        return self.base_addr + (
+            idx.astype(np.int64) * self.warp_size + lanes
+        ) * self.itemsize
+
+    def _check(self, idx: np.ndarray, mask: np.ndarray) -> None:
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= self.numel):
+            raise MemoryFault(
+                f"local array {self.name!r}: index out of range (size {self.numel})"
+            )
+
+    def load(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Each lane reads *its own* element ``idx[lane]``."""
+        self._check(idx, mask)
+        lanes = np.arange(self.warp_size)
+        return self.data[lanes, np.where(mask, idx, 0)]
+
+    def store(self, idx: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._check(idx, mask)
+        lanes = np.arange(self.warp_size)[mask]
+        self.data[lanes, idx[mask]] = values[mask].astype(self.data.dtype)
+
+
+class ConstArray:
+    """A read-only constant-memory array shared by the whole grid."""
+
+    def __init__(self, name: str, data: np.ndarray):
+        self.name = name
+        self.data = np.ascontiguousarray(data).reshape(-1)
+
+    @property
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def byte_addrs(self, idx: np.ndarray) -> np.ndarray:
+        return idx.astype(np.int64) * self.itemsize
+
+    def load(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= self.numel):
+            raise MemoryFault(f"constant array {self.name!r}: index out of range")
+        return self.data[np.where(mask, idx, 0)]
+
+
+MemoryObject = Union[GlobalBuffer, SharedArray, LocalArray, ConstArray]

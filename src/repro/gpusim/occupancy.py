@@ -1,0 +1,109 @@
+"""CUDA occupancy calculator.
+
+Computes how many thread blocks can be resident on one SMX given the per-
+thread register footprint, the per-block shared memory footprint, and the
+hardware limits (threads, warps, blocks).  This is the mechanism at the heart
+of the paper: baseline kernels with heavy shared/register usage get few
+concurrent threads (§2.2 "limited TLP ... heavy resource usage"), and
+CUDA-NP's enlarged thread blocks raise the warp count per SMX without a
+proportional resource increase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Per-launch resource footprint used by the occupancy calculation.
+
+    ``reg_bytes_per_thread`` and ``local_bytes_per_thread`` follow Table 1's
+    "bytes per thread" reporting (a 32-bit register is 4 bytes).
+    """
+
+    reg_bytes_per_thread: int
+    shared_bytes_per_block: int
+    local_bytes_per_thread: int = 0
+
+    @property
+    def regs_per_thread(self) -> int:
+        return (self.reg_bytes_per_thread + 3) // 4
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel launch."""
+
+    blocks_per_smx: int
+    threads_per_block: int
+    limiting_factor: str
+
+    @property
+    def threads_per_smx(self) -> int:
+        return self.blocks_per_smx * self.threads_per_block
+
+    def warps_per_smx(self, warp_size: int = 32) -> int:
+        warps_per_block = math.ceil(self.threads_per_block / warp_size)
+        return self.blocks_per_smx * warps_per_block
+
+    def occupancy_fraction(self, device: DeviceSpec) -> float:
+        return self.threads_per_smx / device.max_threads_per_smx
+
+
+def _round_up(value: int, granularity: int) -> int:
+    if granularity <= 1:
+        return value
+    return (value + granularity - 1) // granularity * granularity
+
+
+def compute_occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    usage: ResourceUsage,
+) -> Occupancy:
+    """Active blocks per SMX for the given launch configuration."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"block of {threads_per_block} threads exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+
+    limits: dict[str, int] = {}
+
+    limits["max_blocks"] = device.max_blocks_per_smx
+    limits["threads"] = device.max_threads_per_smx // threads_per_block
+
+    warps_per_block = math.ceil(threads_per_block / device.warp_size)
+    limits["warps"] = device.max_warps_per_smx // warps_per_block
+
+    regs_per_thread = min(
+        max(usage.regs_per_thread, 1), device.max_registers_per_thread
+    )
+    regs_per_block = _round_up(
+        regs_per_thread * threads_per_block, device.register_alloc_granularity
+    )
+    limits["registers"] = device.registers_per_smx // regs_per_block
+
+    if usage.shared_bytes_per_block > device.max_shared_per_block:
+        raise ValueError(
+            f"block needs {usage.shared_bytes_per_block} B shared, device "
+            f"limit is {device.max_shared_per_block} B"
+        )
+    if usage.shared_bytes_per_block > 0:
+        shared_per_block = _round_up(
+            usage.shared_bytes_per_block, device.shared_alloc_granularity
+        )
+        limits["shared"] = device.shared_per_smx // shared_per_block
+
+    factor, blocks = min(limits.items(), key=lambda kv: kv[1])
+    return Occupancy(
+        blocks_per_smx=max(blocks, 0),
+        threads_per_block=threads_per_block,
+        limiting_factor=factor if blocks > 0 else "resources",
+    )

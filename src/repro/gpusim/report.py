@@ -1,0 +1,134 @@
+"""Human-readable kernel profiles from simulated launches.
+
+``profile_report`` renders everything the simulator knows about one launch
+— launch shape, occupancy, instruction mix, memory traffic, and the timing
+model's internals — the way a profiler (nvprof-style) would summarize a real
+run.  Useful when deciding *why* a CUDA-NP variant won or lost.
+"""
+
+from __future__ import annotations
+
+from .launch import LaunchResult
+
+
+def _line(label: str, value, unit: str = "") -> str:
+    return f"  {label:<34} {value}{(' ' + unit) if unit else ''}"
+
+
+def profile_report(result: LaunchResult) -> str:
+    """Format one launch's statistics as a multi-section text report."""
+    stats = result.stats
+    timing = result.timing
+    occ = result.occupancy
+    n_warp = max(stats.warps_executed, 1)
+
+    out: list[str] = []
+    out.append(f"=== kernel profile: {result.kernel_name} ===")
+    out.append(_line("device", result.device.name))
+    out.append(_line("grid x block", f"{result.grid} x {result.block}"))
+    out.append(
+        _line(
+            "threads (blocks x per-block)",
+            f"{result.total_blocks} x {result.threads_per_block} "
+            f"= {result.total_blocks * result.threads_per_block}",
+        )
+    )
+    if result.sampled_blocks is not None:
+        out.append(
+            _line("blocks executed (sampled)", result.sampled_blocks)
+        )
+
+    out.append("occupancy:")
+    out.append(_line("registers / thread", f"{result.usage.regs_per_thread}"))
+    out.append(
+        _line("shared / block", result.usage.shared_bytes_per_block, "B")
+    )
+    out.append(
+        _line("local / thread", result.usage.local_bytes_per_thread, "B")
+    )
+    out.append(
+        _line(
+            "resident blocks per SMX",
+            f"{occ.blocks_per_smx} (limited by {occ.limiting_factor})",
+        )
+    )
+    out.append(
+        _line(
+            "resident threads per SMX",
+            f"{occ.threads_per_smx} "
+            f"({occ.occupancy_fraction(result.device):.0%} occupancy)",
+        )
+    )
+
+    out.append("instruction mix (per warp):")
+    out.append(_line("arithmetic", f"{stats.alu_insts / n_warp:.1f}"))
+    out.append(_line("control", f"{stats.control_insts / n_warp:.1f}"))
+    out.append(_line("global memory", f"{stats.global_mem_insts / n_warp:.1f}"))
+    out.append(_line("local memory", f"{stats.local_mem_insts / n_warp:.1f}"))
+    out.append(_line("shared memory", f"{stats.shared_mem_insts / n_warp:.1f}"))
+    out.append(_line("shuffles", f"{stats.shfl_insts / n_warp:.1f}"))
+    out.append(_line("barriers", f"{stats.syncthreads / n_warp:.1f}"))
+    out.append(_line("atomics", f"{stats.atomic_insts / n_warp:.1f}"))
+    out.append(
+        _line("divergent branches (total)", stats.divergent_branches)
+    )
+
+    out.append("memory system:")
+    pw = stats.per_warp()
+    out.append(
+        _line(
+            "global transactions / access",
+            f"{pw.transactions_per_mem_inst:.2f}"
+            + ("  (coalesced)" if pw.transactions_per_mem_inst <= 1.3 else ""),
+        )
+    )
+    out.append(_line("uncoalesced accesses", stats.uncoalesced_accesses))
+    out.append(_line("shared bank replays", stats.shared_bank_replays))
+    out.append(_line("L1 hit rate (local)", f"{timing.l1_hit_rate:.0%}"))
+    out.append(_line("DRAM traffic", f"{timing.dram_bytes / 1e6:.2f}", "MB"))
+
+    out.append("timing model:")
+    out.append(_line("bound", timing.bound))
+    out.append(_line("active warps per SMX", timing.active_warps_per_smx))
+    out.append(_line("MWP / CWP", f"{timing.mwp:.1f} / {timing.cwp:.1f}"))
+    out.append(_line("waves (repetitions)", f"{timing.repetitions:.2f}"))
+    out.append(
+        _line("compute cycles / warp", f"{timing.comp_cycles_per_warp:.0f}")
+    )
+    out.append(
+        _line("memory cycles / warp", f"{timing.mem_cycles_per_warp:.0f}")
+    )
+    out.append(_line("modeled time", f"{timing.milliseconds:.4f}", "ms"))
+    out.append(
+        _line("achieved bandwidth", f"{timing.achieved_bandwidth_gbs:.1f}", "GB/s")
+    )
+    return "\n".join(out)
+
+
+def compare_report(baseline: LaunchResult, variant: LaunchResult) -> str:
+    """Side-by-side deltas that explain a variant's win or loss."""
+    rows = [
+        ("modeled time (ms)",
+         baseline.timing.milliseconds, variant.timing.milliseconds),
+        ("active warps / SMX",
+         baseline.timing.active_warps_per_smx, variant.timing.active_warps_per_smx),
+        ("compute cycles / warp",
+         baseline.timing.comp_cycles_per_warp, variant.timing.comp_cycles_per_warp),
+        ("memory cycles / warp",
+         baseline.timing.mem_cycles_per_warp, variant.timing.mem_cycles_per_warp),
+        ("DRAM traffic (MB)",
+         baseline.timing.dram_bytes / 1e6, variant.timing.dram_bytes / 1e6),
+        ("L1 hit rate",
+         baseline.timing.l1_hit_rate, variant.timing.l1_hit_rate),
+        ("divergent branches",
+         baseline.stats.divergent_branches, variant.stats.divergent_branches),
+    ]
+    out = [f"=== {baseline.kernel_name} vs {variant.kernel_name} ==="]
+    out.append(f"  {'metric':<26} {'baseline':>12} {'variant':>12}")
+    for label, a, b in rows:
+        fa = f"{a:.3f}" if isinstance(a, float) else str(a)
+        fb = f"{b:.3f}" if isinstance(b, float) else str(b)
+        out.append(f"  {label:<26} {fa:>12} {fb:>12}")
+    speedup = baseline.timing.seconds / max(variant.timing.seconds, 1e-30)
+    out.append(f"  {'speedup':<26} {'':>12} {speedup:>11.2f}x")
+    return "\n".join(out)

@@ -1,0 +1,198 @@
+"""Analytical kernel-time model (Hong & Kim, ISCA'09 — the paper's ref [14]).
+
+The interpreter produces per-warp averages of computation instructions and
+memory instructions/transactions.  This module combines them with the
+occupancy result to estimate kernel execution cycles through the MWP/CWP
+(memory/computation warp parallelism) framework:
+
+- **MWP** — how many warps can overlap their memory requests, limited by the
+  memory latency / departure delay ratio, by peak DRAM bandwidth, and by the
+  number of resident warps;
+- **CWP** — how many warps' compute periods fit in one memory period.
+
+Three regimes fall out (memory-bound, compute-bound, balanced), which is
+exactly the mechanism CUDA-NP exploits: raising resident-warp counts on
+latency-bound kernels until they become bandwidth- or compute-bound.
+
+Local-memory (spilled array) traffic first goes through the L1 capacity
+model; hits cost ``l1_latency`` (folded into compute cycles), misses become
+DRAM memory instructions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cache import CapacityModel
+from .device import DeviceSpec
+from .occupancy import Occupancy, ResourceUsage
+from .stats import KernelStats
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Estimated execution time and the model internals that produced it."""
+
+    cycles: float
+    seconds: float
+    bound: str                  # 'memory' | 'compute' | 'balanced' | 'idle'
+    active_warps_per_smx: int
+    mwp: float
+    cwp: float
+    repetitions: float
+    comp_cycles_per_warp: float
+    mem_cycles_per_warp: float
+    l1_hit_rate: float
+    dram_bytes: float
+    achieved_bandwidth_gbs: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+def estimate_kernel_time(
+    device: DeviceSpec,
+    stats: KernelStats,
+    occupancy: Occupancy,
+    usage: ResourceUsage,
+    total_warps: int | None = None,
+) -> TimingResult:
+    """Estimate kernel time for a launch whose events are in ``stats``.
+
+    ``total_warps`` defaults to the executed warp count; pass the full-grid
+    value when ``stats`` was collected from a sample of blocks and already
+    rescaled.
+    """
+    if total_warps is None:
+        total_warps = stats.warps_executed
+    if total_warps <= 0:
+        return TimingResult(
+            0.0, 0.0, "idle", 0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0
+        )
+
+    pw = stats.per_warp()
+
+    # Resident warps per SMX: occupancy-limited, then trimmed when the grid
+    # cannot even fill one wave (small-grid effect, key for Fig. 13/14).
+    n_occ = max(occupancy.warps_per_smx(device.warp_size), 1)
+    n_fill = max(1, math.ceil(total_warps / device.num_smx))
+    n = min(n_occ, n_fill)
+
+    # --- Local memory through the L1 capacity model -----------------------
+    l1 = CapacityModel(device.l1_size)
+    resident_threads = min(
+        occupancy.threads_per_smx,
+        n * device.warp_size,
+    )
+    hit_rate = l1.hit_rate(usage.local_bytes_per_thread, resident_threads)
+    local_dram_insts = pw.local_mem_insts * (1.0 - hit_rate)
+    local_dram_txns = pw.local_transactions * (1.0 - hit_rate)
+    local_hit_insts = pw.local_mem_insts * hit_rate
+
+    # --- Per-warp cycle components ----------------------------------------
+    comp_cycles = (
+        pw.comp_insts * device.issue_cycles_per_inst
+        # L1 hits are pipelined short-latency ops; a fraction of the latency
+        # shows up as stall because in-warp dependence chains are short.
+        + local_hit_insts * (device.l1_latency_cycles / 4.0)
+        # Every memory instruction still occupies an issue slot.
+        + (pw.global_mem_insts + pw.local_mem_insts) * device.issue_cycles_per_inst
+    )
+    comp_cycles = max(comp_cycles, 1.0)
+
+    mem_insts = pw.global_mem_insts + local_dram_insts
+    mem_txns = pw.global_transactions + local_dram_txns
+
+    # Below ~issue_saturation_warps resident warps, dependent instruction
+    # chains leave pipeline bubbles: a wave of n warps takes as long as a
+    # saturating wave would (the idle slots are wasted, not reclaimed).
+    n_issue = max(n, device.issue_saturation_warps)
+
+    if mem_insts <= 0.0:
+        # Pure compute kernel: SMX issue pipelines saturate.
+        rep = max(1.0, total_warps / (n * device.num_smx))
+        cycles = comp_cycles * n_issue * rep
+        seconds = device.cycles_to_seconds(cycles)
+        return TimingResult(
+            cycles=cycles,
+            seconds=seconds,
+            bound="compute",
+            active_warps_per_smx=n,
+            mwp=float(n),
+            cwp=float(n),
+            repetitions=rep,
+            comp_cycles_per_warp=comp_cycles,
+            mem_cycles_per_warp=0.0,
+            l1_hit_rate=hit_rate,
+            dram_bytes=0.0,
+            achieved_bandwidth_gbs=0.0,
+        )
+
+    mem_cycles = device.mem_latency_cycles * mem_insts
+
+    txns_per_inst = max(mem_txns / mem_insts, 1.0)
+    departure_delay = device.departure_delay_cycles * txns_per_inst
+
+    mwp_without_bw = min(device.mem_latency_cycles / departure_delay, float(n))
+
+    # Bandwidth-limited MWP (Hong–Kim eq. for MWP_peak_BW).
+    bytes_per_mem_inst = txns_per_inst * device.transaction_bytes
+    bw_per_warp_gbs = (
+        device.core_clock_ghz * bytes_per_mem_inst / device.mem_latency_cycles
+    )
+    mwp_peak_bw = device.mem_bandwidth_gbs / (bw_per_warp_gbs * device.num_smx)
+
+    mwp = max(1.0, min(mwp_without_bw, mwp_peak_bw, float(n)))
+    cwp_full = (mem_cycles + comp_cycles) / comp_cycles
+    cwp = min(cwp_full, float(n))
+
+    # Blocks stream onto SMXs as predecessors retire, so the wave count is
+    # continuous (clamped below by one full pass through the pipeline).
+    rep = max(1.0, total_warps / (n * device.num_smx))
+    comp_per_mem = comp_cycles / mem_insts
+
+    if abs(mwp - n) < 1e-9 and abs(cwp - n) < 1e-9:
+        bound = "balanced"
+        period = mem_cycles + comp_cycles + comp_per_mem * (mwp - 1.0)
+    elif cwp >= mwp:
+        bound = "memory"
+        period = mem_cycles * (n / mwp) + comp_per_mem * (mwp - 1.0)
+    else:
+        bound = "compute"
+        period = device.mem_latency_cycles + comp_cycles * n_issue
+
+    # Issue-work floor: a wave cannot retire faster than its instructions
+    # issue, and below the saturation warp count dependent chains leave
+    # bubbles that stretch the wave to a saturating wave's length.
+    issue_floor = comp_cycles * n_issue
+    if period < issue_floor:
+        period = issue_floor
+        bound = "compute"
+
+    cycles = period * rep
+    seconds = device.cycles_to_seconds(cycles)
+
+    dram_bytes = (
+        stats.global_transactions + stats.local_transactions * (1.0 - hit_rate)
+    ) * device.transaction_bytes
+    # Rescale to the modeled total if stats cover fewer warps than total.
+    if stats.warps_executed and total_warps != stats.warps_executed:
+        dram_bytes *= total_warps / stats.warps_executed
+    achieved_bw = dram_bytes / seconds / 1e9 if seconds > 0 else 0.0
+
+    return TimingResult(
+        cycles=cycles,
+        seconds=seconds,
+        bound=bound,
+        active_warps_per_smx=n,
+        mwp=mwp,
+        cwp=cwp,
+        repetitions=rep,
+        comp_cycles_per_warp=comp_cycles,
+        mem_cycles_per_warp=mem_cycles,
+        l1_hit_rate=hit_rate,
+        dram_bytes=dram_bytes,
+        achieved_bandwidth_gbs=achieved_bw,
+    )

@@ -1,0 +1,36 @@
+"""The paper's benchmark suite (Table 1) plus comparators.
+
+Ten nested-parallelism benchmarks, the memcopy microbenchmark (Fig. 1), and
+the CUBLAS/SMM stand-ins (Figs. 13-14).  ``BENCHMARKS`` maps the paper's
+short names to the benchmark classes in Table 1 order.
+"""
+
+from .bk import BkBenchmark
+from .cfd import CfdBenchmark
+from .common import Characteristics, GpuBenchmark
+from .cublas_proxy import CublasGemvN, CublasGemvT, SmmMv
+from .le import LeBenchmark
+from .lib import LibBenchmark
+from .lu import LuBenchmark
+from .mc import McBenchmark
+from .memcopy import MemcopyBenchmark
+from .mv import MvBenchmark
+from .nn import NnBenchmark
+from .ss import SsBenchmark
+from .tmv import TmvBenchmark
+
+#: Table 1 order.
+BENCHMARKS: dict[str, type[GpuBenchmark]] = {
+    "MC": McBenchmark,
+    "LU": LuBenchmark,
+    "LE": LeBenchmark,
+    "MV": MvBenchmark,
+    "SS": SsBenchmark,
+    "LIB": LibBenchmark,
+    "CFD": CfdBenchmark,
+    "BK": BkBenchmark,
+    "TMV": TmvBenchmark,
+    "NN": NnBenchmark,
+}
+
+__all__ = [name for name in dir() if not name.startswith("_")]

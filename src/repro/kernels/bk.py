@@ -1,0 +1,104 @@
+"""BK — bucket sort, count/offset kernel (Rodinia hybridsort package).
+
+Each thread classifies a grid-strided strip of elements against the 32
+pivot boundaries staged in shared memory (the coalesced layout the real
+hybridsort kernel uses): loop 1 computes each element's bucket id, loop 2
+scatters per-thread counts into the global histogram with ``atomicAdd``.
+Two parallel loops of LC = 32, no reduction/scan (Table 1: X).  Paper input
+2M elements; scaled to 4K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+NBUCKETS = 32
+STRIP = 32  # elements per thread
+
+SOURCE = f"""
+#define NBUCKETS {NBUCKETS}
+#define STRIP {STRIP}
+__global__ void bk(float *in, int *bucket_of, int *counts, float *pivots,
+                   int nthreads) {{
+    __shared__ float piv[NBUCKETS];
+    int tid = threadIdx.x + blockIdx.x * blockDim.x;
+    if (threadIdx.x < NBUCKETS)
+        piv[threadIdx.x] = pivots[threadIdx.x];
+    __syncthreads();
+    #pragma np parallel for
+    for (int k = 0; k < STRIP; k++) {{
+        float v = in[k * nthreads + tid];
+        int b = 0;
+        for (int q = 1; q < NBUCKETS; q++)
+            b += (v >= piv[q]) ? 1 : 0;
+        bucket_of[k * nthreads + tid] = b;
+    }}
+    #pragma np parallel for
+    for (int k = 0; k < STRIP; k++) {{
+        atomicAdd(counts[bucket_of[k * nthreads + tid]], 1);
+    }}
+}}
+"""
+
+
+class BkBenchmark(GpuBenchmark):
+    name = "BK"
+    paper_input = "2M"
+    characteristics = Characteristics(
+        parallel_loops=2, loop_count=STRIP, reduction=False, scan=False
+    )
+
+    def __init__(self, elements: int = 4096, block: int = 32, **kwargs):
+        super().__init__(**kwargs)
+        if elements % (block * STRIP):
+            raise ValueError("elements must be a multiple of block*STRIP")
+        self.elements = elements
+        self._block = block
+        self.scaled_input = f"{elements} elements"
+        rng = self.rng()
+        self.data = as_f32(rng.uniform(0.0, 1.0, elements))
+        # Pivot 0 is -inf-ish so every value lands in a bucket.
+        qs = np.quantile(self.data, np.linspace(0, 1, NBUCKETS, endpoint=False))
+        qs[0] = -1e38
+        self.pivots = as_f32(qs)
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.elements // (self._block * STRIP)
+
+    def make_args(self) -> dict:
+        return dict(
+            **{"in": self.data.copy()},
+            bucket_of=np.zeros(self.elements, np.int32),
+            counts=np.zeros(NBUCKETS, np.int32),
+            pivots=self.pivots.copy(),
+            nthreads=self.elements // STRIP,
+        )
+
+    def reference(self) -> np.ndarray:
+        """Bucket histogram (the counts array)."""
+        b = (self.data[:, None] >= self.pivots[None, 1:]).sum(axis=1)
+        return np.bincount(b, minlength=NBUCKETS).astype(np.int32)
+
+    def reference_buckets(self) -> np.ndarray:
+        return (self.data[:, None] >= self.pivots[None, 1:]).sum(axis=1).astype(np.int32)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("counts")
+
+    def check(self, result) -> bool:
+        counts_ok = bool(np.array_equal(self.output_of(result), self.reference()))
+        buckets_ok = bool(
+            np.array_equal(result.buffer("bucket_of"), self.reference_buckets())
+        )
+        return counts_ok and buckets_ok

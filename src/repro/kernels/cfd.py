@@ -1,0 +1,98 @@
+"""CFD — Euler3D flux accumulation (Rodinia ``cuda_compute_flux``-shaped).
+
+Per-thread work: one mesh cell accumulates momentum/energy flux
+contributions from its 4 neighbours — a single parallel reduction loop with
+the paper's smallest loop count (LC = 4, Table 1).  A small per-thread local
+array holds the cell's flux contribution vector (baseline LM = 56 B →
+nearly eliminated after CUDA-NP, Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32, as_i32
+
+NNB = 4       # neighbours per cell
+NVAR = 5      # density, 3x momentum, energy
+
+
+SOURCE = f"""
+#define NNB {NNB}
+#define NVAR {NVAR}
+__global__ void cfd(float *vars, int *nbr, float *normals, float *out,
+                    int ncells) {{
+    int cell = threadIdx.x + blockIdx.x * blockDim.x;
+    if (cell >= ncells) return;
+    float mine[NVAR];
+    for (int v = 0; v < NVAR; v++)
+        mine[v] = vars[cell * NVAR + v];
+    float flux = 0;
+    #pragma np parallel for reduction(+:flux)
+    for (int j = 0; j < NNB; j++) {{
+        int nb = nbr[cell * NNB + j];
+        float nx = normals[(cell * NNB + j) * 2];
+        float ny = normals[(cell * NNB + j) * 2 + 1];
+        float contrib = 0;
+        for (int v = 0; v < NVAR; v++)
+            contrib += (vars[nb * NVAR + v] - mine[v]) * (nx + 0.5f * ny);
+        flux += contrib;
+    }}
+    out[cell] = flux;
+}}
+"""
+
+
+class CfdBenchmark(GpuBenchmark):
+    name = "CFD"
+    paper_input = "fvcorr.domn.193K"
+    characteristics = Characteristics(
+        parallel_loops=1, loop_count=NNB, reduction=True, scan=False
+    )
+    rtol = 5e-3
+    atol = 5e-3
+
+    def __init__(self, ncells: int = 512, block: int = 64, **kwargs):
+        super().__init__(**kwargs)
+        if ncells % block:
+            raise ValueError("ncells must be a multiple of the block size")
+        self.ncells = ncells
+        self._block = block
+        self.scaled_input = f"{ncells} cells"
+        rng = self.rng()
+        self.vars = as_f32(rng.standard_normal((ncells, NVAR)))
+        self.nbr = as_i32(rng.integers(0, ncells, (ncells, NNB)))
+        self.normals = as_f32(rng.standard_normal((ncells, NNB, 2)))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.ncells // self._block
+
+    def make_args(self) -> dict:
+        return dict(
+            vars=self.vars.ravel().copy(),
+            nbr=self.nbr.ravel().copy(),
+            normals=self.normals.ravel().copy(),
+            out=np.zeros(self.ncells, np.float32),
+            ncells=self.ncells,
+        )
+
+    def reference(self) -> np.ndarray:
+        out = np.zeros(self.ncells, np.float32)
+        factor = self.normals[:, :, 0] + np.float32(0.5) * self.normals[:, :, 1]
+        for j in range(NNB):
+            nbv = self.vars[self.nbr[:, j]]                 # (ncells, NVAR)
+            diff = (nbv - self.vars).sum(axis=1)
+            out += diff * factor[:, j]
+        return out.astype(np.float32)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("out")

@@ -1,0 +1,188 @@
+"""Shared infrastructure for the paper's benchmark suite (Table 1).
+
+Every benchmark provides: the mini-CUDA kernel source with ``#pragma np``
+directives, a launch configuration, a fresh-argument factory, a numpy
+reference implementation, and its Table-1 structural characteristics
+(number of parallel loops, loop count, reduction/scan usage).
+
+Inputs are scaled down from the paper (the SIMT interpreter is Python); the
+scaling is recorded per benchmark and reported by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.resources import estimate_resources
+from ..gpusim.device import DeviceSpec, GTX680
+from ..gpusim.launch import LaunchResult, launch
+from ..minicuda.nodes import Kernel
+from ..minicuda.parser import parse_kernel
+from ..npc.autotune import AutotuneReport, autotune, launch_variant
+from ..npc.config import CompiledVariant, NpConfig
+from ..npc.pipeline import compile_np, enumerate_configs
+
+
+@dataclass(frozen=True)
+class Characteristics:
+    """Table 1 structural columns."""
+
+    parallel_loops: int          # PL
+    loop_count: int              # LC (largest among parallel loops)
+    reduction: bool              # R
+    scan: bool                   # S
+
+    @property
+    def rs_label(self) -> str:
+        if self.scan:
+            return "S"
+        if self.reduction:
+            return "R"
+        return "X"
+
+
+class GpuBenchmark:
+    """Base class: one paper benchmark on the simulated GPU."""
+
+    #: Short name as used in the paper's tables/figures (MC, LU, ...).
+    name: str = "?"
+    #: Paper input description (Table 1 'Input' column).
+    paper_input: str = ""
+    #: Our scaled input description.
+    scaled_input: str = ""
+    characteristics: Characteristics = Characteristics(0, 0, False, False)
+    #: Default RNG seed so runs are reproducible.
+    seed: int = 1234
+
+    def __init__(self, device: DeviceSpec = GTX680):
+        self.device = device
+        self._kernel: Optional[Kernel] = None
+
+    # -- to be provided by subclasses ---------------------------------------
+
+    @property
+    def source(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def block_size(self):
+        """Input-kernel thread block (int or tuple for multi-dim)."""
+        raise NotImplementedError
+
+    @property
+    def grid(self):
+        raise NotImplementedError
+
+    def make_args(self) -> dict:
+        """Fresh kernel arguments (regenerated per launch)."""
+        raise NotImplementedError
+
+    def reference(self) -> np.ndarray:
+        """Numpy reference output."""
+        raise NotImplementedError
+
+    def output_of(self, result: LaunchResult) -> np.ndarray:
+        """Extract the output array from a launch result."""
+        raise NotImplementedError
+
+    #: Name -> array for texture references / constant buffers.
+    def const_arrays(self) -> Optional[dict]:
+        return None
+
+    #: Relative tolerance for reference comparison (reductions reassociate).
+    rtol: float = 1e-3
+    atol: float = 1e-3
+
+    # -- provided machinery ---------------------------------------------------
+
+    @property
+    def kernel(self) -> Kernel:
+        if self._kernel is None:
+            self._kernel = parse_kernel(self.source)
+        return self._kernel
+
+    @property
+    def flat_block_size(self) -> int:
+        bs = self.block_size
+        if isinstance(bs, tuple):
+            out = 1
+            for d in bs:
+                out *= d
+            return out
+        return int(bs)
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def check(self, result: LaunchResult) -> bool:
+        got = self.output_of(result)
+        ref = self.reference()
+        return bool(np.allclose(got, ref, rtol=self.rtol, atol=self.atol))
+
+    def run_baseline(self, **kwargs) -> LaunchResult:
+        return launch(
+            self.kernel,
+            self.grid,
+            self.block_size,
+            self.make_args(),
+            device=self.device,
+            const_arrays=self.const_arrays(),
+            **kwargs,
+        )
+
+    def compile_variant(self, config: NpConfig) -> CompiledVariant:
+        return compile_np(self.kernel, self.block_size, config, device=self.device)
+
+    def run_variant(self, config: NpConfig, **kwargs) -> LaunchResult:
+        variant = self.compile_variant(config)
+        return launch_variant(
+            variant,
+            self.grid,
+            self.make_args(),
+            device=self.device,
+            const_arrays=self.const_arrays(),
+            **kwargs,
+        )
+
+    def configs(self, **kwargs) -> list[NpConfig]:
+        return enumerate_configs(
+            self.kernel, self.flat_block_size, self.device, **kwargs
+        )
+
+    def autotune(
+        self,
+        configs: Optional[Sequence[NpConfig]] = None,
+        check: bool = True,
+        **kwargs,
+    ) -> AutotuneReport:
+        return autotune(
+            self.kernel,
+            self.block_size,
+            self.grid,
+            self.make_args,
+            device=self.device,
+            configs=configs if configs is not None else self.configs(),
+            check_output=self.check if check else None,
+            const_arrays=self.const_arrays(),
+            **kwargs,
+        )
+
+    def resource_report(self):
+        """Baseline REG/SM/LM estimate (Table 1 BL columns)."""
+        return estimate_resources(self.kernel)
+
+    def variant_resource_report(self, config: NpConfig):
+        """Optimized-kernel resource estimate (Table 1 OPT columns)."""
+        variant = self.compile_variant(config)
+        return estimate_resources(variant.kernel)
+
+
+def as_f32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+def as_i32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int32)

@@ -1,0 +1,151 @@
+"""Vendor-library stand-ins for the Fig. 13 / Fig. 14 comparisons.
+
+We have no CUBLAS binary; the paper itself observes that "our baseline has
+similar performance to CUBLAS" (§5, Fig. 13), so the right comparator is a
+competently written conventional kernel:
+
+- :class:`CublasGemvT` — ``y = Aᵀx``: one thread per output column, the
+  same coalesced column-walk as the TMV baseline, with a 128-thread block
+  (the library's typical configuration).
+- :class:`CublasGemvN` — ``y = A x``: one thread per row over column-major
+  (BLAS-layout) A, with the x-vector staged through shared memory in
+  32-wide tiles (matching the baseline MV's structure — the paper reports
+  the two performing similarly).
+- :class:`SmmMv` — the shared-memory-multiplexing MV of [42] (Yang et al.,
+  PACT'12): same tiling, but the tile buffer is multiplexed between block
+  halves so each block only holds half the shared footprint, trading barrier
+  pressure for occupancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+GEMV_T_SOURCE = """
+__global__ void gemv_t(float *a, float *x, float *y, int w, int h) {
+    int col = threadIdx.x + blockIdx.x * blockDim.x;
+    float sum = 0;
+    for (int i = 0; i < h; i++)
+        sum += a[i * w + col] * x[i];
+    y[col] = sum;
+}
+"""
+
+GEMV_N_SOURCE = """
+#define TILE 32
+__global__ void gemv_n(float *a, float *x, float *y, int w, int h) {
+    __shared__ float xs[TILE];
+    int row = threadIdx.x + blockIdx.x * blockDim.x;
+    float sum = 0;
+    for (int t = 0; t < w / TILE; t++) {
+        if (threadIdx.x < TILE)
+            xs[threadIdx.x] = x[t * TILE + threadIdx.x];
+        __syncthreads();
+        for (int j = 0; j < TILE; j++)
+            sum += a[(t * TILE + j) * h + row] * xs[j];
+        __syncthreads();
+    }
+    y[row] = sum;
+}
+"""
+
+SMM_MV_SOURCE = """
+#define TILE 32
+__global__ void smm_mv(float *a, float *x, float *y, int w, int h) {
+    __shared__ float xs[TILE / 2];
+    int row = threadIdx.x + blockIdx.x * blockDim.x;
+    float sum = 0;
+    for (int t = 0; t < w / (TILE / 2); t++) {
+        if (threadIdx.x < TILE / 2)
+            xs[threadIdx.x] = x[t * (TILE / 2) + threadIdx.x];
+        __syncthreads();
+        for (int j = 0; j < TILE / 2; j++)
+            sum += a[(t * (TILE / 2) + j) * h + row] * xs[j];
+        __syncthreads();
+    }
+    y[row] = sum;
+}
+"""
+
+
+class _GemvBase(GpuBenchmark):
+    characteristics = Characteristics(
+        parallel_loops=0, loop_count=0, reduction=False, scan=False
+    )
+    transposed = False
+
+    def __init__(self, width: int = 256, height: int = 256, block: int = 128, **kwargs):
+        super().__init__(**kwargs)
+        self.width = width
+        self.height = height
+        self._block = block
+        self.scaled_input = f"{width}x{height}"
+        rng = self.rng()
+        self.a = as_f32(rng.standard_normal((height, width)))
+        self.x = as_f32(
+            rng.standard_normal(height if self.transposed else width)
+        )
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        outputs = self.width if self.transposed else self.height
+        return (outputs + self._block - 1) // self._block
+
+    def make_args(self) -> dict:
+        outputs = self.width if self.transposed else self.height
+        order = "C" if self.transposed else "F"  # gemv-N is column-major
+        return dict(
+            a=self.a.ravel(order=order).copy(),
+            x=self.x.copy(),
+            y=np.zeros(outputs, np.float32),
+            w=self.width,
+            h=self.height,
+        )
+
+    def reference(self) -> np.ndarray:
+        return (self.a.T @ self.x) if self.transposed else (self.a @ self.x)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("y")
+
+
+class CublasGemvT(_GemvBase):
+    """CUBLAS-proxy ``sgemv`` transposed (the Fig. 13 comparator)."""
+
+    name = "CUBLAS-T"
+    paper_input = "sgemv(trans)"
+    transposed = True
+
+    @property
+    def source(self) -> str:
+        return GEMV_T_SOURCE
+
+
+class CublasGemvN(_GemvBase):
+    """CUBLAS-proxy ``sgemv`` non-transposed (the Fig. 14 comparator)."""
+
+    name = "CUBLAS-N"
+    paper_input = "sgemv"
+    transposed = False
+
+    @property
+    def source(self) -> str:
+        return GEMV_N_SOURCE
+
+
+class SmmMv(_GemvBase):
+    """Shared-memory-multiplexed MV [42] (the second Fig. 14 comparator)."""
+
+    name = "SMM"
+    paper_input = "SMM MV [42]"
+    transposed = False
+
+    @property
+    def source(self) -> str:
+        return SMM_MV_SOURCE

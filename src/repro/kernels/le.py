@@ -1,0 +1,120 @@
+"""LE — Leukocyte ellipse matching (Rodinia, array-order version [4]).
+
+The paper's Fig. 5 kernel: per candidate cell position each thread samples
+``NPOINTS = 150`` gradient values along an ellipse into a *local-memory*
+array ``Grad`` (600 B/thread — the dominant baseline cost, Table 1), then
+computes the mean, variance and sum via reduction loops and emits a GICOV
+score.  Three parallel loops; `Grad` is iterator-indexed, so CUDA-NP can
+partition it into per-slave register/local slices (§3.3 option 3).
+
+The gradient field (a texture in Rodinia) is bound as a texture reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+NPOINTS = 150
+
+SOURCE = f"""
+#define NPOINTS {NPOINTS}
+__global__ void ellipsematching(float *gicov, float *sin_t, float *cos_t,
+                                int grad_m, int npos, float sGicov) {{
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i >= npos) return;
+    float Grad[NPOINTS];
+    float sum = 0;
+    #pragma np parallel for
+    for (int n = 0; n < NPOINTS; n++) {{
+        int addr = i * NPOINTS + n;
+        Grad[n] = tex1Dfetch(t_grad_x, addr) * sin_t[n]
+                + tex1Dfetch(t_grad_y, addr) * cos_t[n];
+    }}
+    #pragma np parallel for reduction(+:sum)
+    for (int n = 0; n < NPOINTS; n++)
+        sum += Grad[n];
+    float ave = sum / (float)NPOINTS;
+    float var = 0;
+    float ep = 0;
+    #pragma np parallel for reduction(+:var,ep)
+    for (int n = 0; n < NPOINTS; n++) {{
+        float dev = Grad[n] - ave;
+        var += dev * dev;
+        ep += dev;
+    }}
+    var = (var - ep * ep / (float)NPOINTS) / (float)(NPOINTS - 1);
+    if (ave * ave / var > sGicov)
+        gicov[i] = ave / sqrtf(var);
+}}
+"""
+
+
+class LeBenchmark(GpuBenchmark):
+    name = "LE"
+    paper_input = "testfile.avi"
+    characteristics = Characteristics(
+        parallel_loops=3, loop_count=NPOINTS, reduction=True, scan=False
+    )
+    rtol = 5e-3
+    atol = 5e-3
+
+    def __init__(self, positions: int = 128, block: int = 32, **kwargs):
+        super().__init__(**kwargs)
+        if positions % block:
+            raise ValueError("positions must be a multiple of the block size")
+        self.positions = positions
+        self._block = block
+        self.scaled_input = f"{positions} candidate positions"
+        rng = self.rng()
+        self.grad_x = as_f32(rng.standard_normal(positions * NPOINTS))
+        self.grad_y = as_f32(rng.standard_normal(positions * NPOINTS))
+        theta = np.linspace(0, 2 * np.pi, NPOINTS, endpoint=False)
+        self.sin_t = as_f32(np.sin(theta))
+        self.cos_t = as_f32(np.cos(theta))
+        self.sGicov = 0.0  # accept every position so outputs are dense
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.positions // self._block
+
+    def const_arrays(self) -> dict:
+        return {"t_grad_x": self.grad_x, "t_grad_y": self.grad_y}
+
+    def make_args(self) -> dict:
+        return dict(
+            gicov=np.zeros(self.positions, np.float32),
+            sin_t=self.sin_t.copy(),
+            cos_t=self.cos_t.copy(),
+            grad_m=self.positions,
+            npos=self.positions,
+            sGicov=self.sGicov,
+        )
+
+    def reference(self) -> np.ndarray:
+        gx = self.grad_x.reshape(self.positions, NPOINTS)
+        gy = self.grad_y.reshape(self.positions, NPOINTS)
+        grad = gx * self.sin_t + gy * self.cos_t
+        grad = grad.astype(np.float32)
+        s = grad.sum(axis=1)
+        ave = s / NPOINTS
+        dev = grad - ave[:, None]
+        var = (dev * dev).sum(axis=1)
+        ep = dev.sum(axis=1)
+        var = (var - ep * ep / NPOINTS) / (NPOINTS - 1)
+        out = np.zeros(self.positions, np.float32)
+        mask = ave * ave / var > self.sGicov
+        out[mask] = (ave / np.sqrt(var))[mask]
+        return out.astype(np.float32)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("gicov")

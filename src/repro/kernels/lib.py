@@ -1,0 +1,127 @@
+"""LIB — LIBOR market-model Monte Carlo (GPGPU-Sim benchmark).
+
+Each thread evolves one interest-rate path: forward rates, volatilities
+and per-maturity discount factors live in per-thread *local-memory* arrays
+(3 x 80 floats = 960 B/thread, exactly the paper's Table 1 figure — the
+baseline's bottleneck), and the portfolio discounting walks the maturities
+with a running prefix *product* of per-period discount factors — the
+paper's scan benchmark (Table 1: S).  Four parallel loops of LC = NMAT
+(paper 80, kept at 80; paths scaled from 256K to 128 by default).
+
+Loop roles: (1) initialize rates, (2) apply the path's shock, (3) the
+scan(*) discounting loop that also stores each prefix, (4) a payoff
+reduction over maturities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+NMAT = 80
+DELTA = 0.25
+
+
+SOURCE = f"""
+#define NMAT {NMAT}
+__global__ void libor(float *L0, float *z, float *lambda_, float *v_out,
+                      int npath) {{
+    int path = threadIdx.x + blockIdx.x * blockDim.x;
+    if (path >= npath) return;
+    float L[NMAT];
+    float lam[NMAT];
+    float disc[NMAT];
+    float zi = z[path];
+    #pragma np parallel for
+    for (int i = 0; i < NMAT; i++)
+        L[i] = L0[i];
+    #pragma np parallel for
+    for (int i = 0; i < NMAT; i++) {{
+        lam[i] = lambda_[i];
+        L[i] = L[i] * expf(lam[i] * zi - 0.5f * lam[i] * lam[i]);
+    }}
+    float b = 1.f;
+    #pragma np parallel for scan(*:b)
+    for (int i = 0; i < NMAT; i++) {{
+        b = b * (1.f / (1.f + 0.25f * L[i]));
+        disc[i] = b;
+    }}
+    float v = 0;
+    #pragma np parallel for reduction(+:v)
+    for (int i = 0; i < NMAT; i++)
+        v += 0.25f * L[i] * disc[i];
+    v_out[path] = v;
+}}
+"""
+
+
+class LibBenchmark(GpuBenchmark):
+    name = "LIB"
+    paper_input = "NPATH=256K"
+    characteristics = Characteristics(
+        parallel_loops=4, loop_count=NMAT, reduction=True, scan=True
+    )
+    rtol = 1e-2
+    atol = 1e-2
+
+    def __init__(self, npath: int = 128, block: int = 32, **kwargs):
+        super().__init__(**kwargs)
+        if npath % block:
+            raise ValueError("npath must be a multiple of the block size")
+        self.npath = npath
+        self._block = block
+        self.scaled_input = f"NPATH={npath}"
+        rng = self.rng()
+        self.L0 = as_f32(rng.uniform(0.02, 0.08, NMAT))
+        self.z = as_f32(rng.standard_normal(self.npath))
+        self.lam = as_f32(rng.uniform(0.1, 0.3, NMAT))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.npath // self._block
+
+    def make_args(self) -> dict:
+        return dict(
+            L0=self.L0.copy(),
+            z=self.z.copy(),
+            lambda_=self.lam.copy(),
+            v_out=np.zeros(self.npath, np.float32),
+            npath=self.npath,
+        )
+
+    def reference(self) -> np.ndarray:
+        z = self.z[:, None].astype(np.float32)
+        lam = self.lam[None, :].astype(np.float32)
+        L = self.L0[None, :] * np.exp(lam * z - np.float32(0.5) * lam * lam)
+        L = L.astype(np.float32)
+        factors = (1.0 / (1.0 + np.float32(DELTA) * L)).astype(np.float32)
+        disc = np.cumprod(factors, axis=1).astype(np.float32)
+        v = (np.float32(DELTA) * L * disc).sum(axis=1)
+        return v.astype(np.float32)
+
+    def reference_discounts(self) -> np.ndarray:
+        z = self.z[:, None].astype(np.float32)
+        lam = self.lam[None, :].astype(np.float32)
+        L = self.L0[None, :] * np.exp(lam * z - np.float32(0.5) * lam * lam)
+        factors = (1.0 / (1.0 + np.float32(DELTA) * L)).astype(np.float32)
+        return np.cumprod(factors, axis=1).astype(np.float32).ravel()
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("v_out")
+
+    def check(self, result) -> bool:
+        return bool(
+            np.allclose(
+                self.output_of(result), self.reference(),
+                rtol=self.rtol, atol=self.atol,
+            )
+        )

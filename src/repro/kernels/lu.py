@@ -1,0 +1,146 @@
+"""LU — LU decomposition perimeter kernel (Rodinia ``lud_perimeter``).
+
+The paper's Fig. 3 example.  A 32-thread block processes the perimeter of
+one 16×16 tile: the first half-warp loads/updates the row strip, the second
+half-warp the column strip, with the diagonal tile staged in shared memory.
+Parallel loops (7 in our rendering; the paper groups the symmetric
+row/col pairs and reports 4) sit *inside* the
+``threadIdx.x < 16`` control flow — this is why intra-warp NP wins for LU
+(§5): slave groups inherit the master's branch, eliminating the divergence.
+
+Paper input: 2048×2048 matrix; scaled to one perimeter sweep of a 128×128
+matrix (7 tiles along the diagonal's first offset).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+BS = 16  # BLOCK_SIZE in Rodinia
+
+SOURCE = f"""
+#define BS {BS}
+__global__ void lud_perimeter(float *m, int matrix_dim, int offset) {{
+    __shared__ float dia[BS][BS];
+    __shared__ float peri_row[BS][BS];
+    __shared__ float peri_col[BS][BS];
+    int tx = threadIdx.x;
+    int array_offset;
+    array_offset = offset * matrix_dim + offset;
+    if (tx < BS) {{
+        int idx = tx;
+        #pragma np parallel for
+        for (int i = 0; i < BS; i++)
+            dia[i][idx] = m[array_offset + i * matrix_dim + idx];
+        #pragma np parallel for
+        for (int i = 0; i < BS; i++)
+            peri_row[i][idx] = m[array_offset + (blockIdx.x + 1) * BS
+                                 + i * matrix_dim + idx];
+    }} else {{
+        int idx = tx - BS;
+        #pragma np parallel for
+        for (int i = 0; i < BS; i++)
+            peri_col[i][idx] = m[array_offset + (blockIdx.x + 1) * BS * matrix_dim
+                                 + i * matrix_dim + idx];
+    }}
+    __syncthreads();
+    if (tx < BS) {{
+        int idx = tx;
+        for (int j = 1; j < BS; j++) {{
+            float sum = 0;
+            #pragma np parallel for reduction(+:sum)
+            for (int i = 0; i < j; i++)
+                sum += dia[j][i] * peri_row[i][idx];
+            peri_row[j][idx] -= sum;
+        }}
+    }} else {{
+        int idx = tx - BS;
+        for (int j = 0; j < BS - 1; j++) {{
+            float sum = 0;
+            #pragma np parallel for reduction(+:sum)
+            for (int i = 0; i < j; i++)
+                sum += peri_col[i][idx] * dia[i][j];
+            peri_col[j][idx] = (peri_col[j][idx] - sum) / dia[j][j];
+        }}
+    }}
+    __syncthreads();
+    if (tx < BS) {{
+        int idx = tx;
+        #pragma np parallel for
+        for (int i = 1; i < BS; i++)
+            m[array_offset + (blockIdx.x + 1) * BS + i * matrix_dim + idx]
+                = peri_row[i][idx];
+    }} else {{
+        int idx = tx - BS;
+        #pragma np parallel for
+        for (int i = 0; i < BS; i++)
+            m[array_offset + (blockIdx.x + 1) * BS * matrix_dim + i * matrix_dim + idx]
+                = peri_col[i][idx];
+    }}
+}}
+"""
+
+
+class LuBenchmark(GpuBenchmark):
+    name = "LU"
+    paper_input = "2048.dat"
+    characteristics = Characteristics(
+        parallel_loops=7, loop_count=16, reduction=True, scan=False
+    )
+    rtol = 5e-3
+    atol = 5e-3
+
+    def __init__(self, matrix_dim: int = 128, offset: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        if matrix_dim % BS:
+            raise ValueError(f"matrix_dim must be a multiple of {BS}")
+        self.matrix_dim = matrix_dim
+        self.offset = offset
+        self.scaled_input = f"{matrix_dim}x{matrix_dim} matrix"
+        rng = self.rng()
+        # Diagonally dominant so the (already-factored) diagonal tile is
+        # well-conditioned.
+        m = rng.standard_normal((matrix_dim, matrix_dim)).astype(np.float32)
+        m += np.eye(matrix_dim, dtype=np.float32) * matrix_dim
+        self.m = m
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return 2 * BS
+
+    @property
+    def grid(self) -> int:
+        return (self.matrix_dim - self.offset) // BS - 1
+
+    def make_args(self) -> dict:
+        return dict(
+            m=self.m.ravel().copy(),
+            matrix_dim=self.matrix_dim,
+            offset=self.offset,
+        )
+
+    def reference(self) -> np.ndarray:
+        """CPU re-implementation of the perimeter update."""
+        m = self.m.copy()
+        dim, off = self.matrix_dim, self.offset
+        ao = off  # row/col offset
+        dia = m[ao : ao + BS, ao : ao + BS]
+        nblocks = (dim - off) // BS - 1
+        for blk in range(nblocks):
+            cs = ao + (blk + 1) * BS  # column start of the row strip
+            row = m[ao : ao + BS, cs : cs + BS]
+            for j in range(1, BS):
+                row[j, :] -= dia[j, :j] @ row[:j, :]
+            col = m[cs : cs + BS, ao : ao + BS]
+            for j in range(BS - 1):
+                col[j, :] = (col[j, :] - col[:j, :].T @ dia[:j, j]) / dia[j, j]
+        return m.ravel()
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("m")

@@ -1,0 +1,153 @@
+"""MC — MarchingCubes (NVIDIA SDK ``generateTriangles``-shaped).
+
+Per thread: one voxel.  The block cooperatively stages its corner scalars
+in shared memory; each thread gathers its 8 corners into a per-thread
+array, interpolates the 12 cube edges into a per-thread vertex array,
+computes per-edge weights, and emits the active edges (by the cube-index
+bit mask) through a shared vertex-staging buffer (value/vertex/weight
+triplets) — the heavy shared usage Table 1 reports for MC (288 B/thread).
+Four parallel loops (LC = 12), no reduction/scan (Table 1: X).  After the
+§3.3 replacement the corner array must go to shared memory (edges address
+corners through the edge tables, not the loop iterator) while the
+vertex/weight arrays partition into registers.
+
+The input kernel uses an (8, 4) thread block to exercise the §3.7
+multi-dimensional flattening preprocessor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+NCORN = 8
+NEDGES = 12
+
+#: Cube edge -> (corner A, corner B), standard marching-cubes table.
+EDGE_A = np.array([0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3], dtype=np.int32)
+EDGE_B = np.array([1, 2, 3, 0, 5, 6, 7, 4, 4, 5, 6, 7], dtype=np.int32)
+
+SOURCE = f"""
+#define NCORN {NCORN}
+#define NEDGES {NEDGES}
+#define VPB 32
+__global__ void mc(float *field, float *verts, int *occupied,
+                   float isolevel, int nvox) {{
+    __shared__ float fsh[VPB * NCORN];
+    __shared__ float vstage[VPB * NEDGES * 3];
+    int lvox = threadIdx.x + threadIdx.y * blockDim.x;
+    int vox = lvox + blockIdx.x * (blockDim.x * blockDim.y);
+    for (int k = lvox; k < VPB * NCORN; k += blockDim.x * blockDim.y)
+        fsh[k] = field[blockIdx.x * (VPB * NCORN) + k];
+    __syncthreads();
+    if (vox >= nvox) return;
+    float f[NCORN];
+    float vert[NEDGES];
+    float wgt[NEDGES];
+    #pragma np parallel for
+    for (int c = 0; c < NCORN; c++)
+        f[c] = fsh[lvox * NCORN + c];
+    int ci = 0;
+    for (int c = 0; c < NCORN; c++)
+        ci = ci | (f[c] < isolevel ? (1 << c) : 0);
+    #pragma np parallel for
+    for (int e = 0; e < NEDGES; e++) {{
+        float fa = f[edge_a[e]];
+        float fb = f[edge_b[e]];
+        float t = (isolevel - fa) / (fb - fa + 1.0e-6f);
+        vert[e] = fa + t * (fb - fa);
+    }}
+    #pragma np parallel for
+    for (int e = 0; e < NEDGES; e++)
+        wgt[e] = fabsf(vert[e] - isolevel);
+    #pragma np parallel for
+    for (int e = 0; e < NEDGES; e++) {{
+        if (((ci >> e) & 1) != 0) {{
+            vstage[(lvox * NEDGES + e) * 3] = vert[e] * wgt[e];
+            vstage[(lvox * NEDGES + e) * 3 + 1] = vert[e];
+            vstage[(lvox * NEDGES + e) * 3 + 2] = wgt[e];
+        }} else {{
+            vstage[(lvox * NEDGES + e) * 3] = 0.f;
+            vstage[(lvox * NEDGES + e) * 3 + 1] = 0.f;
+            vstage[(lvox * NEDGES + e) * 3 + 2] = 0.f;
+        }}
+    }}
+    __syncthreads();
+    for (int e = 0; e < NEDGES; e++)
+        verts[vox * NEDGES + e] = vstage[(lvox * NEDGES + e) * 3];
+    occupied[vox] = (ci != 0 && ci != 255) ? 1 : 0;
+}}
+"""
+
+
+class McBenchmark(GpuBenchmark):
+    name = "MC"
+    paper_input = "grid=8"
+    characteristics = Characteristics(
+        parallel_loops=4, loop_count=NEDGES, reduction=False, scan=False
+    )
+    rtol = 1e-3
+    atol = 1e-4
+
+    def __init__(self, nvox: int = 256, **kwargs):
+        super().__init__(**kwargs)
+        if nvox % 32:
+            raise ValueError("nvox must be a multiple of 32 (one (8,4) block)")
+        self.nvox = nvox
+        self.scaled_input = f"{nvox} voxels"
+        rng = self.rng()
+        self.field = as_f32(rng.uniform(0.0, 1.0, nvox * NCORN))
+        self.isolevel = 0.5
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self):
+        return (8, 4)
+
+    @property
+    def grid(self) -> int:
+        return self.nvox // 32
+
+    def const_arrays(self) -> dict:
+        return {"edge_a": EDGE_A, "edge_b": EDGE_B}
+
+    def make_args(self) -> dict:
+        return dict(
+            field=self.field.copy(),
+            verts=np.zeros(self.nvox * NEDGES, np.float32),
+            occupied=np.zeros(self.nvox, np.int32),
+            isolevel=self.isolevel,
+            nvox=self.nvox,
+        )
+
+    def reference(self) -> np.ndarray:
+        f = self.field.reshape(self.nvox, NCORN)
+        iso = np.float32(self.isolevel)
+        ci = ((f < iso) << np.arange(NCORN, dtype=np.int32)).sum(axis=1)
+        fa = f[:, EDGE_A]
+        fb = f[:, EDGE_B]
+        t = (iso - fa) / (fb - fa + np.float32(1e-6))
+        vert = fa + t * (fb - fa)
+        wgt = np.abs(vert - iso)
+        active = ((ci[:, None] >> np.arange(NEDGES)) & 1) != 0
+        out = np.where(active, vert * wgt, 0.0).astype(np.float32)
+        return out.ravel()
+
+    def reference_occupied(self) -> np.ndarray:
+        f = self.field.reshape(self.nvox, NCORN)
+        ci = ((f < np.float32(self.isolevel)) << np.arange(NCORN, dtype=np.int32)).sum(axis=1)
+        return ((ci != 0) & (ci != 255)).astype(np.int32)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("verts")
+
+    def check(self, result) -> bool:
+        verts_ok = bool(
+            np.allclose(self.output_of(result), self.reference(), rtol=self.rtol, atol=self.atol)
+        )
+        occ_ok = bool(np.array_equal(result.buffer("occupied"), self.reference_occupied()))
+        return verts_ok and occ_ok

@@ -1,0 +1,62 @@
+"""Memory-copy microbenchmark (paper §2.1, Fig. 1).
+
+The kernel every dynamic-parallelism measurement is built on: each thread
+copies one float.  Used three ways:
+
+- plain baseline (full bandwidth);
+- "dynamic-parallelism-enabled" baseline (same kernel, compiled with the DP
+  flag — pays the enabled-kernel tax);
+- parent/child dynamic parallelism: m parent threads each launch an
+  n-thread child grid (m × n = total), modeled by
+  :mod:`repro.gpusim.dynpar`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+SOURCE = """
+__global__ void memcopy(float *src, float *dst, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i < n)
+        dst[i] = src[i];
+}
+"""
+
+
+class MemcopyBenchmark(GpuBenchmark):
+    name = "MEMCOPY"
+    paper_input = "64M floats"
+    characteristics = Characteristics(
+        parallel_loops=0, loop_count=0, reduction=False, scan=False
+    )
+
+    def __init__(self, n: int = 1 << 14, block: int = 256, **kwargs):
+        super().__init__(**kwargs)
+        self.n = n
+        self._block = block
+        self.scaled_input = f"{n} floats"
+        self.src = as_f32(self.rng().standard_normal(n))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return (self.n + self._block - 1) // self._block
+
+    def make_args(self) -> dict:
+        return dict(src=self.src.copy(), dst=np.zeros(self.n, np.float32), n=self.n)
+
+    def reference(self) -> np.ndarray:
+        return self.src
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("dst")

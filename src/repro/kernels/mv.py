@@ -1,0 +1,88 @@
+"""MV — matrix–vector multiplication, shared-memory-tiled ([42] style).
+
+One thread per output row.  A is stored column-major (the BLAS layout), so
+a warp's loads of one column slice are fully coalesced.  The x-vector is
+staged through shared memory in 32-element tiles loaded cooperatively by
+the block; the dot product over one tile is the parallel loop (LC = 32,
+sum reduction) — matching Table 1 (PL=1, LC=32, R, heavy shared usage).
+Paper input 2K wide; scaled to 256.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+#: The tile staged in shared memory per outer iteration.
+TILE = 32
+
+SOURCE = f"""
+#define TILE {TILE}
+__global__ void mv(float *a, float *x, float *y, int w, int h) {{
+    __shared__ float xs[TILE];
+    int row = threadIdx.x + blockIdx.x * blockDim.x;
+    float sum = 0;
+    for (int t = 0; t < w / TILE; t++) {{
+        if (threadIdx.x < TILE)
+            xs[threadIdx.x] = x[t * TILE + threadIdx.x];
+        __syncthreads();
+        float part = 0;
+        #pragma np parallel for reduction(+:part)
+        for (int j = 0; j < TILE; j++)
+            part += a[(t * TILE + j) * h + row] * xs[j];
+        sum += part;
+        __syncthreads();
+    }}
+    y[row] = sum;
+}}
+"""
+
+
+class MvBenchmark(GpuBenchmark):
+    name = "MV"
+    paper_input = "2K*2K"
+    characteristics = Characteristics(
+        parallel_loops=1, loop_count=32, reduction=True, scan=False
+    )
+
+    def __init__(self, width: int = 256, height: int = 512, block: int = 128, **kwargs):
+        super().__init__(**kwargs)
+        if width % TILE:
+            raise ValueError(f"width must be a multiple of {TILE}")
+        if height % block:
+            raise ValueError("height must be a multiple of the block size")
+        self.width = width
+        self.height = height
+        self._block = block
+        self.scaled_input = f"{width}x{height}"
+        rng = self.rng()
+        self.a = as_f32(rng.standard_normal((height, width)))
+        self.x = as_f32(rng.standard_normal(width))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.height // self._block
+
+    def make_args(self) -> dict:
+        return dict(
+            a=self.a.ravel(order="F").copy(),  # column-major (BLAS)
+            x=self.x.copy(),
+            y=np.zeros(self.height, np.float32),
+            w=self.width,
+            h=self.height,
+        )
+
+    def reference(self) -> np.ndarray:
+        return self.a @ self.x
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("y")

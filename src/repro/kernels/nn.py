@@ -1,0 +1,96 @@
+"""NN — nearest neighbor (Rodinia).
+
+Each thread finds the nearest record to its query point by scanning its
+candidate-record list — one parallel loop of LC = #records with a
+min-reduction.  The paper's baseline is the modified 32-threads-per-TB
+version (§4; the original used 1 thread/TB).  Paper input 1K records;
+scaled to 512.
+
+NN is one of the two benchmarks where *intra*-warp NP wins (§5): records
+live in per-query row-major segments, so the baseline's loads stride by
+``nrec`` across the warp (uncoalesced).  Inter-warp NP keeps that broken
+pattern, while intra-warp slaves walk *consecutive* records of a few
+queries — "the intra-warp NP version can access the global memory in a
+more coalesced manner while the impact of inter-warp NP is minor."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+SOURCE = """
+__global__ void nn(float *lat, float *lng, float *qlat, float *qlng,
+                   float *best, int nrec, int nq) {
+    int tid = threadIdx.x + blockIdx.x * blockDim.x;
+    if (tid >= nq) return;
+    float qa = qlat[tid];
+    float qo = qlng[tid];
+    float bd = 3.4e38f;
+    #pragma np parallel for reduction(min:bd)
+    for (int r = 0; r < nrec; r++) {
+        float da = lat[tid * nrec + r] - qa;
+        float dg = lng[tid * nrec + r] - qo;
+        float d = da * da + dg * dg;
+        bd = fminf(bd, d);
+    }
+    best[tid] = bd;
+}
+"""
+
+
+class NnBenchmark(GpuBenchmark):
+    name = "NN"
+    paper_input = "1K"
+    characteristics = Characteristics(
+        parallel_loops=1, loop_count=1024, reduction=True, scan=False
+    )
+
+    def __init__(self, records: int = 512, queries: int = 256, block: int = 32, **kwargs):
+        super().__init__(**kwargs)
+        if queries % block:
+            raise ValueError("queries must be a multiple of the block size")
+        self.records = records
+        self.queries = queries
+        self._block = block
+        self.scaled_input = f"{records} records / {queries} queries"
+        rng = self.rng()
+        # Per-query candidate lists, row-major: query q's records occupy
+        # [q*nrec, (q+1)*nrec) — the layout that leaves the baseline (and
+        # inter-warp NP) uncoalesced but suits intra-warp slaves.
+        self.lat = as_f32(rng.uniform(-90, 90, (queries, records)))
+        self.lng = as_f32(rng.uniform(-180, 180, (queries, records)))
+        self.qlat = as_f32(rng.uniform(-90, 90, queries))
+        self.qlng = as_f32(rng.uniform(-180, 180, queries))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.queries // self._block
+
+    def make_args(self) -> dict:
+        return dict(
+            lat=self.lat.ravel().copy(),
+            lng=self.lng.ravel().copy(),
+            qlat=self.qlat.copy(),
+            qlng=self.qlng.copy(),
+            best=np.zeros(self.queries, np.float32),
+            nrec=self.records,
+            nq=self.queries,
+        )
+
+    def reference(self) -> np.ndarray:
+        da = self.lat - self.qlat[:, None]
+        do = self.lng - self.qlng[:, None]
+        return (da * da + do * do).min(axis=1).astype(np.float32)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("best")

@@ -1,0 +1,95 @@
+"""SS — streamcluster distance kernel (Rodinia).
+
+Each thread evaluates one point against the current center: a squared-
+Euclidean distance over DIM dimensions and a weighted-gain accumulation —
+two parallel reduction loops of LC = DIM (paper: DIM = 8K, scaled to 512).
+The center vector is staged in shared memory (the baseline's heavy shared
+usage, Table 1).  Points are stored dimension-major, so the baseline's
+loads are fully coalesced — inter-warp NP preserves that; intra-warp NP
+breaks it (§3.4's third trade-off), which is why inter-warp wins for SS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+SOURCE = """
+__global__ void ss(float *points, float *center, float *weight,
+                   float *cost, int dim, int npts) {
+    __shared__ float cs[1280];
+    int tid = threadIdx.x + blockIdx.x * blockDim.x;
+    for (int k = threadIdx.x; k < dim; k += blockDim.x)
+        cs[k] = center[k];
+    __syncthreads();
+    if (tid >= npts) return;
+    float d = 0;
+    #pragma np parallel for reduction(+:d)
+    for (int j = 0; j < dim; j++) {
+        float diff = points[j * npts + tid] - cs[j];
+        d += diff * diff;
+    }
+    float g = 0;
+    #pragma np parallel for reduction(+:g)
+    for (int j = 0; j < dim; j++)
+        g += points[j * npts + tid] * cs[j];
+    cost[tid] = weight[tid] * d - g;
+}
+"""
+
+
+class SsBenchmark(GpuBenchmark):
+    name = "SS"
+    paper_input = "DIM=8K"
+    characteristics = Characteristics(
+        parallel_loops=2, loop_count=8192, reduction=True, scan=False
+    )
+    rtol = 5e-3
+    atol = 5e-3
+
+    def __init__(self, dim: int = 512, points: int = 128, block: int = 64, **kwargs):
+        super().__init__(**kwargs)
+        if dim > 1280:
+            raise ValueError("scaled SS supports dim <= 1280 (shared staging)")
+        if points % block:
+            raise ValueError("points must be a multiple of the block size")
+        self.dim = dim
+        self.points = points
+        self._block = block
+        self.scaled_input = f"DIM={dim}, {points} points"
+        rng = self.rng()
+        self.p = as_f32(rng.standard_normal((points, dim)))
+        self.c = as_f32(rng.standard_normal(dim))
+        self.w = as_f32(rng.uniform(0.5, 2.0, points))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.points // self._block
+
+    def make_args(self) -> dict:
+        return dict(
+            points=self.p.T.ravel().copy(),  # dimension-major layout
+            center=self.c.copy(),
+            weight=self.w.copy(),
+            cost=np.zeros(self.points, np.float32),
+            dim=self.dim,
+            npts=self.points,
+        )
+
+    def reference(self) -> np.ndarray:
+        diff = self.p - self.c
+        d = (diff * diff).sum(axis=1)
+        g = self.p @ self.c
+        return (self.w * d - g).astype(np.float32)
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("cost")

@@ -1,0 +1,72 @@
+"""TMV — transposed-matrix–vector multiplication (paper Fig. 2).
+
+The paper's running example: each thread computes one element of
+``c = Aᵀ b`` by walking a *column* of A (coalesced across threads) and
+dot-multiplying with b.  One parallel loop of LC = height with a sum
+reduction.  Paper input 2K×2K; scaled here to 256×256 by default (the
+Fig. 13 sweep varies the width).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import Characteristics, GpuBenchmark, as_f32
+
+SOURCE = """
+__global__ void tmv(float *a, float *b, float *c, int w, int h) {
+    float sum = 0;
+    int tx = threadIdx.x + blockIdx.x * blockDim.x;
+    #pragma np parallel for reduction(+:sum)
+    for (int i = 0; i < h; i++)
+        sum += a[i*w+tx] * b[i];
+    c[tx] = sum;
+}
+"""
+
+
+class TmvBenchmark(GpuBenchmark):
+    name = "TMV"
+    paper_input = "2K*2K"
+    characteristics = Characteristics(
+        parallel_loops=1, loop_count=2048, reduction=True, scan=False
+    )
+
+    def __init__(self, width: int = 256, height: int = 256, block: int = 64, **kwargs):
+        super().__init__(**kwargs)
+        if width % block:
+            raise ValueError("width must be a multiple of the block size")
+        self.width = width
+        self.height = height
+        self._block = block
+        self.scaled_input = f"{width}x{height}"
+        rng = self.rng()
+        self.a = as_f32(rng.standard_normal((height, width)))
+        self.b = as_f32(rng.standard_normal(height))
+
+    @property
+    def source(self) -> str:
+        return SOURCE
+
+    @property
+    def block_size(self) -> int:
+        return self._block
+
+    @property
+    def grid(self) -> int:
+        return self.width // self._block
+
+    def make_args(self) -> dict:
+        return dict(
+            a=self.a.ravel().copy(),
+            b=self.b.copy(),
+            c=np.zeros(self.width, np.float32),
+            w=self.width,
+            h=self.height,
+        )
+
+    def reference(self) -> np.ndarray:
+        return self.a.T @ self.b
+
+    def output_of(self, result) -> np.ndarray:
+        return result.buffer("c")

@@ -1,0 +1,73 @@
+"""Mini-CUDA front end: a CUDA-C subset with ``#pragma np`` directives.
+
+This package provides the source language for the CUDA-NP reproduction:
+
+- :mod:`~repro.minicuda.lexer` / :mod:`~repro.minicuda.parser` — text → AST
+- :mod:`~repro.minicuda.nodes` — the AST, plus traversal helpers
+- :mod:`~repro.minicuda.build` — concise AST constructors for passes
+- :mod:`~repro.minicuda.pragma` — ``#pragma np parallel for`` parsing
+- :mod:`~repro.minicuda.check` — static semantic validation
+- :mod:`~repro.minicuda.pretty` — AST → source (the transformed-kernel view)
+"""
+
+from .check import Diagnostic, assert_valid, check_kernel
+from .errors import (
+    LexError,
+    MiniCudaError,
+    ParseError,
+    PragmaError,
+    SourceLoc,
+    TransformError,
+    TypeError_,
+)
+from .lexer import tokenize
+from .nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IntLit,
+    Kernel,
+    Member,
+    Name,
+    Node,
+    NpPragma,
+    Param,
+    PointerType,
+    Program,
+    Return,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Type,
+    Unary,
+    VarDecl,
+    While,
+    BOOL,
+    FLOAT,
+    INT,
+    UINT,
+    VOID,
+    children,
+    clone,
+    map_expr,
+    names_used,
+    substitute,
+    walk,
+)
+from .parser import const_eval, parse, parse_kernel
+from .pragma import parse_np_pragma
+from .pretty import emit_expr, emit_kernel, emit_program
+
+__all__ = [name for name in dir() if not name.startswith("_")]

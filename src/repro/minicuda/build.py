@@ -1,0 +1,218 @@
+"""Concise AST constructors.
+
+Compiler transformations build a lot of synthetic code (guards, broadcasts,
+reduction trees).  These helpers keep those passes readable:
+
+    assign(name("sum"), add(name("sum"), ix(name("a"), name("i"))))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .nodes import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    Cast,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IntLit,
+    Member,
+    Name,
+    NpPragma,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Unary,
+    VarDecl,
+)
+
+ExprLike = Union[Expr, int, float, str]
+
+
+def e(value: ExprLike) -> Expr:
+    """Coerce a Python value into an Expr.
+
+    ints/floats become literals; strings become :class:`Name` references
+    (dotted strings like ``"threadIdx.x"`` become Member chains).
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return IntLit(int(value))
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, float):
+        return FloatLit(value)
+    if isinstance(value, str):
+        if "." in value:
+            base, _, member = value.rpartition(".")
+            return Member(e(base), member)
+        return Name(value)
+    raise TypeError(f"cannot coerce {value!r} to Expr")
+
+
+def name(id_: str) -> Name:
+    return Name(id_)
+
+
+def lit(v: Union[int, float]) -> Expr:
+    return e(v)
+
+
+def member(base: ExprLike, field_: str) -> Member:
+    return Member(e(base), field_)
+
+
+def ix(base: ExprLike, *indices: ExprLike) -> Expr:
+    """Build (possibly multi-dimensional) index chain base[i][j]..."""
+    out: Expr = e(base)
+    for index in indices:
+        out = Index(out, e(index))
+    return out
+
+
+def call(func: str, *args: ExprLike) -> Call:
+    return Call(func, [e(a) for a in args])
+
+
+def binop(op: str, lhs: ExprLike, rhs: ExprLike) -> Binary:
+    return Binary(op, e(lhs), e(rhs))
+
+
+def add(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("+", a, b)
+
+
+def sub(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("-", a, b)
+
+
+def mul(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("*", a, b)
+
+
+def div(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("/", a, b)
+
+
+def mod(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("%", a, b)
+
+
+def lt(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("<", a, b)
+
+
+def le(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("<=", a, b)
+
+
+def gt(a: ExprLike, b: ExprLike) -> Binary:
+    return binop(">", a, b)
+
+
+def ge(a: ExprLike, b: ExprLike) -> Binary:
+    return binop(">=", a, b)
+
+
+def eq(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("==", a, b)
+
+
+def ne(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("!=", a, b)
+
+
+def land(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("&&", a, b)
+
+
+def lor(a: ExprLike, b: ExprLike) -> Binary:
+    return binop("||", a, b)
+
+
+def neg(a: ExprLike) -> Unary:
+    return Unary("-", e(a))
+
+
+def lnot(a: ExprLike) -> Unary:
+    return Unary("!", e(a))
+
+
+def ternary(c: ExprLike, t: ExprLike, f: ExprLike) -> Ternary:
+    return Ternary(e(c), e(t), e(f))
+
+
+def cast(type_name: str, expr: ExprLike) -> Cast:
+    return Cast(ScalarType(type_name), e(expr))
+
+
+def assign(target: ExprLike, value: ExprLike, op: str = "=") -> Assign:
+    return Assign(e(target), op, e(value))
+
+
+def decl(
+    name_: str,
+    type_,
+    init: Optional[ExprLike] = None,
+    const: bool = False,
+) -> VarDecl:
+    return VarDecl(name_, type_, None if init is None else e(init), const=const)
+
+
+def block(*stmts: Union[Stmt, Sequence[Stmt]]) -> Block:
+    flat: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Stmt):
+            flat.append(s)
+        else:
+            flat.extend(s)
+    return Block(flat)
+
+
+def if_(cond: ExprLike, then: Union[Block, Sequence[Stmt], Stmt], els=None) -> If:
+    def as_block(x) -> Block:
+        if isinstance(x, Block):
+            return x
+        if isinstance(x, Stmt):
+            return Block([x])
+        return Block(list(x))
+
+    return If(e(cond), as_block(then), None if els is None else as_block(els))
+
+
+def for_range(
+    var: str,
+    start: ExprLike,
+    stop: ExprLike,
+    body: Union[Block, Sequence[Stmt]],
+    step: ExprLike = 1,
+    pragma: Optional[NpPragma] = None,
+) -> For:
+    """``for (int var = start; var < stop; var += step) body``."""
+    from .nodes import INT
+
+    if not isinstance(body, Block):
+        body = Block(list(body))
+    return For(
+        init=VarDecl(var, INT, e(start)),
+        cond=binop("<", name(var), e(stop)),
+        update=Assign(name(var), "+=", e(step)),
+        body=body,
+        pragma=pragma,
+    )
+
+
+def expr_stmt(expr: ExprLike) -> ExprStmt:
+    return ExprStmt(e(expr))
+
+
+def sync() -> ExprStmt:
+    return ExprStmt(call("__syncthreads"))

@@ -1,0 +1,280 @@
+"""Static semantic checks for mini-CUDA kernels.
+
+A real source-to-source compiler diagnoses broken input before transforming
+it; this pass catches what the interpreter would otherwise only hit at
+runtime:
+
+- uses of undeclared variables;
+- writes to kernel parameters' scalar values or to constant arrays;
+- indexing a scalar / calling an unknown device function;
+- wrong index arity for shared arrays, pointers and local arrays;
+- ``__syncthreads`` used as a value;
+- ``break``/``continue`` outside loops;
+- pragma clause variables that do not exist or are not private scalars.
+
+``check_kernel`` returns diagnostics; ``assert_valid`` raises on the first
+error.  The CUDA-NP pipeline runs it before transforming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import SourceLoc, TypeError_
+from .nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    Kernel,
+    Member,
+    Name,
+    PointerType,
+    Return,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+)
+
+#: Builtin dim3 names and the functions the simulator implements.
+_BUILTIN_DIMS = {"threadIdx", "blockIdx", "blockDim", "gridDim"}
+_KNOWN_CALLS = {
+    "__syncthreads", "__shfl", "__shfl_up", "__shfl_down",
+    "atomicAdd", "tex1Dfetch",
+    "sqrtf", "sqrt", "rsqrtf", "expf", "__expf", "logf", "sinf", "cosf",
+    "fabsf", "fabs", "floorf", "ceilf", "powf", "fminf", "fmaxf", "fmodf",
+    "min", "max", "abs",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One semantic problem found in a kernel."""
+
+    message: str
+    loc: SourceLoc
+    severity: str = "error"  # 'error' | 'warning'
+
+    def __str__(self) -> str:
+        return f"[{self.loc}] {self.severity}: {self.message}"
+
+
+class _Checker:
+    def __init__(self, kernel: Kernel, extra_names: set[str]):
+        self.kernel = kernel
+        self.diags: list[Diagnostic] = []
+        self.scope: dict[str, object] = {}
+        for p in kernel.params:
+            self.scope[p.name] = p.type
+        for cname in kernel.const_env:
+            self.scope[cname] = ScalarType("int")
+        for name in extra_names:
+            self.scope.setdefault(name, "external")
+        self.loop_depth = 0
+
+    def error(self, message: str, node) -> None:
+        self.diags.append(Diagnostic(message, getattr(node, "loc", SourceLoc())))
+
+    def warn(self, message: str, node) -> None:
+        self.diags.append(
+            Diagnostic(message, getattr(node, "loc", SourceLoc()), "warning")
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def check_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self.check_stmt(stmt)
+
+    def check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            if stmt.init is not None:
+                self.check_expr(stmt.init)
+            self.scope[stmt.name] = stmt.type
+        elif isinstance(stmt, Assign):
+            self.check_assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self.check_expr(stmt.expr, as_statement=True)
+        elif isinstance(stmt, Block):
+            self.check_block(stmt)
+        elif isinstance(stmt, If):
+            self.check_expr(stmt.cond)
+            self.check_block(stmt.then)
+            if stmt.els is not None:
+                self.check_block(stmt.els)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self.check_expr(stmt.cond)
+            self.loop_depth += 1
+            if stmt.update is not None:
+                self.check_stmt(stmt.update)
+            self.check_block(stmt.body)
+            self.loop_depth -= 1
+            if stmt.pragma is not None:
+                self.check_pragma(stmt)
+        elif isinstance(stmt, While):
+            self.check_expr(stmt.cond)
+            self.loop_depth += 1
+            self.check_block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, (Break, Continue)):
+            if self.loop_depth == 0:
+                word = "break" if isinstance(stmt, Break) else "continue"
+                self.error(f"'{word}' outside of a loop", stmt)
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self.check_expr(stmt.value)
+
+    def check_assign(self, stmt: Assign) -> None:
+        self.check_expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, Name):
+            declared = self.scope.get(target.id)
+            if declared is None:
+                self.error(f"assignment to undeclared variable {target.id!r}", target)
+            elif isinstance(declared, ArrayType):
+                self.error(
+                    f"cannot assign to array {target.id!r} as a whole", target
+                )
+        elif isinstance(target, Index):
+            root = self.check_index(target)
+            if isinstance(root, ArrayType) and root.space == "constant":
+                self.error("constant arrays are read-only", target)
+        else:
+            self.error("invalid assignment target", target)
+
+    def check_pragma(self, loop: For) -> None:
+        assert loop.pragma is not None
+        for op, var in loop.pragma.reductions + loop.pragma.scans:
+            declared = self.scope.get(var)
+            if declared is None:
+                self.error(
+                    f"pragma names unknown variable {var!r}", loop
+                )
+            elif not isinstance(declared, ScalarType):
+                self.error(
+                    f"pragma reduction/scan variable {var!r} must be a "
+                    "private scalar", loop
+                )
+
+    # -- expressions -----------------------------------------------------------
+
+    def check_expr(self, expr: Expr, as_statement: bool = False):
+        """Returns the declared type when resolvable (for index checking)."""
+        if isinstance(expr, Name):
+            declared = self.scope.get(expr.id)
+            if declared is None and expr.id not in _BUILTIN_DIMS:
+                self.error(f"use of undeclared variable {expr.id!r}", expr)
+            return declared
+        if isinstance(expr, Member):
+            if not (isinstance(expr.base, Name) and expr.base.id in _BUILTIN_DIMS):
+                self.error("member access is only defined on builtin dim3", expr)
+            elif expr.name not in ("x", "y", "z"):
+                self.error(f"dim3 has no member {expr.name!r}", expr)
+            return ScalarType("int")
+        if isinstance(expr, Index):
+            return self.check_index(expr)
+        if isinstance(expr, Call):
+            return self.check_call(expr, as_statement)
+        if isinstance(expr, Unary):
+            self.check_expr(expr.operand)
+            return None
+        if isinstance(expr, Cast):
+            self.check_expr(expr.expr)
+            return expr.type
+        if isinstance(expr, Binary):
+            self.check_expr(expr.lhs)
+            self.check_expr(expr.rhs)
+            return None
+        if isinstance(expr, Ternary):
+            self.check_expr(expr.cond)
+            self.check_expr(expr.then)
+            self.check_expr(expr.els)
+            return None
+        return None  # literals
+
+    def check_index(self, expr: Index):
+        indices: list[Expr] = []
+        node: Expr = expr
+        while isinstance(node, Index):
+            indices.append(node.index)
+            node = node.base
+        for idx in indices:
+            self.check_expr(idx)
+        if isinstance(node, Name) and node.id not in self.scope:
+            # Unknown index roots may be launch-bound constant buffers or
+            # texture references; flag them softly instead of failing.
+            self.warn(
+                f"{node.id!r} is not declared; assuming a launch-bound buffer",
+                node,
+            )
+            return None
+        root_type = self.check_expr(node)
+        if root_type == "external":
+            return None  # bound at launch (texture / const buffer)
+        if isinstance(root_type, ScalarType):
+            self.error("cannot index a scalar value", expr)
+            return None
+        if isinstance(root_type, PointerType) and len(indices) != 1:
+            self.error("pointers take exactly one index", expr)
+        if isinstance(root_type, ArrayType) and len(indices) != len(root_type.dims):
+            self.error(
+                f"array expects {len(root_type.dims)} indices, got {len(indices)}",
+                expr,
+            )
+        return root_type
+
+    def check_call(self, expr: Call, as_statement: bool):
+        if expr.func == "__syncthreads":
+            if not as_statement:
+                self.error("__syncthreads() cannot be used as a value", expr)
+            if expr.args:
+                self.error("__syncthreads() takes no arguments", expr)
+            return None
+        if expr.func not in _KNOWN_CALLS:
+            self.error(f"unknown device function {expr.func!r}", expr)
+        if expr.func == "tex1Dfetch":
+            # First argument is a texture *reference* bound at launch time;
+            # only the index expression is checked.
+            if len(expr.args) == 2:
+                self.check_expr(expr.args[1])
+            else:
+                self.error("tex1Dfetch expects (texture, index)", expr)
+            return None
+        for arg in expr.args:
+            self.check_expr(arg)
+        return None
+
+
+def check_kernel(kernel: Kernel, extra_names: set[str] = frozenset()) -> list[Diagnostic]:
+    """Semantic-check a kernel; returns all diagnostics found.
+
+    ``extra_names`` declares launch-bound objects (textures, constant
+    buffers) that are not kernel parameters.
+    """
+    checker = _Checker(kernel, set(extra_names))
+    checker.check_block(kernel.body)
+    return checker.diags
+
+
+def assert_valid(kernel: Kernel, extra_names: set[str] = frozenset()) -> None:
+    """Raise :class:`TypeError_` on the first semantic *error* (warnings —
+    e.g. launch-bound buffers the checker cannot see — pass)."""
+    errors = [d for d in check_kernel(kernel, extra_names) if d.severity == "error"]
+    if errors:
+        raise TypeError_(str(errors[0]), errors[0].loc)

@@ -1,0 +1,122 @@
+"""Hand-written lexer for the mini-CUDA language.
+
+The lexer understands C-style comments, ``#define NAME value`` object-like
+macros (expanded textually, the way the paper's benchmarks use
+``#define BLOCK_SIZE 16`` / ``#define NPOINTS 150``), and keeps
+``#pragma ...`` lines as single PRAGMA tokens so the parser can attach them
+to the following loop.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import LexError, SourceLoc
+from .tokens import KEYWORDS, PUNCTUATORS, TokKind, Token
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# Floats require a '.' or exponent or trailing f; plain integers handled apart.
+_FLOAT_RE = re.compile(r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?[fF]?")
+_INT_RE = re.compile(r"(?:0[xX][0-9a-fA-F]+|\d+)[uU]?")
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s+(.*?)\s*$")
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+(.*?)\s*$")
+
+
+def _strip_comments(src: str) -> str:
+    """Remove // and /* */ comments while preserving newlines for locations."""
+    out: list[str] = []
+    i, n = 0, len(src)
+    while i < n:
+        ch = src[i]
+        if ch == "/" and i + 1 < n and src[i + 1] == "/":
+            j = src.find("\n", i)
+            i = n if j < 0 else j
+        elif ch == "/" and i + 1 < n and src[i + 1] == "*":
+            j = src.find("*/", i + 2)
+            if j < 0:
+                raise LexError("unterminated block comment")
+            out.append("\n" * src.count("\n", i, j + 2))
+            i = j + 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Lexer:
+    """Tokenizes mini-CUDA source into a list of :class:`Token`."""
+
+    def __init__(self, source: str):
+        self._source = _strip_comments(source)
+        self._defines: dict[str, str] = {}
+
+    @property
+    def defines(self) -> dict[str, str]:
+        """Object-like macros collected while lexing (name -> replacement)."""
+        return dict(self._defines)
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        for lineno, raw_line in enumerate(self._source.split("\n"), start=1):
+            line = raw_line
+            m = _DEFINE_RE.match(line)
+            if m:
+                self._defines[m.group(1)] = m.group(2)
+                continue
+            m = _PRAGMA_RE.match(line)
+            if m:
+                tokens.append(
+                    Token(TokKind.PRAGMA, m.group(1), SourceLoc(lineno, 1))
+                )
+                continue
+            tokens.extend(self._lex_line(line, lineno))
+        tokens.append(Token(TokKind.EOF, "", SourceLoc(0, 0)))
+        return tokens
+
+    def _lex_line(self, line: str, lineno: int) -> list[Token]:
+        tokens: list[Token] = []
+        i, n = 0, len(line)
+        while i < n:
+            ch = line[i]
+            if ch in " \t\r":
+                i += 1
+                continue
+            loc = SourceLoc(lineno, i + 1)
+            if ch.isalpha() or ch == "_":
+                m = _IDENT_RE.match(line, i)
+                assert m is not None
+                word = m.group(0)
+                i = m.end()
+                if word in self._defines:
+                    # Textual macro expansion: re-lex the replacement.
+                    tokens.extend(self._lex_line(self._defines[word], lineno))
+                elif word in KEYWORDS:
+                    tokens.append(Token(TokKind.KEYWORD, word, loc))
+                else:
+                    tokens.append(Token(TokKind.IDENT, word, loc))
+                continue
+            if ch.isdigit() or (ch == "." and i + 1 < n and line[i + 1].isdigit()):
+                fm = _FLOAT_RE.match(line, i)
+                im = _INT_RE.match(line, i)
+                # Prefer float if its lexeme is longer (contains '.', 'e', 'f').
+                if fm and (not im or len(fm.group(0)) > len(im.group(0))):
+                    tokens.append(Token(TokKind.FLOAT, fm.group(0), loc))
+                    i = fm.end()
+                else:
+                    assert im is not None
+                    tokens.append(Token(TokKind.INT, im.group(0), loc))
+                    i = im.end()
+                continue
+            for punct in PUNCTUATORS:
+                if line.startswith(punct, i):
+                    tokens.append(Token(TokKind.PUNCT, punct, loc))
+                    i += len(punct)
+                    break
+            else:
+                raise LexError(f"unexpected character {ch!r}", loc)
+        return tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into tokens."""
+    return Lexer(source).tokenize()

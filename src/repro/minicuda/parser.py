@@ -1,0 +1,530 @@
+"""Recursive-descent parser for the mini-CUDA language.
+
+Produces the :mod:`repro.minicuda.nodes` AST.  The grammar is the C subset
+that the paper's benchmarks exercise: kernel definitions, scalar / pointer /
+array declarations (with ``__shared__``), structured control flow, full C
+expression precedence, casts, and ``#pragma np`` directives attached to the
+following ``for`` loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import ParseError, SourceLoc
+from .lexer import Lexer
+from .nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    Cast,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IntLit,
+    Kernel,
+    Member,
+    Name,
+    Param,
+    PointerType,
+    Program,
+    Return,
+    Break,
+    Continue,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Type,
+    Unary,
+    VarDecl,
+    While,
+)
+from .pragma import is_np_pragma, parse_np_pragma
+from .tokens import TokKind, Token
+
+# Binary operator precedence (C-like).  Higher binds tighter.
+_BINOP_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+_TYPE_KEYWORDS = ("void", "int", "unsigned", "float", "bool", "char")
+
+
+class Parser:
+    """Parses a token stream into a :class:`Program`."""
+
+    def __init__(self, tokens: list[Token], defines: Optional[dict[str, str]] = None):
+        self._toks = tokens
+        self._pos = 0
+        self._defines = defines or {}
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self._pos + offset, len(self._toks) - 1)
+        return self._toks[i]
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._next()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._peek().is_keyword(text):
+            self._next()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.loc)
+        return self._next()
+
+    def _expect_ident(self) -> Token:
+        tok = self._peek()
+        if tok.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.loc)
+        return self._next()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program(defines=dict(self._defines))
+        while self._peek().kind is not TokKind.EOF:
+            tok = self._peek()
+            if tok.is_keyword("__global__") or tok.is_keyword("__device__"):
+                kernel = self._parse_kernel()
+                program.kernels[kernel.name] = kernel
+            else:
+                raise ParseError(
+                    f"expected kernel definition, found {tok.text!r}", tok.loc
+                )
+        return program
+
+    def _parse_kernel(self) -> Kernel:
+        loc = self._peek().loc
+        self._next()  # __global__ / __device__
+        ret = self._parse_scalar_type_name()
+        if ret.name != "void":
+            raise ParseError("kernels must return void", loc)
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: list[Param] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                params.append(self._parse_param())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return Kernel(name=name, params=params, body=body, loc=loc)
+
+    def _parse_param(self) -> Param:
+        loc = self._peek().loc
+        self._accept_keyword("const")
+        scalar = self._parse_scalar_type_name()
+        self._accept_keyword("const")
+        type_: Type = scalar
+        if self._accept_punct("*"):
+            type_ = PointerType(scalar)
+            self._accept_keyword("__restrict__")
+            self._accept_keyword("const")
+        name = self._expect_ident().text
+        return Param(name=name, type=type_, loc=loc)
+
+    def _parse_scalar_type_name(self) -> ScalarType:
+        tok = self._peek()
+        if tok.is_keyword("unsigned"):
+            self._next()
+            self._accept_keyword("int")
+            return ScalarType("uint")
+        for kw in _TYPE_KEYWORDS:
+            if tok.is_keyword(kw):
+                self._next()
+                return ScalarType({"char": "int"}.get(kw, kw))
+        raise ParseError(f"expected type name, found {tok.text!r}", tok.loc)
+
+    def _at_type(self, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        return tok.kind is TokKind.KEYWORD and tok.text in (
+            _TYPE_KEYWORDS + ("const", "__shared__", "__constant__", "unsigned")
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        self._expect_punct("{")
+        stmts: list[Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokKind.EOF:
+                raise ParseError("unterminated block", self._peek().loc)
+            stmts.extend(self._parse_stmt())
+        self._expect_punct("}")
+        return Block(stmts)
+
+    def _parse_stmt_as_block(self) -> Block:
+        """Parse a statement; wrap a non-block statement in a Block."""
+        if self._peek().is_punct("{"):
+            return self._parse_block()
+        return Block(self._parse_stmt())
+
+    def _parse_stmt(self) -> list[Stmt]:
+        tok = self._peek()
+        if tok.kind is TokKind.PRAGMA:
+            self._next()
+            if not is_np_pragma(tok.text):
+                return []  # ignore foreign pragmas (e.g. unroll)
+            pragma = parse_np_pragma(tok.text, tok.loc)
+            nxt = self._peek()
+            if not nxt.is_keyword("for"):
+                raise ParseError(
+                    "#pragma np parallel for must precede a for loop", tok.loc
+                )
+            stmt = self._parse_for()
+            stmt.pragma = pragma
+            return [stmt]
+        if tok.is_punct("{"):
+            return [self._parse_block()]
+        if tok.is_punct(";"):
+            self._next()
+            return []
+        if tok.is_keyword("if"):
+            return [self._parse_if()]
+        if tok.is_keyword("for"):
+            return [self._parse_for()]
+        if tok.is_keyword("while"):
+            return [self._parse_while()]
+        if tok.is_keyword("return"):
+            self._next()
+            value = None if self._peek().is_punct(";") else self._parse_expr()
+            self._expect_punct(";")
+            return [Return(value, loc=tok.loc)]
+        if tok.is_keyword("break"):
+            self._next()
+            self._expect_punct(";")
+            return [Break(loc=tok.loc)]
+        if tok.is_keyword("continue"):
+            self._next()
+            self._expect_punct(";")
+            return [Continue(loc=tok.loc)]
+        if self._at_type():
+            decls = self._parse_decls()
+            self._expect_punct(";")
+            return decls
+        stmt = self._parse_expr_or_assign()
+        self._expect_punct(";")
+        return [stmt]
+
+    def _parse_if(self) -> If:
+        loc = self._next().loc  # 'if'
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then = self._parse_stmt_as_block()
+        els = None
+        if self._accept_keyword("else"):
+            if self._peek().is_keyword("if"):
+                els = Block([self._parse_if()])
+            else:
+                els = self._parse_stmt_as_block()
+        return If(cond, then, els, loc=loc)
+
+    def _parse_for(self) -> For:
+        loc = self._next().loc  # 'for'
+        self._expect_punct("(")
+        init: Optional[Stmt] = None
+        if not self._peek().is_punct(";"):
+            if self._at_type():
+                decls = self._parse_decls()
+                if len(decls) != 1:
+                    raise ParseError("for-init must declare one variable", loc)
+                init = decls[0]
+            else:
+                init = self._parse_expr_or_assign()
+        self._expect_punct(";")
+        cond = None if self._peek().is_punct(";") else self._parse_expr()
+        self._expect_punct(";")
+        update = None
+        if not self._peek().is_punct(")"):
+            update = self._parse_expr_or_assign()
+        self._expect_punct(")")
+        body = self._parse_stmt_as_block()
+        return For(init, cond, update, body, loc=loc)
+
+    def _parse_while(self) -> While:
+        loc = self._next().loc
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_stmt_as_block()
+        return While(cond, body, loc=loc)
+
+    def _parse_decls(self) -> list[Stmt]:
+        loc = self._peek().loc
+        space = "local"
+        if self._accept_keyword("__shared__"):
+            space = "shared"
+        elif self._accept_keyword("__constant__"):
+            space = "constant"
+        const = self._accept_keyword("const")
+        scalar = self._parse_scalar_type_name()
+        const = self._accept_keyword("const") or const
+
+        decls: list[Stmt] = []
+        while True:
+            is_ptr = self._accept_punct("*")
+            name = self._expect_ident().text
+            dims: list[int] = []
+            while self._accept_punct("["):
+                dim_expr = self._parse_expr()
+                self._expect_punct("]")
+                dims.append(self._const_int(dim_expr))
+            type_: Type
+            if dims:
+                if is_ptr:
+                    raise ParseError("pointer-to-array not supported", loc)
+                type_ = ArrayType(scalar, tuple(dims), space)
+            elif is_ptr:
+                type_ = PointerType(scalar)
+            else:
+                if space != "local":
+                    raise ParseError(
+                        f"{space} qualifier requires an array declaration", loc
+                    )
+                type_ = scalar
+            init = None
+            if self._accept_punct("="):
+                init = self._parse_assign_rhs()
+            decls.append(VarDecl(name, type_, init, const=const, loc=loc))
+            if not self._accept_punct(","):
+                break
+        return decls
+
+    def _parse_expr_or_assign(self) -> Stmt:
+        loc = self._peek().loc
+        # Prefix ++/--
+        for op, delta in (("++", 1), ("--", -1)):
+            if self._peek().is_punct(op):
+                self._next()
+                target = self._parse_unary()
+                return Assign(target, "+=", IntLit(delta), loc=loc)
+        expr = self._parse_ternary()
+        tok = self._peek()
+        if tok.kind is TokKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assign_rhs()
+            if not isinstance(expr, (Name, Index, Member)):
+                raise ParseError("invalid assignment target", loc)
+            return Assign(expr, tok.text, value, loc=loc)
+        for op, delta in (("++", 1), ("--", -1)):
+            if self._accept_punct(op):
+                return Assign(expr, "+=", IntLit(delta), loc=loc)
+        return ExprStmt(expr, loc=loc)
+
+    def _parse_assign_rhs(self) -> Expr:
+        return self._parse_ternary()
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(0)
+        if self._accept_punct("?"):
+            then = self._parse_ternary()
+            self._expect_punct(":")
+            els = self._parse_ternary()
+            return Ternary(cond, then, els)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokKind.PUNCT:
+                return lhs
+            prec = _BINOP_PREC.get(tok.text, 0)
+            if prec == 0 or prec < min_prec:
+                return lhs
+            self._next()
+            rhs = self._parse_binary(prec + 1)
+            lhs = Binary(tok.text, lhs, rhs, loc=tok.loc)
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokKind.PUNCT and tok.text in ("-", "+", "!", "~"):
+            self._next()
+            return Unary(tok.text, self._parse_unary(), loc=tok.loc)
+        if tok.is_punct("(") and self._at_type(1):
+            # Cast: '(' type [*]? ')' unary   (pointer casts are decayed)
+            self._next()
+            scalar = self._parse_scalar_type_name()
+            self._accept_punct("*")
+            self._expect_punct(")")
+            return Cast(scalar, self._parse_unary(), loc=tok.loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.is_punct("["):
+                self._next()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                expr = Index(expr, index, loc=tok.loc)
+            elif tok.is_punct("."):
+                self._next()
+                member = self._expect_ident().text
+                expr = Member(expr, member, loc=tok.loc)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        if tok.is_punct("("):
+            self._next()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if tok.kind is TokKind.INT:
+            self._next()
+            text = tok.text.rstrip("uU")
+            return IntLit(int(text, 0), loc=tok.loc)
+        if tok.kind is TokKind.FLOAT:
+            self._next()
+            return FloatLit(float(tok.text.rstrip("fF")), loc=tok.loc)
+        if tok.is_keyword("true"):
+            self._next()
+            return BoolLit(True, loc=tok.loc)
+        if tok.is_keyword("false"):
+            self._next()
+            return BoolLit(False, loc=tok.loc)
+        if tok.kind is TokKind.IDENT:
+            self._next()
+            if self._peek().is_punct("("):
+                self._next()
+                args: list[Expr] = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_ternary())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                return Call(tok.text, args, loc=tok.loc)
+            return Name(tok.text, loc=tok.loc)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.loc)
+
+    # -- constant folding ----------------------------------------------------
+
+    def _const_int(self, expr: Expr) -> int:
+        value = const_eval(expr)
+        if not isinstance(value, int):
+            raise ParseError("array dimension must be a constant integer", expr.loc)
+        return value
+
+
+def const_eval(expr: Expr):
+    """Evaluate a constant expression to a Python int/float, or None."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, FloatLit):
+        return expr.value
+    if isinstance(expr, BoolLit):
+        return int(expr.value)
+    if isinstance(expr, Unary):
+        v = const_eval(expr.operand)
+        if v is None:
+            return None
+        return {"-": lambda x: -x, "+": lambda x: x, "!": lambda x: int(not x), "~": lambda x: ~x}[
+            expr.op
+        ](v)
+    if isinstance(expr, Binary):
+        a, b = const_eval(expr.lhs), const_eval(expr.rhs)
+        if a is None or b is None:
+            return None
+        if expr.op == "/" and isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                return None
+            return int(a / b)  # C semantics: truncate toward zero
+        if expr.op == "%" and isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                return None
+            return a - int(a / b) * b
+        ops = {
+            "+": lambda x, y: x + y,
+            "-": lambda x, y: x - y,
+            "*": lambda x, y: x * y,
+            "/": lambda x, y: x / y if y else None,
+            "<<": lambda x, y: x << y,
+            ">>": lambda x, y: x >> y,
+            "&": lambda x, y: x & y,
+            "|": lambda x, y: x | y,
+            "^": lambda x, y: x ^ y,
+            "<": lambda x, y: int(x < y),
+            ">": lambda x, y: int(x > y),
+            "<=": lambda x, y: int(x <= y),
+            ">=": lambda x, y: int(x >= y),
+            "==": lambda x, y: int(x == y),
+            "!=": lambda x, y: int(x != y),
+            "&&": lambda x, y: int(bool(x) and bool(y)),
+            "||": lambda x, y: int(bool(x) or bool(y)),
+        }
+        fn = ops.get(expr.op)
+        return None if fn is None else fn(a, b)
+    return None
+
+
+def parse(source: str) -> Program:
+    """Parse mini-CUDA ``source`` into a :class:`Program`."""
+    lexer = Lexer(source)
+    tokens = lexer.tokenize()
+    return Parser(tokens, lexer.defines).parse_program()
+
+
+def parse_kernel(source: str, name: Optional[str] = None) -> Kernel:
+    """Parse ``source`` and return one kernel (by name, or the only one)."""
+    program = parse(source)
+    if name is not None:
+        if name not in program.kernels:
+            raise ParseError(f"kernel {name!r} not found")
+        return program.kernels[name]
+    if len(program.kernels) != 1:
+        raise ParseError(
+            f"expected exactly one kernel, found {sorted(program.kernels)}"
+        )
+    return next(iter(program.kernels.values()))

@@ -1,0 +1,105 @@
+"""Parser for ``#pragma np`` directives (paper §3.6).
+
+Grammar (all clauses optional, any order after ``parallel for``)::
+
+    #pragma np parallel for
+        [reduction(op : var[, var...])]
+        [scan(op : var[, var...])]
+        [copyin(var[, var...])]
+        [num_threads(N)]
+        [np_type(inter|intra)]
+        [sm_version(N)]
+
+``op`` is one of ``+``, ``*``, ``min``, ``max``.  Multiple reduction/scan
+clauses are allowed and accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import PragmaError, SourceLoc
+from .nodes import NpPragma
+
+#: Reduction operators supported by the code generators.
+REDUCTION_OPS = ("+", "*", "min", "max")
+#: Scan needs an invertible-free two-phase implementation: + and * only.
+SCAN_OPS = ("+", "*")
+
+_CLAUSE_RE = re.compile(r"([A-Za-z_]+)\s*\(([^)]*)\)")
+
+
+def is_np_pragma(text: str) -> bool:
+    """True when a raw pragma body (after '#pragma') belongs to CUDA-NP."""
+    return text.split()[:1] == ["np"]
+
+
+def parse_np_pragma(text: str, loc: SourceLoc | None = None) -> NpPragma:
+    """Parse the body of a ``#pragma np ...`` line into an :class:`NpPragma`."""
+    stripped = text.strip()
+    if not stripped.startswith("np"):
+        raise PragmaError(f"not an np pragma: {text!r}", loc)
+    rest = stripped[2:].strip()
+    if not re.match(r"^parallel\s+for\b", rest):
+        raise PragmaError(f"expected 'parallel for' in pragma: {text!r}", loc)
+    rest = re.sub(r"^parallel\s+for\b", "", rest).strip()
+
+    pragma = NpPragma()
+    consumed_spans: list[tuple[int, int]] = []
+    for m in _CLAUSE_RE.finditer(rest):
+        clause, body = m.group(1), m.group(2).strip()
+        consumed_spans.append(m.span())
+        if clause == "reduction":
+            pragma.reductions.extend(_parse_op_list(clause, body, loc, REDUCTION_OPS))
+        elif clause == "scan":
+            pragma.scans.extend(_parse_op_list(clause, body, loc, SCAN_OPS))
+        elif clause == "copyin":
+            pragma.copyins.extend(_parse_var_list(clause, body, loc))
+        elif clause == "num_threads":
+            pragma.num_threads = _parse_int(clause, body, loc)
+            if pragma.num_threads < 1:
+                raise PragmaError(f"num_threads must be >= 1, got {body}", loc)
+        elif clause == "np_type":
+            if body not in ("inter", "intra"):
+                raise PragmaError(f"np_type must be inter|intra, got {body!r}", loc)
+            pragma.np_type = body
+        elif clause == "sm_version":
+            pragma.sm_version = _parse_int(clause, body, loc)
+        else:
+            raise PragmaError(f"unknown np clause {clause!r}", loc)
+
+    leftover = rest
+    for start, end in reversed(consumed_spans):
+        leftover = leftover[:start] + leftover[end:]
+    if leftover.strip():
+        raise PragmaError(f"trailing junk in np pragma: {leftover.strip()!r}", loc)
+    return pragma
+
+
+def _parse_op_list(clause: str, body: str, loc, allowed) -> list[tuple[str, str]]:
+    if ":" not in body:
+        raise PragmaError(f"{clause} clause needs 'op : vars', got {body!r}", loc)
+    op, _, vars_part = body.partition(":")
+    op = op.strip()
+    if op not in allowed:
+        raise PragmaError(
+            f"unsupported {clause} operator {op!r} (supported: {allowed})", loc
+        )
+    return [(op, v) for v in _parse_var_list(clause, vars_part, loc)]
+
+
+def _parse_var_list(clause: str, body: str, loc) -> list[str]:
+    out = [v.strip() for v in body.split(",") if v.strip()]
+    if not out:
+        raise PragmaError(f"empty variable list in {clause} clause", loc)
+    for v in out:
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", v):
+            raise PragmaError(f"bad variable name {v!r} in {clause} clause", loc)
+    return out
+
+
+def _parse_int(clause: str, body: str, loc) -> int:
+    try:
+        return int(body, 0)
+    except ValueError as exc:
+        raise PragmaError(f"{clause} expects an integer, got {body!r}", loc) from exc

@@ -1,0 +1,247 @@
+"""Pretty-printer: emits mini-CUDA AST back as source text.
+
+This is the "output kernel" half of the source-to-source story (the paper's
+Fig. 3b): after the CUDA-NP transformation the user can inspect the generated
+kernel as readable CUDA-like code.  The printer is also used for parser
+round-trip testing (parse → print → parse yields an equivalent tree).
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IntLit,
+    Kernel,
+    Member,
+    Name,
+    NpPragma,
+    PointerType,
+    Program,
+    Return,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+)
+
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def emit_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing only where precedence requires."""
+    text, prec = _expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: Expr) -> tuple[str, int]:
+    if isinstance(expr, IntLit):
+        return str(expr.value), _POSTFIX_PREC
+    if isinstance(expr, FloatLit):
+        value = expr.value
+        text = repr(float(value))
+        if text.endswith(".0"):
+            text = text[:-1]  # 3.0 -> '3.'
+        return f"{text}f", _POSTFIX_PREC
+    if isinstance(expr, BoolLit):
+        return ("true" if expr.value else "false"), _POSTFIX_PREC
+    if isinstance(expr, Name):
+        return expr.id, _POSTFIX_PREC
+    if isinstance(expr, Member):
+        return f"{emit_expr(expr.base, _POSTFIX_PREC)}.{expr.name}", _POSTFIX_PREC
+    if isinstance(expr, Index):
+        return (
+            f"{emit_expr(expr.base, _POSTFIX_PREC)}[{emit_expr(expr.index)}]",
+            _POSTFIX_PREC,
+        )
+    if isinstance(expr, Call):
+        args = ", ".join(emit_expr(a) for a in expr.args)
+        return f"{expr.func}({args})", _POSTFIX_PREC
+    if isinstance(expr, Unary):
+        inner = emit_expr(expr.operand, _UNARY_PREC)
+        return f"{expr.op}{inner}", _UNARY_PREC
+    if isinstance(expr, Cast):
+        inner = emit_expr(expr.expr, _UNARY_PREC)
+        return f"({expr.type}){inner}", _UNARY_PREC
+    if isinstance(expr, Binary):
+        prec = _PREC[expr.op]
+        lhs = emit_expr(expr.lhs, prec)
+        rhs = emit_expr(expr.rhs, prec + 1)  # left-assoc
+        return f"{lhs} {expr.op} {rhs}", prec
+    if isinstance(expr, Ternary):
+        cond = emit_expr(expr.cond, 1)
+        return f"{cond} ? {emit_expr(expr.then)} : {emit_expr(expr.els)}", 0
+    raise TypeError(f"cannot emit expression {expr!r}")
+
+
+def _emit_pragma(pragma: NpPragma) -> str:
+    parts = ["#pragma np parallel for"]
+    for op, var in pragma.reductions:
+        parts.append(f"reduction({op}:{var})")
+    for op, var in pragma.scans:
+        parts.append(f"scan({op}:{var})")
+    if pragma.copyins:
+        parts.append(f"copyin({', '.join(pragma.copyins)})")
+    if pragma.num_threads is not None:
+        parts.append(f"num_threads({pragma.num_threads})")
+    if pragma.np_type is not None:
+        parts.append(f"np_type({pragma.np_type})")
+    if pragma.sm_version is not None:
+        parts.append(f"sm_version({pragma.sm_version})")
+    return " ".join(parts)
+
+
+def _emit_decl_inline(decl: VarDecl) -> str:
+    type_ = decl.type
+    const = "const " if decl.const else ""
+    if isinstance(type_, ScalarType):
+        head = f"{const}{type_} {decl.name}"
+    elif isinstance(type_, PointerType):
+        head = f"{const}{type_.elem} *{decl.name}"
+    elif isinstance(type_, ArrayType):
+        qual = {
+            "shared": "__shared__ ",
+            "constant": "__constant__ ",
+            "local": "",
+            "reg": "",
+        }[type_.space]
+        dims = "".join(f"[{d}]" for d in type_.dims)
+        head = f"{qual}{const}{type_.elem} {decl.name}{dims}"
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot emit declaration of type {type_!r}")
+    if decl.init is not None:
+        head += f" = {emit_expr(decl.init)}"
+    return head
+
+
+def _emit_for_clause(stmt) -> str:
+    if stmt is None:
+        return ""
+    if isinstance(stmt, VarDecl):
+        return _emit_decl_inline(stmt)
+    if isinstance(stmt, Assign):
+        return f"{emit_expr(stmt.target)} {stmt.op} {emit_expr(stmt.value)}"
+    if isinstance(stmt, ExprStmt):
+        return emit_expr(stmt.expr)
+    raise TypeError(f"bad for clause {stmt!r}")
+
+
+class _Printer:
+    def __init__(self, indent: str = "    "):
+        self._indent = indent
+        self._lines: list[str] = []
+        self._level = 0
+
+    def line(self, text: str) -> None:
+        self._lines.append(f"{self._indent * self._level}{text}")
+
+    def stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            self.line(f"{_emit_decl_inline(stmt)};")
+        elif isinstance(stmt, Assign):
+            self.line(f"{emit_expr(stmt.target)} {stmt.op} {emit_expr(stmt.value)};")
+        elif isinstance(stmt, ExprStmt):
+            self.line(f"{emit_expr(stmt.expr)};")
+        elif isinstance(stmt, Return):
+            self.line("return;" if stmt.value is None else f"return {emit_expr(stmt.value)};")
+        elif isinstance(stmt, Break):
+            self.line("break;")
+        elif isinstance(stmt, Continue):
+            self.line("continue;")
+        elif isinstance(stmt, Block):
+            self.block(stmt)
+        elif isinstance(stmt, If):
+            self.line(f"if ({emit_expr(stmt.cond)}) {{")
+            self._nested(stmt.then)
+            if stmt.els is not None:
+                self.line("} else {")
+                self._nested(stmt.els)
+            self.line("}")
+        elif isinstance(stmt, For):
+            if stmt.pragma is not None:
+                self.line(_emit_pragma(stmt.pragma))
+            init = _emit_for_clause(stmt.init)
+            cond = "" if stmt.cond is None else emit_expr(stmt.cond)
+            update = _emit_for_clause(stmt.update)
+            self.line(f"for ({init}; {cond}; {update}) {{")
+            self._nested(stmt.body)
+            self.line("}")
+        elif isinstance(stmt, While):
+            self.line(f"while ({emit_expr(stmt.cond)}) {{")
+            self._nested(stmt.body)
+            self.line("}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot emit statement {stmt!r}")
+
+    def _nested(self, body: Block) -> None:
+        self._level += 1
+        for s in body.stmts:
+            self.stmt(s)
+        self._level -= 1
+
+    def block(self, body: Block) -> None:
+        self.line("{")
+        self._nested(body)
+        self.line("}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def emit_kernel(kernel: Kernel) -> str:
+    """Render a kernel definition as mini-CUDA source."""
+    printer = _Printer()
+    params = ", ".join(
+        f"{p.type.elem} *{p.name}" if isinstance(p.type, PointerType) else f"{p.type} {p.name}"
+        for p in kernel.params
+    )
+    for cname, cvalue in kernel.const_env.items():
+        printer.line(f"#define {cname} {cvalue}")
+    printer.line(f"__global__ void {kernel.name}({params}) {{")
+    printer._nested(kernel.body)
+    printer.line("}")
+    return printer.text()
+
+
+def emit_program(program: Program) -> str:
+    """Render all kernels of a program."""
+    return "\n".join(emit_kernel(k) for k in program.kernels.values())

@@ -1,0 +1,119 @@
+"""Token definitions for the mini-CUDA lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from .errors import SourceLoc
+
+
+class TokKind(Enum):
+    """Kinds of lexical tokens in the mini-CUDA language."""
+
+    IDENT = auto()
+    INT = auto()
+    FLOAT = auto()
+    PUNCT = auto()     # operators and punctuation
+    KEYWORD = auto()
+    PRAGMA = auto()    # a whole '#pragma ...' line, raw text in ``text``
+    EOF = auto()
+
+
+# C keywords plus the CUDA qualifiers we understand.  ``__global__`` marks a
+# kernel entry point, ``__device__`` a helper function, ``__shared__`` a
+# per-thread-block array.
+KEYWORDS = frozenset(
+    {
+        "void",
+        "int",
+        "unsigned",
+        "float",
+        "bool",
+        "char",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "const",
+        "__global__",
+        "__device__",
+        "__shared__",
+        "__constant__",
+        "__restrict__",
+        "struct",
+        "true",
+        "false",
+    }
+)
+
+# Multi-character punctuation, longest first so maximal munch works.
+PUNCTUATORS = (
+    "<<=",
+    ">>=",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokKind
+    text: str
+    loc: SourceLoc
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind.name}({self.text!r})@{self.loc}"

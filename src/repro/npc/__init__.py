@@ -1,0 +1,27 @@
+"""The CUDA-NP compiler: directive-based nested thread-level parallelism.
+
+The paper's primary contribution, reproduced as a source-to-source pipeline
+over the mini-CUDA AST:
+
+- :mod:`~repro.npc.config` — variant configuration / compiled-variant types
+- :mod:`~repro.npc.preprocess` — §3.7 preprocessing passes
+- :mod:`~repro.npc.local_arrays` — §3.3 live local-array replacement
+- :mod:`~repro.npc.comm` — §3.1/3.2 broadcast, reduction, scan codegen
+- :mod:`~repro.npc.master_slave` — §3 master/slave transformation
+- :mod:`~repro.npc.pipeline` — the full compile flow + variant enumeration
+- :mod:`~repro.npc.autotune` — §4 exhaustive variant auto-tuning
+"""
+
+from .autotune import AutotuneReport, TunePoint, autotune, launch_variant
+from .config import (
+    CompiledVariant,
+    ExtraBuffer,
+    INTRA_WARP_SLAVE_SIZES,
+    LOCAL_TO_SHARED_BUDGET,
+    NpConfig,
+    REGISTER_PROMOTE_ELEMS,
+)
+from .pipeline import compile_np, enumerate_configs, pragma_constraints
+from .preprocess import combine_unrolled, flatten_thread_dims
+
+__all__ = [name for name in dir() if not name.startswith("_")]

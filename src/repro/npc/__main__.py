@@ -1,0 +1,89 @@
+"""Source-to-source CLI: the compiler face of CUDA-NP.
+
+Mirrors how the paper's Cetus-based tool is used — feed in a kernel with
+``#pragma np`` directives, get the transformed kernel back as source:
+
+    python -m repro.npc kernel.cu --block 64 --slave-size 8
+    python -m repro.npc kernel.cu --block 64 --np-type intra --no-shfl
+    python -m repro.npc kernel.cu --block 64 --list     # enumerate variants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..minicuda.errors import MiniCudaError
+from ..minicuda.pretty import emit_kernel
+from .config import NpConfig
+from .pipeline import compile_np, enumerate_configs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.npc",
+        description="CUDA-NP source-to-source compiler (PPoPP'14 reproduction)",
+    )
+    parser.add_argument("input", help="kernel source file ('-' for stdin)")
+    parser.add_argument("--block", type=int, required=True,
+                        help="input kernel's thread-block size")
+    parser.add_argument("--slave-size", type=int, default=8,
+                        help="threads per master group (default 8)")
+    parser.add_argument("--np-type", choices=("inter", "intra"), default="inter")
+    parser.add_argument("--no-shfl", action="store_true",
+                        help="use shared memory even for intra-warp NP")
+    parser.add_argument("--padded", action="store_true",
+                        help="padded iteration distribution (§3.7)")
+    parser.add_argument("--local", default="auto",
+                        choices=("auto", "partition", "shared", "global", "keep"),
+                        help="live local-array placement (§3.3)")
+    parser.add_argument("--sm", type=int, default=30,
+                        help="target compute capability x10 (default 30)")
+    parser.add_argument("--recombine-unrolled", action="store_true",
+                        help="fold manually unrolled statement runs (§3.7)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the auto-tuner's variant space and exit")
+    parser.add_argument("--notes", action="store_true",
+                        help="print the transformation log as comments")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    source = sys.stdin.read() if args.input == "-" else open(args.input).read()
+
+    try:
+        if args.list:
+            for config in enumerate_configs(source, args.block):
+                print(config.describe())
+            return 0
+        config = NpConfig(
+            slave_size=args.slave_size,
+            np_type=args.np_type,
+            use_shfl=not args.no_shfl,
+            padded=args.padded or args.np_type == "intra",
+            local_placement=args.local,
+            sm_version=args.sm,
+        )
+        variant = compile_np(
+            source, args.block, config,
+            recombine_unrolled=args.recombine_unrolled,
+        )
+    except MiniCudaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.notes:
+        for note in variant.notes:
+            print(f"// {note}")
+        print(f"// launch block: {variant.block}")
+        for extra in variant.extra_buffers:
+            print(
+                f"// host must allocate {extra.name}: "
+                f"{extra.elems_per_block} x grid elements ({extra.type_name})"
+            )
+    print(emit_kernel(variant.kernel), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""Auto-tuning over CUDA-NP variants (paper §4, §6).
+
+The paper: "Our compiler has an auto-tuning mechanism to select from
+multiple choices, such as intra-warp NP or inter-warp NP, and different
+numbers of slave threads."  Because CUDA-NP generates only a handful of
+variants, exhaustive search is practical — each variant is compiled, run on
+the simulator, checked against the baseline's functional output, and ranked
+by modeled kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..gpusim.device import DeviceSpec, GTX680
+from ..gpusim.launch import Dim, LaunchResult, launch, _as_dim3
+from ..minicuda.errors import MiniCudaError
+from ..minicuda.nodes import Kernel
+from ..minicuda.parser import parse_kernel
+from .config import CompiledVariant, NpConfig
+from .pipeline import compile_np, enumerate_configs
+
+
+def launch_variant(
+    variant: CompiledVariant,
+    grid: Dim,
+    args: Mapping[str, Union[np.ndarray, int, float]],
+    device: DeviceSpec = GTX680,
+    **kwargs,
+) -> LaunchResult:
+    """Launch a compiled variant, auto-allocating its scratch buffers."""
+    gx, gy, gz = _as_dim3(grid)
+    full_args = variant.host_args(dict(args), gx * gy * gz)
+    const_arrays = dict(kwargs.pop("const_arrays", {}) or {})
+    const_arrays.update(variant.const_arrays)
+    return launch(
+        variant.kernel,
+        grid,
+        variant.block,
+        full_args,
+        device=device,
+        const_arrays=const_arrays or None,
+        **kwargs,
+    )
+
+
+@dataclass
+class TunePoint:
+    """One explored variant and its measured (modeled) performance."""
+
+    variant: CompiledVariant
+    result: Optional[LaunchResult]
+    error: Optional[str] = None
+    output_ok: Optional[bool] = None
+
+    @property
+    def seconds(self) -> float:
+        if self.result is None or self.output_ok is False:
+            return float("inf")
+        return self.result.timing.seconds
+
+    @property
+    def label(self) -> str:
+        return self.variant.config.describe()
+
+
+@dataclass
+class AutotuneReport:
+    """Everything the auto-tuner learned about one kernel."""
+
+    kernel_name: str
+    baseline: LaunchResult
+    points: list[TunePoint] = field(default_factory=list)
+
+    @property
+    def valid_points(self) -> list[TunePoint]:
+        return [p for p in self.points if p.result is not None and p.output_ok is not False]
+
+    @property
+    def best(self) -> TunePoint:
+        if not self.valid_points:
+            raise RuntimeError(f"no valid CUDA-NP variant for {self.kernel_name}")
+        return min(self.valid_points, key=lambda p: p.seconds)
+
+    @property
+    def best_speedup(self) -> float:
+        return self.baseline.timing.seconds / self.best.seconds
+
+    def speedup_of(self, point: TunePoint) -> float:
+        return self.baseline.timing.seconds / point.seconds
+
+    def summary_rows(self) -> list[tuple[str, float, float]]:
+        """(variant label, modeled ms, speedup) rows, fastest first."""
+        rows = [
+            (p.label, p.seconds * 1e3, self.speedup_of(p))
+            for p in self.valid_points
+        ]
+        return sorted(rows, key=lambda r: r[1])
+
+
+OutputCheck = Callable[[LaunchResult], bool]
+
+
+def autotune(
+    kernel: Union[str, Kernel],
+    block_size: int,
+    grid: Dim,
+    make_args: Callable[[], Mapping[str, Union[np.ndarray, int, float]]],
+    device: DeviceSpec = GTX680,
+    configs: Optional[Sequence[NpConfig]] = None,
+    check_output: Optional[OutputCheck] = None,
+    const_arrays: Optional[Mapping[str, np.ndarray]] = None,
+    sample_blocks: Optional[int] = None,
+    recombine_unrolled: bool = False,
+) -> AutotuneReport:
+    """Exhaustively explore the CUDA-NP variant space for one kernel.
+
+    ``make_args`` must return *fresh* argument arrays per call so variants
+    do not see each other's outputs.  ``check_output`` receives each launch
+    result and returns False to disqualify a variant (used by the test suite
+    to assert functional equivalence with the baseline).
+    """
+    if isinstance(kernel, str):
+        kernel = parse_kernel(kernel)
+    if configs is None:
+        configs = enumerate_configs(kernel, block_size, device)
+
+    baseline = launch(
+        kernel,
+        grid,
+        block_size,
+        make_args(),
+        device=device,
+        const_arrays=const_arrays,
+        sample_blocks=sample_blocks,
+    )
+    if check_output is not None and not check_output(baseline):
+        raise RuntimeError(f"baseline output check failed for {kernel.name}")
+
+    report = AutotuneReport(kernel_name=kernel.name, baseline=baseline)
+    for config in configs:
+        try:
+            variant = compile_np(
+                kernel,
+                block_size,
+                config,
+                device=device,
+                recombine_unrolled=recombine_unrolled,
+            )
+        except MiniCudaError as exc:
+            report.points.append(
+                TunePoint(
+                    variant=CompiledVariant(
+                        kernel=kernel, config=config, master_size=block_size,
+                        block=(block_size, config.slave_size),
+                    ),
+                    result=None,
+                    error=str(exc),
+                )
+            )
+            continue
+        result = launch_variant(
+            variant,
+            grid,
+            make_args(),
+            device=device,
+            const_arrays=const_arrays,
+            sample_blocks=sample_blocks,
+        )
+        ok = check_output(result) if check_output is not None else None
+        report.points.append(TunePoint(variant=variant, result=result, output_ok=ok))
+    return report

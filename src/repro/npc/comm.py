@@ -1,0 +1,359 @@
+"""Master↔slave communication code generators (paper §3.1–§3.2).
+
+Three primitives, each with a register (``__shfl``) implementation for
+intra-warp NP on Kepler and a shared-memory implementation otherwise:
+
+- **broadcast** (``read_from_master``): live-in scalars flow master→slaves;
+- **reduction**: live-out partial results combine across a slave group and
+  the total is re-broadcast to every thread of the group;
+- **scan**: group-wide exclusive prefix of per-slave partials (used by the
+  two-phase parallel-scan loop transformation).
+
+Shared-memory variants communicate through injected ``__shared__`` buffers
+(`__np_comm_*` for reductions/scans, ``__np_bcast_*`` for broadcasts) laid
+out ``[slave][master]`` so warp lanes touch consecutive banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..minicuda.build import (
+    assign,
+    binop,
+    block,
+    call,
+    decl,
+    e,
+    eq,
+    ge,
+    if_,
+    ix,
+    lt,
+    name,
+    sync,
+    ternary,
+)
+from ..minicuda.errors import TransformError
+from ..minicuda.nodes import (
+    ArrayType,
+    Expr,
+    FloatLit,
+    IntLit,
+    ScalarType,
+    Stmt,
+    VarDecl,
+)
+from .config import NpConfig
+
+FLT_MAX = 3.4028235e38
+INT_MAX = 2147483647
+INT_MIN = -2147483648
+
+_MASTER = "master_id"
+_SLAVE = "slave_id"
+_SLAVE_SIZE = "slave_size"
+
+
+def identity_lit(op: str, is_float: bool) -> Expr:
+    """Identity element literal for a reduction/scan operator."""
+    if op == "+":
+        return FloatLit(0.0) if is_float else IntLit(0)
+    if op == "*":
+        return FloatLit(1.0) if is_float else IntLit(1)
+    if op == "min":
+        return FloatLit(FLT_MAX) if is_float else IntLit(INT_MAX)
+    if op == "max":
+        return FloatLit(-FLT_MAX) if is_float else IntLit(INT_MIN)
+    raise TransformError(f"no identity for operator {op!r}")
+
+
+def apply_op(op: str, a, b, is_float: bool) -> Expr:
+    """``a op b`` as an expression (min/max become intrinsic calls)."""
+    if op in ("+", "*"):
+        return binop(op, a, b)
+    if op == "min":
+        return call("fminf" if is_float else "min", a, b)
+    if op == "max":
+        return call("fmaxf" if is_float else "max", a, b)
+    raise TransformError(f"unsupported reduction operator {op!r}")
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+@dataclass
+class CommBuffers:
+    """Tracks the shared-memory buffers a transformed kernel needs."""
+
+    master_size: int
+    slave_size: int
+    need_comm_f: bool = False
+    need_comm_i: bool = False
+    bcast_rows_f: int = 0
+    bcast_rows_i: int = 0
+    _temp_counter: int = field(default=0, repr=False)
+
+    def fresh(self, hint: str = "t") -> str:
+        self._temp_counter += 1
+        return f"__np_{hint}{self._temp_counter}"
+
+    def comm_name(self, is_float: bool) -> str:
+        if is_float:
+            self.need_comm_f = True
+            return "__np_comm_f"
+        self.need_comm_i = True
+        return "__np_comm_i"
+
+    def bcast_name(self, is_float: bool, rows: int) -> str:
+        if is_float:
+            self.bcast_rows_f = max(self.bcast_rows_f, rows)
+            return "__np_bcast_f"
+        self.bcast_rows_i = max(self.bcast_rows_i, rows)
+        return "__np_bcast_i"
+
+    def shared_decls(self) -> list[VarDecl]:
+        decls: list[VarDecl] = []
+        if self.need_comm_f:
+            decls.append(
+                VarDecl(
+                    "__np_comm_f",
+                    ArrayType(ScalarType("float"), (self.slave_size, self.master_size), "shared"),
+                )
+            )
+        if self.need_comm_i:
+            decls.append(
+                VarDecl(
+                    "__np_comm_i",
+                    ArrayType(ScalarType("int"), (self.slave_size, self.master_size), "shared"),
+                )
+            )
+        if self.bcast_rows_f:
+            decls.append(
+                VarDecl(
+                    "__np_bcast_f",
+                    ArrayType(ScalarType("float"), (self.bcast_rows_f, self.master_size), "shared"),
+                )
+            )
+        if self.bcast_rows_i:
+            decls.append(
+                VarDecl(
+                    "__np_bcast_i",
+                    ArrayType(ScalarType("int"), (self.bcast_rows_i, self.master_size), "shared"),
+                )
+            )
+        return decls
+
+
+# ---------------------------------------------------------------------------
+# Broadcast (read_from_master, §3.1)
+# ---------------------------------------------------------------------------
+
+
+def gen_broadcast(
+    vars_with_types: list[tuple[str, bool]],  # (name, is_float)
+    config: NpConfig,
+    buffers: CommBuffers,
+) -> list[Stmt]:
+    """Broadcast each variable from the master to its slave threads."""
+    if not vars_with_types:
+        return []
+    if config.shfl_available:
+        # Intra-warp: the slave group is contiguous lanes; lane 0 of each
+        # group is the master (slave_id == threadIdx.x % slave_size == 0).
+        return [
+            assign(v, call("__shfl", name(v), 0, _SLAVE_SIZE))
+            for v, _ in vars_with_types
+        ]
+    stmts: list[Stmt] = []
+    writes: list[Stmt] = []
+    reads: list[Stmt] = []
+    row_f = row_i = 0
+    for v, is_float in vars_with_types:
+        row = row_f if is_float else row_i
+        buf = buffers.bcast_name(is_float, row + 1)
+        writes.append(assign(ix(buf, row, _MASTER), name(v)))
+        reads.append(assign(v, ix(buf, row, _MASTER)))
+        if is_float:
+            row_f += 1
+        else:
+            row_i += 1
+    stmts.append(if_(eq(_SLAVE, 0), writes))
+    stmts.append(sync())
+    stmts.extend(reads)
+    stmts.append(sync())
+    return stmts
+
+
+# ---------------------------------------------------------------------------
+# Reduction (§3.2)
+# ---------------------------------------------------------------------------
+
+
+def gen_reduction(
+    var: str,
+    op: str,
+    is_float: bool,
+    config: NpConfig,
+    buffers: CommBuffers,
+) -> list[Stmt]:
+    """Combine ``var`` across each slave group; the total ends up in ``var``
+    on *every* thread of the group."""
+    if config.shfl_available:
+        return _gen_reduction_shfl(var, op, is_float, config, buffers)
+    return _gen_reduction_shared(var, op, is_float, config, buffers)
+
+
+def _gen_reduction_shfl(var, op, is_float, config: NpConfig, buffers: CommBuffers) -> list[Stmt]:
+    stmts: list[Stmt] = []
+    tmp = buffers.fresh("r")
+    stmts.append(decl(tmp, ScalarType("float" if is_float else "int"), identity_lit(op, is_float)))
+    off = config.slave_size // 2
+    while off >= 1:
+        stmts.append(assign(tmp, call("__shfl_down", name(var), off, _SLAVE_SIZE)))
+        stmts.append(assign(var, apply_op(op, name(var), name(tmp), is_float)))
+        off //= 2
+    stmts.append(assign(var, call("__shfl", name(var), 0, _SLAVE_SIZE)))
+    return stmts
+
+
+def _gen_reduction_shared(var, op, is_float, config: NpConfig, buffers: CommBuffers) -> list[Stmt]:
+    buf = buffers.comm_name(is_float)
+    stmts: list[Stmt] = [
+        assign(ix(buf, _SLAVE, _MASTER), name(var)),
+        sync(),
+    ]
+    stride = _next_pow2(config.slave_size) // 2
+    while stride >= 1:
+        partner_ok = lt(binop("+", _SLAVE, stride), e(config.slave_size))
+        cond = binop("&&", lt(_SLAVE, stride), partner_ok)
+        body = [
+            assign(
+                ix(buf, _SLAVE, _MASTER),
+                apply_op(
+                    op,
+                    ix(buf, _SLAVE, _MASTER),
+                    ix(buf, binop("+", _SLAVE, stride), _MASTER),
+                    is_float,
+                ),
+            )
+        ]
+        stmts.append(if_(cond, body))
+        stmts.append(sync())
+        stride //= 2
+    stmts.append(assign(var, ix(buf, 0, _MASTER)))
+    stmts.append(sync())
+    return stmts
+
+
+# ---------------------------------------------------------------------------
+# Group exclusive scan of per-slave partials (used by the scan transform)
+# ---------------------------------------------------------------------------
+
+
+def gen_group_exclusive_scan(
+    var: str,
+    op: str,
+    is_float: bool,
+    config: NpConfig,
+    buffers: CommBuffers,
+) -> list[Stmt]:
+    """Replace ``var`` (each thread's partial) with the *exclusive* prefix of
+    the partials across its slave group (identity on slave 0)."""
+    if op not in ("+", "*"):
+        raise TransformError(f"scan supports + and * only (got {op!r})")
+    if config.shfl_available:
+        return _gen_scan_shfl(var, op, is_float, config, buffers)
+    return _gen_scan_shared(var, op, is_float, config, buffers)
+
+
+def _gen_scan_shfl(var, op, is_float, config: NpConfig, buffers: CommBuffers) -> list[Stmt]:
+    stmts: list[Stmt] = []
+    tmp = buffers.fresh("s")
+    scalar = ScalarType("float" if is_float else "int")
+    stmts.append(decl(tmp, scalar, identity_lit(op, is_float)))
+    d = 1
+    while d < config.slave_size:
+        stmts.append(assign(tmp, call("__shfl_up", name(var), d, _SLAVE_SIZE)))
+        stmts.append(
+            assign(
+                var,
+                ternary(ge(_SLAVE, d), apply_op(op, name(var), name(tmp), is_float), name(var)),
+            )
+        )
+        d *= 2
+    # inclusive -> exclusive
+    stmts.append(assign(tmp, call("__shfl_up", name(var), 1, _SLAVE_SIZE)))
+    stmts.append(assign(var, ternary(eq(_SLAVE, 0), identity_lit(op, is_float), name(tmp))))
+    return stmts
+
+
+def _gen_scan_shared(var, op, is_float, config: NpConfig, buffers: CommBuffers) -> list[Stmt]:
+    buf = buffers.comm_name(is_float)
+    scalar = ScalarType("float" if is_float else "int")
+    tmp = buffers.fresh("s")
+    stmts: list[Stmt] = [
+        assign(ix(buf, _SLAVE, _MASTER), name(var)),
+        sync(),
+        decl(tmp, scalar, identity_lit(op, is_float)),
+    ]
+    d = 1
+    while d < config.slave_size:
+        stmts.append(
+            if_(
+                ge(_SLAVE, d),
+                [assign(tmp, ix(buf, binop("-", _SLAVE, d), _MASTER))],
+            )
+        )
+        stmts.append(sync())
+        stmts.append(
+            if_(
+                ge(_SLAVE, d),
+                [
+                    assign(
+                        ix(buf, _SLAVE, _MASTER),
+                        apply_op(op, ix(buf, _SLAVE, _MASTER), name(tmp), is_float),
+                    )
+                ],
+            )
+        )
+        stmts.append(sync())
+        d *= 2
+    # inclusive in buf; exclusive into var.  The ternary's false arm is
+    # evaluated SIMD-wide, so clamp the index to keep slave 0 in bounds.
+    stmts.append(
+        assign(
+            var,
+            ternary(
+                eq(_SLAVE, 0),
+                identity_lit(op, is_float),
+                ix(buf, call("max", binop("-", e(_SLAVE), e(1)), 0), _MASTER),
+            ),
+        )
+    )
+    stmts.append(sync())
+    return stmts
+
+
+def gen_read_from_lane(
+    var: str,
+    lane: int,
+    is_float: bool,
+    config: NpConfig,
+    buffers: CommBuffers,
+) -> list[Stmt]:
+    """Set ``var`` on every thread of a group to the value held by the group
+    member with ``slave_id == lane`` (used to publish scan totals)."""
+    if config.shfl_available:
+        return [assign(var, call("__shfl", name(var), lane, _SLAVE_SIZE))]
+    buf = buffers.bcast_name(is_float, 1)
+    return [
+        if_(eq(_SLAVE, lane), [assign(ix(buf, 0, _MASTER), name(var))]),
+        sync(),
+        assign(var, ix(buf, 0, _MASTER)),
+        sync(),
+    ]

@@ -1,0 +1,130 @@
+"""Configuration and result types for the CUDA-NP compiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional
+
+import numpy as np
+
+from ..minicuda.nodes import Kernel
+
+NpType = Literal["inter", "intra"]
+LocalPlacement = Literal["auto", "partition", "shared", "global", "keep"]
+
+#: Intra-warp slave counts must keep a master group inside one warp (§3.4):
+#: power of two, at most the warp size.
+INTRA_WARP_SLAVE_SIZES = (2, 4, 8, 16, 32)
+
+#: Shared-memory budget for replacing one local array (§3.3): 384 bytes per
+#: thread keeps 48 KB of shared memory enough for 128 masters × 8 slaves.
+LOCAL_TO_SHARED_BUDGET = 384
+
+#: Local partitions at or below this element count are assumed to be
+#: promoted to registers by the backend (the paper emits
+#: ``template<int slave_size>`` so nvcc sees constant indices after full
+#: unrolling; LE's 150/8 = 19-element slices must qualify — Table 1 shows
+#: LE's OPT local memory collapsing to 24 B).
+REGISTER_PROMOTE_ELEMS = 20
+
+
+@dataclass(frozen=True)
+class NpConfig:
+    """One point in the CUDA-NP optimization space (§3.4–3.6, §4)."""
+
+    slave_size: int                       # threads per master (incl. master)
+    np_type: NpType = "inter"
+    use_shfl: bool = True                 # intra-warp only; needs sm >= 30
+    padded: bool = False                  # §3.7 padding vs guarded-cyclic
+    local_placement: LocalPlacement = "auto"
+    sm_version: int = 30
+    #: §3.1 redundant computation: slave-invariant sequential statements run
+    #: on every thread instead of master-only + broadcast.  Disable for the
+    #: ablation study (everything becomes guarded and broadcast).
+    redundant_compute: bool = True
+    #: Deferred reductions (our extension): hoist the group-wide combine of
+    #: a per-tile reduction out of its enclosing sequential loop when the
+    #: result only accumulates into a scalar.  Disable for the ablation.
+    defer_reductions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slave_size < 2:
+            raise ValueError("slave_size must be >= 2 (master + >=1 slave)")
+        if self.np_type == "intra":
+            if self.slave_size not in INTRA_WARP_SLAVE_SIZES:
+                raise ValueError(
+                    f"intra-warp slave_size must be one of {INTRA_WARP_SLAVE_SIZES}"
+                )
+        if self.np_type not in ("inter", "intra"):
+            raise ValueError(f"bad np_type {self.np_type!r}")
+        if self.local_placement not in ("auto", "partition", "shared", "global", "keep"):
+            raise ValueError(f"bad local_placement {self.local_placement!r}")
+
+    @property
+    def shfl_available(self) -> bool:
+        """__shfl usable: intra-warp groups on Kepler+ (§3.1, §3.6)."""
+        return self.np_type == "intra" and self.use_shfl and self.sm_version >= 30
+
+    def describe(self) -> str:
+        parts = [f"{self.np_type}-warp", f"S={self.slave_size}"]
+        if self.np_type == "intra":
+            parts.append("shfl" if self.shfl_available else "smem")
+        if self.padded:
+            parts.append("padded")
+        if self.local_placement != "auto":
+            parts.append(f"local={self.local_placement}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ExtraBuffer:
+    """A global scratch buffer added by the local-array→global rewrite.
+
+    The host must allocate ``elems_per_block × grid_blocks`` elements and
+    pass it as the new kernel parameter ``name``.
+    """
+
+    name: str
+    elems_per_block: int
+    type_name: str = "float"
+
+    def size_for_grid(self, grid_blocks: int) -> int:
+        return self.elems_per_block * grid_blocks
+
+
+@dataclass
+class CompiledVariant:
+    """The output of one CUDA-NP compilation: a launchable kernel variant."""
+
+    kernel: Kernel
+    config: NpConfig
+    master_size: int
+    #: Launch block dims: (master, slave) for inter-warp, (slave, master)
+    #: for intra-warp.
+    block: tuple[int, int]
+    extra_buffers: list[ExtraBuffer] = field(default_factory=list)
+    const_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Human-readable transformation log (one entry per applied rewrite).
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block[0] * self.block[1]
+
+    @property
+    def slave_size(self) -> int:
+        return self.config.slave_size
+
+    def host_args(
+        self, args: dict, grid_blocks: int
+    ) -> dict:
+        """Augment user args with auto-allocated scratch buffers."""
+        out = dict(args)
+        for extra in self.extra_buffers:
+            if extra.name not in out:
+                from ..gpusim.memory import dtype_for
+
+                out[extra.name] = np.zeros(
+                    extra.size_for_grid(grid_blocks), dtype=dtype_for(extra.type_name)
+                )
+        return out

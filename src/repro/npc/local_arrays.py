@@ -1,0 +1,252 @@
+"""Live local-array replacement (paper §3.3, Figs. 5–6).
+
+A per-thread local array used inside a parallel loop must become visible to
+the slave threads.  Three options, tried in the paper's priority order:
+
+1. **partition** — when every access is iterator-indexed, split the array
+   into per-slave slices of ``ceil(N/S)`` elements.  Small slices are
+   register-promoted (the paper's ``template<int slave_size>`` trick).
+2. **shared** — replace with ``__shared__ T A[master_size][N]`` when the
+   array fits the 384-byte-per-thread budget (minus shared memory the
+   baseline already uses).
+3. **global** — fall back to a new global scratch buffer, partitioned per
+   master thread with master-interleaved element layout (Fig. 6a).
+
+``plan_local_arrays`` decides; ``apply_plan``/``rewrite_index`` perform the
+declaration and access rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from ..analysis.loops import accesses_of, partitionable
+from ..minicuda.build import add, binop, div, e, ix, mul, name
+from ..minicuda.errors import TransformError
+from ..minicuda.nodes import (
+    ArrayType,
+    Expr,
+    For,
+    Index,
+    Kernel,
+    Name,
+    PointerType,
+    ScalarType,
+    Stmt,
+    VarDecl,
+    walk,
+)
+from .config import (
+    ExtraBuffer,
+    LOCAL_TO_SHARED_BUDGET,
+    NpConfig,
+    REGISTER_PROMOTE_ELEMS,
+)
+
+Placement = Literal["partition", "shared", "global", "keep"]
+
+#: Per-thread byte cap for *forced* shared placement: a 32-master block may
+#: not burn more than this per master on replaced arrays (keeps >= 2 blocks
+#: resident per SMX at master_size 32).
+FORCED_SHARED_CAP = 600
+
+
+@dataclass
+class LocalArrayPlan:
+    """Decision record for one local array."""
+
+    array: str
+    numel: int
+    elem: str                     # element type name
+    placement: Placement
+    partition_elems: int = 0      # for 'partition'
+    register_promoted: bool = False
+    extra_buffer: Optional[ExtraBuffer] = None
+    #: True when the kernel uses chunked iteration distribution (scan
+    #: kernels): the per-slave slice is indexed ``i % chunk`` instead of the
+    #: cyclic ``i / slave_size``.
+    chunked: bool = False
+
+    def describe(self) -> str:
+        if self.placement == "partition":
+            kind = "registers" if self.register_promoted else "local"
+            return (
+                f"local array {self.array!r}[{self.numel}] partitioned into "
+                f"{self.partition_elems}-element per-slave slices ({kind})"
+            )
+        return f"local array {self.array!r}[{self.numel}] -> {self.placement}"
+
+
+def _local_array_decls(kernel: Kernel) -> dict[str, VarDecl]:
+    out: dict[str, VarDecl] = {}
+    for node in walk(kernel.body):
+        if (
+            isinstance(node, VarDecl)
+            and isinstance(node.type, ArrayType)
+            and node.type.space == "local"
+        ):
+            out[node.name] = node
+    return out
+
+
+def plan_local_arrays(
+    kernel: Kernel,
+    parallel_loops: list[For],
+    other_stmts: list[Stmt],
+    config: NpConfig,
+    master_size: int,
+    baseline_shared_bytes: int,
+    chunked: bool = False,
+) -> dict[str, LocalArrayPlan]:
+    """Choose a placement for every local array live into a parallel loop."""
+    plans: dict[str, LocalArrayPlan] = {}
+    shared_budget_used = 0
+    for arr_name, decl in _local_array_decls(kernel).items():
+        assert isinstance(decl.type, ArrayType)
+        used_in_parallel = any(
+            accesses_of(loop, arr_name) for loop in parallel_loops
+        )
+        if not used_in_parallel:
+            continue  # stays thread-private; slaves never touch it
+        if len(decl.type.dims) != 1:
+            raise TransformError(
+                f"local array {arr_name!r} must be 1-D for NP replacement"
+            )
+        numel = decl.type.numel
+        elem = decl.type.elem.name
+        forced = config.local_placement
+        if forced == "keep":
+            continue
+        nbytes = numel * 4
+        can_partition = partitionable(
+            arr_name, parallel_loops, other_stmts, require_equal_trips=chunked
+        )
+        baseline_per_thread = baseline_shared_bytes / max(master_size, 1)
+        budget = LOCAL_TO_SHARED_BUDGET - baseline_per_thread - shared_budget_used
+
+        if forced == "partition":
+            if not can_partition:
+                raise TransformError(
+                    f"local array {arr_name!r} is not iterator-indexed in "
+                    "every parallel loop; partitioning is illegal"
+                )
+            choice = "partition"
+        elif forced == "global":
+            choice = "global"
+        elif forced == "shared":
+            # Even when forced, shared capacity is finite: keep at least two
+            # blocks resident (the paper's LIB shared config holds one
+            # 320-byte array; the rest fall back to the auto policy).
+            if shared_budget_used + nbytes <= FORCED_SHARED_CAP:
+                choice = "shared"
+            elif can_partition:
+                choice = "partition"
+            else:
+                choice = "global"
+        else:  # auto (§3.3 priority order)
+            if can_partition:
+                choice = "partition"
+            elif nbytes < budget:
+                choice = "shared"
+            else:
+                choice = "global"
+
+        if choice == "partition":
+            part = -(-numel // config.slave_size)  # ceil
+            plans[arr_name] = LocalArrayPlan(
+                array=arr_name,
+                numel=numel,
+                elem=elem,
+                placement="partition",
+                partition_elems=part,
+                register_promoted=part <= REGISTER_PROMOTE_ELEMS,
+                chunked=chunked,
+            )
+        elif choice == "shared":
+            plans[arr_name] = LocalArrayPlan(
+                array=arr_name, numel=numel, elem=elem, placement="shared"
+            )
+            shared_budget_used += nbytes
+        else:  # global fallback (Fig. 6a layout)
+            plans[arr_name] = LocalArrayPlan(
+                array=arr_name,
+                numel=numel,
+                elem=elem,
+                placement="global",
+                extra_buffer=ExtraBuffer(
+                    name=f"{arr_name}__g",
+                    elems_per_block=master_size * numel,
+                    type_name=elem,
+                ),
+            )
+    return plans
+
+
+def replacement_decl(plan: LocalArrayPlan, master_size: int) -> list[Stmt]:
+    """Statements that replace the original local-array declaration."""
+    scalar = ScalarType(plan.elem)
+    if plan.placement == "partition":
+        space = "reg" if plan.register_promoted else "local"
+        return [
+            VarDecl(
+                f"{plan.array}__part",
+                ArrayType(scalar, (plan.partition_elems,), space),
+            )
+        ]
+    if plan.placement == "shared":
+        return [
+            VarDecl(
+                f"{plan.array}__sm",
+                ArrayType(scalar, (master_size, plan.numel), "shared"),
+            )
+        ]
+    if plan.placement == "global":
+        assert plan.extra_buffer is not None
+        # A = A__g + (master_size * blockIdx.x) * N + master_id  (Fig. 6a)
+        offset = add(
+            mul(mul(name("master_size"), e("blockIdx.x")), plan.numel),
+            name("master_id"),
+        )
+        return [
+            VarDecl(
+                plan.array + "__p",
+                PointerType(scalar),
+                init=binop("+", name(plan.extra_buffer.name), offset),
+            )
+        ]
+    return []
+
+
+def rewrite_index(plan: LocalArrayPlan, index: Expr) -> Expr:
+    """Rewrite one access ``A[index]`` according to the plan."""
+    if plan.placement == "partition":
+        if plan.chunked:
+            # chunked: i = slave_id*chunk + r  ->  slice element r
+            from ..minicuda.build import mod
+
+            return ix(f"{plan.array}__part", mod(index, plan.partition_elems))
+        # cyclic: i = k*S + slave_id  ->  slice element k = i / slave_size
+        return ix(f"{plan.array}__part", div(index, name("slave_size")))
+    if plan.placement == "shared":
+        return ix(f"{plan.array}__sm", name("master_id"), index)
+    if plan.placement == "global":
+        # element address = base + i * master_size (master-interleaved)
+        return ix(plan.array + "__p", mul(index, name("master_size")))
+    return ix(plan.array, index)
+
+
+def apply_access_rewrites(stmt: Stmt, plans: dict[str, LocalArrayPlan]) -> Stmt:
+    """Return a copy of ``stmt`` with every planned array access rewritten."""
+    from ..minicuda.nodes import map_expr
+
+    def repl(expr: Expr) -> Expr:
+        if (
+            isinstance(expr, Index)
+            and isinstance(expr.base, Name)
+            and expr.base.id in plans
+        ):
+            return rewrite_index(plans[expr.base.id], expr.index)
+        return expr
+
+    return map_expr(stmt, repl)

@@ -1,0 +1,249 @@
+"""Preprocessing passes (paper §3.7).
+
+1. **Thread-dimension flattening** — rewrite a multi-dimensional thread
+   block into the 1-D organization every later pass assumes (Fig. 8).  The
+   mapping keeps warp composition intact, so coalescing/divergence behaviour
+   is unchanged.
+2. **Unrolled-statement recombination** — runs of manually unrolled
+   statements that differ only in integer literals are folded back into a
+   loop; non-affine literal sequences move into a constant buffer indexed by
+   the loop iterator (Fig. 9).  Pure accumulations are additionally marked
+   as parallel reduction loops so CUDA-NP can distribute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..minicuda.build import decl, e
+from ..minicuda.errors import TransformError
+from ..minicuda.nodes import (
+    Assign,
+    Block,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Kernel,
+    Member,
+    Name,
+    NpPragma,
+    ScalarType,
+    Stmt,
+    VarDecl,
+    While,
+    clone,
+    map_expr,
+    walk,
+)
+from ..minicuda.pretty import emit_kernel
+
+# ---------------------------------------------------------------------------
+# 1. Multi-dim -> 1-D thread remapping (Fig. 8)
+# ---------------------------------------------------------------------------
+
+
+def flatten_thread_dims(
+    kernel: Kernel, block: tuple[int, int, int]
+) -> tuple[Kernel, int]:
+    """Rewrite ``threadIdx.{x,y,z}`` uses for a flattened 1-D block.
+
+    Returns the rewritten kernel and the flattened block size
+    ``bx * by * bz``.  Thread linearization follows CUDA's own ordering
+    (x fastest), so threads stay in their original warps.
+    """
+    bx, by, bz = block
+    flat = bx * by * bz
+    uses_multi = any(
+        isinstance(n, Member)
+        and isinstance(n.base, Name)
+        and n.base.id in ("threadIdx", "blockDim")
+        and n.name in ("y", "z")
+        for n in walk(kernel.body)
+    )
+    if not uses_multi:
+        return kernel, flat
+
+    new = clone(kernel)
+
+    def repl(expr: Expr) -> Expr:
+        if isinstance(expr, Member) and isinstance(expr.base, Name):
+            if expr.base.id == "threadIdx":
+                return {
+                    "x": e("__np_tx"),
+                    "y": e("__np_ty"),
+                    "z": e("__np_tz"),
+                }[expr.name]
+            if expr.base.id == "blockDim":
+                return IntLit({"x": bx, "y": by, "z": bz}[expr.name])
+        return expr
+
+    new.body = map_expr(new.body, repl)
+    int_t = ScalarType("int")
+    prelude = [
+        decl("__np_tx", int_t, _mod(e("threadIdx.x"), bx)),
+        decl("__np_ty", int_t, _mod(_div(e("threadIdx.x"), bx), by)),
+        decl("__np_tz", int_t, _div(e("threadIdx.x"), bx * by)),
+    ]
+    new.body.stmts[:0] = prelude
+    return new, flat
+
+
+def _mod(a: Expr, b: int) -> Expr:
+    from ..minicuda.build import mod
+
+    return mod(a, b)
+
+
+def _div(a: Expr, b: int) -> Expr:
+    from ..minicuda.build import div
+
+    return div(a, b)
+
+
+# ---------------------------------------------------------------------------
+# 2. Unrolled-statement recombination (Fig. 9)
+# ---------------------------------------------------------------------------
+
+_SENTINEL_BASE = 1 << 40
+
+
+@dataclass
+class RecombineResult:
+    kernel: Kernel
+    const_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    loops_formed: int = 0
+
+
+def _skeleton(stmt: Stmt) -> tuple[str, list[int]]:
+    """Statement shape with integer literals blanked, plus the literal list
+    in traversal order."""
+    literals = [n.value for n in walk(stmt) if isinstance(n, IntLit)]
+    blanked = clone(stmt)
+    for node in walk(blanked):
+        if isinstance(node, IntLit):
+            node.value = 0
+    # Emit via a throwaway kernel body for a canonical string.
+    probe = Kernel(name="__probe", body=Block([blanked]))
+    return emit_kernel(probe), literals
+
+
+def _replace_varying_literals(stmt: Stmt, positions: list[int], replacement_fn) -> Stmt:
+    """Replace the literals at ``positions`` (traversal order) using
+    ``replacement_fn(slot)`` where slot enumerates the varying positions."""
+    new = clone(stmt)
+    idx = 0
+    for node in walk(new):
+        if isinstance(node, IntLit):
+            if idx in positions:
+                node.value = _SENTINEL_BASE + positions.index(idx)
+            idx += 1
+
+    def repl(expr: Expr) -> Expr:
+        if isinstance(expr, IntLit) and expr.value >= _SENTINEL_BASE:
+            return replacement_fn(expr.value - _SENTINEL_BASE)
+        return expr
+
+    return map_expr(new, repl)
+
+
+def _is_pure_accumulation(stmt: Stmt) -> str | None:
+    """If stmt is ``x += expr`` / ``x *= expr`` on a scalar, return the op."""
+    if isinstance(stmt, Assign) and isinstance(stmt.target, Name):
+        if stmt.op in ("+=", "*="):
+            return stmt.op[0]
+    return None
+
+
+def combine_unrolled(
+    kernel: Kernel,
+    min_run: int = 3,
+    mark_parallel: bool = True,
+) -> RecombineResult:
+    """Fold manually unrolled statement runs back into loops (Fig. 9)."""
+    const_arrays: dict[str, np.ndarray] = {}
+    counter = [0]
+    loops = [0]
+
+    def process_block(blk: Block) -> Block:
+        stmts = blk.stmts
+        out: list[Stmt] = []
+        i = 0
+        while i < len(stmts):
+            stmt = stmts[i]
+            # Recurse first into compound statements.
+            if isinstance(stmt, If):
+                new_if = clone(stmt)
+                new_if.then = process_block(stmt.then)
+                if stmt.els is not None:
+                    new_if.els = process_block(stmt.els)
+                out.append(new_if)
+                i += 1
+                continue
+            if isinstance(stmt, (For, While)):
+                new_loop = clone(stmt)
+                new_loop.body = process_block(stmt.body)
+                out.append(new_loop)
+                i += 1
+                continue
+            skel, lits = _skeleton(stmt)
+            run = [(stmt, lits)]
+            j = i + 1
+            while j < len(stmts):
+                skel2, lits2 = _skeleton(stmts[j])
+                if skel2 != skel or len(lits2) != len(lits):
+                    break
+                run.append((stmts[j], lits2))
+                j += 1
+            if len(run) >= min_run and lits:
+                out.append(_fold_run(run))
+                i = j
+            else:
+                out.append(clone(stmt))
+                i += 1
+        return Block(out)
+
+    def _fold_run(run: list[tuple[Stmt, list[int]]]) -> Stmt:
+        loops[0] += 1
+        n = len(run)
+        num_lits = len(run[0][1])
+        columns = list(zip(*[lits for _, lits in run]))
+        varying = [k for k in range(num_lits) if len(set(columns[k])) > 1]
+        it = f"__np_u{counter[0]}"
+        counter[0] += 1
+
+        def replacement(slot: int) -> Expr:
+            pos = varying[slot]
+            values = np.asarray(columns[pos], dtype=np.int32)
+            # Affine sequences index directly; others go to a constant buffer.
+            if n >= 2 and np.all(np.diff(values) == values[1] - values[0]):
+                step = int(values[1] - values[0]) if n > 1 else 0
+                base = int(values[0])
+                from ..minicuda.build import add, mul
+
+                return add(base, mul(it, step))
+            buf = f"__np_cbuf{len(const_arrays)}"
+            const_arrays[buf] = values
+            from ..minicuda.build import ix
+
+            return ix(buf, it)
+
+        body_stmt = _replace_varying_literals(
+            run[0][0], varying, replacement
+        )
+        pragma = None
+        if mark_parallel:
+            op = _is_pure_accumulation(run[0][0])
+            if op is not None:
+                assert isinstance(run[0][0], Assign)
+                assert isinstance(run[0][0].target, Name)
+                pragma = NpPragma(reductions=[(op, run[0][0].target.id)])
+        from ..minicuda.build import for_range
+
+        return for_range(it, 0, n, [body_stmt], pragma=pragma)
+
+    new = clone(kernel)
+    new.body = process_block(new.body)
+    return RecombineResult(kernel=new, const_arrays=const_arrays, loops_formed=loops[0])

@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized so CI results are reproducible; the
+differential fuzzers still cover fresh ground locally when run with
+``--hypothesis-seed=random``.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,83 @@
+"""Liveness / def-use analysis tests (§3.1, §3.2 support)."""
+
+from repro.analysis.liveness import (
+    expr_uses,
+    section_liveness,
+    stmt_array_stores,
+    stmt_defs,
+    stmt_uses,
+)
+from repro.minicuda.parser import parse_kernel
+
+
+def body_of(src: str):
+    return parse_kernel(f"__global__ void t(float *a, int w) {{ {src} }}").body.stmts
+
+
+class TestDefsUses:
+    def test_simple_assign(self):
+        (stmt,) = body_of("int x = w + 1;")
+        assert stmt_defs(stmt) == {"x"}
+        assert stmt_uses(stmt) == {"w"}
+
+    def test_compound_assign_uses_target(self):
+        stmts = body_of("int x = 0; x += w;")
+        assert stmt_uses(stmts[1]) == {"x", "w"}
+        assert stmt_defs(stmts[1]) == {"x"}
+
+    def test_plain_assign_does_not_use_target(self):
+        stmts = body_of("int x = 0; x = w;")
+        assert stmt_uses(stmts[1]) == {"w"}
+
+    def test_index_store_uses_base_and_index(self):
+        (stmt,) = body_of("a[w] = 1;")
+        assert stmt_defs(stmt) == set()
+        assert stmt_uses(stmt) == {"a", "w"}
+        assert stmt_array_stores(stmt) == {"a"}
+
+    def test_builtins_excluded(self):
+        (stmt,) = body_of("int x = threadIdx.x + blockDim.x;")
+        assert stmt_uses(stmt) == set()
+
+    def test_loop_defs_and_uses(self):
+        (loop,) = body_of("for (int i = 0; i < w; i++) a[i] = i * 2;")
+        assert stmt_defs(loop) == {"i"}
+        assert "w" in stmt_uses(loop)
+        assert "a" in stmt_uses(loop)
+
+    def test_if_collects_both_branches(self):
+        stmts = body_of("int x; int y; if (w > 0) x = 1; else y = 2;")
+        cond = stmts[2]
+        assert stmt_defs(cond) == {"x", "y"}
+        assert stmt_uses(cond) == {"w"}
+
+    def test_atomic_counts_as_store(self):
+        (stmt,) = body_of("atomicAdd(a[0], 1.f);")
+        assert stmt_array_stores(stmt) == {"a"}
+
+    def test_expr_uses_excludes_member_base(self):
+        stmts = body_of("int x = threadIdx.x + w;")
+        assert expr_uses(stmts[0].init) == {"w"}
+
+    def test_nested_while_and_return(self):
+        (stmt,) = body_of("while (w > 0) { if (w == 3) return; a[0] = w; }")
+        assert stmt_uses(stmt) == {"w", "a"}
+
+
+class TestSectionLiveness:
+    def test_live_in_and_out(self):
+        stmts = body_of(
+            "int x = w; float s = 0;"
+            "for (int i = 0; i < w; i++) s += a[i + x];"
+            "a[0] = s;"
+        )
+        before, section, after = stmts[:2], stmts[2], stmts[3:]
+        lv = section_liveness(before, section, after, params={"a", "w"})
+        assert "x" in lv.live_in
+        assert "s" in lv.live_in  # compound accumulation reads s
+        assert lv.live_out == {"s"}
+
+    def test_no_live_out_when_unused(self):
+        stmts = body_of("int x = 1; for (int i = 0; i < w; i++) x = i;")
+        lv = section_liveness(stmts[:1], stmts[1], [], params={"w"})
+        assert lv.live_out == set()

@@ -1,0 +1,104 @@
+"""Loop normalization and partition-legality tests (§3.3 / §3.7)."""
+
+import pytest
+
+from repro.analysis.loops import accesses_of, normalize_loop, partitionable
+from repro.minicuda.errors import TransformError
+from repro.minicuda.parser import const_eval, parse_kernel
+
+
+def loop_of(src: str):
+    kernel = parse_kernel(f"__global__ void t(float *a, int w) {{ {src} }}")
+    from repro.minicuda.nodes import For, walk
+
+    return next(s for s in walk(kernel.body) if isinstance(s, For))
+
+
+class TestNormalize:
+    def test_canonical(self):
+        info = normalize_loop(loop_of("for (int i = 0; i < w; i++) a[i] = 0;"))
+        assert info.iterator == "i"
+        assert info.step == 1
+        assert info.declares_iterator
+        assert info.trip_count() is None  # runtime bound
+
+    def test_constant_trip_count(self):
+        info = normalize_loop(loop_of("for (int i = 2; i < 10; i += 2) a[i] = 0;"))
+        assert info.trip_count() == 4
+
+    def test_le_condition_normalized(self):
+        info = normalize_loop(loop_of("for (int i = 0; i <= 7; i++) a[i] = 0;"))
+        assert info.trip_count() == 8
+
+    def test_assign_init(self):
+        info = normalize_loop(loop_of("int i; for (i = 0; i < 4; i++) a[i] = 0;"))
+        assert not info.declares_iterator
+
+    def test_i_equals_i_plus_c(self):
+        info = normalize_loop(loop_of("for (int i = 0; i < 8; i = i + 2) a[i] = 0;"))
+        assert info.step == 2
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "for (int i = 0; i > w; i++) a[i] = 0;",   # wrong comparison
+            "for (int i = 0; w > i; i++) a[i] = 0;",   # iterator on rhs
+            "for (int i = 0; i < w; i--) a[i] = 0;",   # negative step
+            "for (int i = 0; i < w; i *= 2) a[i] = 0;",  # non-additive
+            "int i; for (; i < w; i++) a[i] = 0;",     # no init
+        ],
+    )
+    def test_exotic_rejected(self, src):
+        with pytest.raises(TransformError):
+            normalize_loop(loop_of(src))
+
+
+class TestPartitionable:
+    def make(self, body: str):
+        kernel = parse_kernel(
+            "__global__ void t(float *a, int w) {\n"
+            "float g[32];\n"
+            f"{body}\n"
+            "}"
+        )
+        from repro.minicuda.nodes import For, walk
+
+        loops = [s for s in walk(kernel.body) if isinstance(s, For)]
+        return loops
+
+    def test_iterator_indexed_ok(self):
+        loops = self.make(
+            "for (int i = 0; i < 32; i++) g[i] = a[i];"
+            "for (int i = 0; i < 32; i++) a[i] = g[i];"
+        )
+        assert partitionable("g", loops, [])
+
+    def test_non_iterator_index_illegal(self):
+        loops = self.make("for (int i = 0; i < 32; i++) g[i + 1] = a[i];")
+        assert not partitionable("g", loops[:1], [])
+
+    def test_access_outside_loops_illegal(self):
+        loops = self.make("for (int i = 0; i < 32; i++) g[i] = a[i];")
+        kernel_stmt = loops[0].body.stmts[0]  # any stmt touching g
+        assert not partitionable("g", loops, [kernel_stmt])
+
+    def test_nonzero_lower_illegal(self):
+        loops = self.make("for (int i = 4; i < 32; i++) g[i] = a[i];")
+        assert not partitionable("g", loops, [])
+
+    def test_equal_trips_required_when_chunked(self):
+        loops = self.make(
+            "for (int i = 0; i < 32; i++) g[i] = a[i];"
+            "for (int i = 0; i < 16; i++) a[i] = g[i];"
+        )
+        assert partitionable("g", loops, [], require_equal_trips=False)
+        assert not partitionable("g", loops, [], require_equal_trips=True)
+
+    def test_runtime_trip_illegal_when_chunked(self):
+        loops = self.make("for (int i = 0; i < w; i++) g[i] = a[i];")
+        assert not partitionable("g", loops, [], require_equal_trips=True)
+
+    def test_accesses_of(self):
+        loops = self.make("for (int i = 0; i < 32; i++) g[i] = g[i] + a[i];")
+        assert len(accesses_of(loops[0], "g")) == 2
+        assert len(accesses_of(loops[0], "a")) == 1

@@ -1,0 +1,70 @@
+"""Resource estimator tests (Table 1 REG/SM/LM proxies)."""
+
+from repro.analysis.resources import estimate_resources
+from repro.minicuda.parser import parse_kernel
+
+
+def est(src: str):
+    return estimate_resources(parse_kernel(src))
+
+
+def test_shared_and_local_exact():
+    r = est(
+        "__global__ void t(float *a) {"
+        " __shared__ float tile[16][16];"
+        " float spill[100];"
+        " a[0] = spill[0] + tile[0][0]; }"
+    )
+    assert r.shared_bytes_per_block == 16 * 16 * 4
+    assert r.local_bytes_per_thread == 400
+
+
+def test_register_monotone_in_scalars():
+    few = est("__global__ void t(float *a) { float x = 0; a[0] = x; }")
+    many = est(
+        "__global__ void t(float *a) {"
+        " float x = 0; float y = 1; float z = 2; float q = 3;"
+        " a[0] = x + y + z + q; }"
+    )
+    assert many.reg_bytes_per_thread > few.reg_bytes_per_thread
+
+
+def test_pointer_costs_more_than_scalar():
+    ptr = est("__global__ void t(float *a) { float *p = a + 1; p[0] = 0.f; }")
+    scalar = est("__global__ void t(float *a) { int p = 1; a[p] = 0.f; }")
+    assert ptr.reg_bytes_per_thread > scalar.reg_bytes_per_thread
+
+
+def test_register_promoted_array_counts_as_registers():
+    import repro.minicuda.nodes as n
+
+    kernel = parse_kernel("__global__ void t(float *a) { a[0] = 0.f; }")
+    base = estimate_resources(kernel)
+    kernel.body.stmts.insert(0, n.VarDecl("part", n.ArrayType(n.FLOAT, (10,), "reg")))
+    promoted = estimate_resources(kernel)
+    assert promoted.reg_bytes_per_thread >= base.reg_bytes_per_thread + 40
+    assert promoted.local_bytes_per_thread == 0
+
+
+def test_deep_expression_raises_temp_estimate():
+    shallow = est("__global__ void t(float *a) { a[0] = a[1] + a[2]; }")
+    deep = est(
+        "__global__ void t(float *a) {"
+        " a[0] = (a[1] + a[2]) * (a[3] + a[4]) + (a[5] + a[6]) * (a[7] + a[8]); }"
+    )
+    assert deep.reg_bytes_per_thread > shallow.reg_bytes_per_thread
+
+
+def test_const_env_names_free():
+    kernel = parse_kernel("__global__ void t(float *a) { a[0] = 0.f; }")
+    base = estimate_resources(kernel)
+    kernel.const_env = {"slave_size": 8, "master_size": 32}
+    with_consts = estimate_resources(kernel)
+    assert with_consts.reg_bytes_per_thread == base.reg_bytes_per_thread
+
+
+def test_as_usage_roundtrip():
+    r = est("__global__ void t(float *a) { float g[8]; a[0] = g[0]; }")
+    usage = r.as_usage()
+    assert usage.local_bytes_per_thread == 32
+    assert usage.regs_per_thread == (r.reg_bytes_per_thread + 3) // 4

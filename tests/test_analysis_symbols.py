@@ -1,0 +1,62 @@
+"""Symbol table / memory-space classification tests."""
+
+from repro.analysis.symbols import Space, build_symbol_table, space_of
+from repro.minicuda import nodes as n
+from repro.minicuda.parser import parse_kernel
+
+SRC = """
+__global__ void t(float *g, int w) {
+    __shared__ float tile[8][8];
+    __constant__ float lut[16];
+    float spill[64];
+    float x = 0;
+    float *p = g + 1;
+    const int c = 3;
+    for (int i = 0; i < w; i++) x += g[i];
+}
+"""
+
+
+def test_spaces():
+    table = build_symbol_table(parse_kernel(SRC))
+    assert table["g"].space is Space.GLOBAL and table["g"].is_param
+    assert table["w"].space is Space.REGISTER and table["w"].is_param
+    assert table["tile"].space is Space.SHARED
+    assert table["lut"].space is Space.CONSTANT
+    assert table["spill"].space is Space.LOCAL
+    assert table["x"].space is Space.REGISTER
+    assert table["p"].space is Space.GLOBAL
+    assert table["i"].space is Space.REGISTER
+    assert table["c"].const
+
+
+def test_is_private():
+    table = build_symbol_table(parse_kernel(SRC))
+    assert table["x"].is_private
+    assert table["spill"].is_private
+    assert not table["tile"].is_private
+    assert not table["g"].is_private
+
+
+def test_const_env_symbols():
+    kernel = parse_kernel(SRC)
+    kernel.const_env = {"slave_size": 8}
+    table = build_symbol_table(kernel)
+    assert table["slave_size"].const
+    assert table["slave_size"].space is Space.REGISTER
+
+
+def test_space_of_register_array():
+    assert space_of(n.ArrayType(n.FLOAT, (4,), "reg")) is Space.REGISTER
+
+
+def test_in_space_and_params():
+    table = build_symbol_table(parse_kernel(SRC))
+    assert {s.name for s in table.params()} == {"g", "w"}
+    assert {s.name for s in table.in_space(Space.SHARED)} == {"tile"}
+
+
+def test_get_missing():
+    table = build_symbol_table(parse_kernel(SRC))
+    assert table.get("nope") is None
+    assert "nope" not in table

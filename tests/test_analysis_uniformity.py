@@ -1,0 +1,104 @@
+"""Slave-invariance (uniform vector) analysis tests (§3.1)."""
+
+from repro.analysis.uniformity import UniformityState, redundant_executable
+from repro.minicuda.parser import parse_kernel
+
+
+def stmts_of(src: str):
+    return parse_kernel(f"__global__ void t(float *a, int w) {{ {src} }}").body.stmts
+
+
+def fresh_state():
+    return UniformityState({"a", "w"}, {"master_id", "slave_size"})
+
+
+class TestExprInvariance:
+    def test_literals_and_params(self):
+        s = fresh_state()
+        (d,) = stmts_of("int x = w * 4 + 1;")
+        assert s.expr_invariant(d.init)
+
+    def test_thread_builtins_invariant(self):
+        # threadIdx of the *original* kernel maps to master_id, which
+        # slaves share (§3.1).
+        s = fresh_state()
+        (d,) = stmts_of("int x = threadIdx.x + blockIdx.x * blockDim.x;")
+        assert s.expr_invariant(d.init)
+
+    def test_memory_load_variant(self):
+        s = fresh_state()
+        (d,) = stmts_of("float x = a[0];")
+        assert not s.expr_invariant(d.init)
+
+    def test_pure_call_invariant(self):
+        s = fresh_state()
+        (d,) = stmts_of("float x = sqrtf((float)w);")
+        assert s.expr_invariant(d.init)
+
+    def test_impure_call_variant(self):
+        s = fresh_state()
+        (d,) = stmts_of("float x = tex1Dfetch(t_x, 0);")
+        assert not s.expr_invariant(d.init)
+
+    def test_ternary_all_arms(self):
+        s = fresh_state()
+        (d,) = stmts_of("float x = w > 0 ? 1.f : a[0];")
+        assert not s.expr_invariant(d.init)
+
+
+class TestPropagation:
+    def test_invariance_flows_through_defs(self):
+        s = fresh_state()
+        d1, d2 = stmts_of("int x = w * 2; int y = x + 1;")
+        s.update(d1)
+        assert s.expr_invariant(d2.init)
+
+    def test_variant_def_poisons(self):
+        s = fresh_state()
+        d1, d2 = stmts_of("float x = a[0]; float y = x + 1.f;")
+        s.update(d1)
+        assert not s.expr_invariant(d2.init)
+
+    def test_reassignment_restores(self):
+        s = fresh_state()
+        d1, a1, d2 = stmts_of("float x = a[0]; x = 1.f; float y = x;")
+        s.update(d1)
+        s.update(a1)
+        assert s.expr_invariant(d2.init)
+
+    def test_compound_assign_needs_invariant_target(self):
+        s = fresh_state()
+        d1, a1 = stmts_of("float x = a[0]; x += 1.f;")
+        s.update(d1)
+        assert not redundant_executable(a1, s)
+
+    def test_kill_and_mark(self):
+        s = fresh_state()
+        s.mark_invariant({"sum"})
+        assert s.is_invariant_name("sum")
+        s.kill({"sum"})
+        assert not s.is_invariant_name("sum")
+
+    def test_snapshot_restore(self):
+        s = fresh_state()
+        snap = s.snapshot()
+        s.mark_invariant({"zzz"})
+        s.restore(snap)
+        assert not s.is_invariant_name("zzz")
+
+
+class TestRedundantExecutable:
+    def test_invariant_decl(self):
+        s = fresh_state()
+        (d,) = stmts_of("int x = w + 1;")
+        assert redundant_executable(d, s)
+
+    def test_store_never_redundant(self):
+        s = fresh_state()
+        (st,) = stmts_of("a[0] = 1.f;")
+        assert not redundant_executable(st, s)
+
+    def test_control_flow_never_redundant(self):
+        s = fresh_state()
+        (st,) = stmts_of("if (w > 0) { w = 1; }")
+        assert not redundant_executable(st, s)

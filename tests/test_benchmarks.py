@@ -1,0 +1,130 @@
+"""Benchmark suite tests: every baseline matches its numpy reference, and
+every CUDA-NP variant matches too (the paper's Table-1 benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import BENCHMARKS
+from repro.npc.config import NpConfig
+
+ALL_NAMES = list(BENCHMARKS)
+
+SMOKE_CONFIGS = [
+    NpConfig(slave_size=4, np_type="inter"),
+    NpConfig(slave_size=8, np_type="inter"),
+    NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True),
+    NpConfig(slave_size=8, np_type="intra", use_shfl=False, padded=True),
+]
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return {name: cls() for name, cls in BENCHMARKS.items()}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_baseline_matches_reference(benches, name):
+    bench = benches[name]
+    result = bench.run_baseline()
+    assert bench.check(result), f"{name} baseline output mismatch"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("config", SMOKE_CONFIGS, ids=[c.describe() for c in SMOKE_CONFIGS])
+def test_np_variant_matches_reference(benches, name, config):
+    bench = benches[name]
+    if bench.flat_block_size * config.slave_size > bench.device.max_threads_per_block:
+        pytest.skip("thread block too large")
+    result = bench.run_variant(config)
+    assert bench.check(result), f"{name} {config.describe()} output mismatch"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_np_improves_modeled_time(benches, name):
+    """With S=8 inter-warp, every paper benchmark should speed up (the paper's
+    smallest win is 1.36x; we only assert > 1.0 to stay robust)."""
+    bench = benches[name]
+    base = bench.run_baseline()
+    res = bench.run_variant(NpConfig(slave_size=8, np_type="inter"))
+    assert res.timing.seconds < base.timing.seconds
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_characteristics_consistent(benches, name):
+    """Declared PL matches the number of pragma loops in the source."""
+    from repro.npc.master_slave import collect_parallel_loops
+
+    bench = benches[name]
+    loops = collect_parallel_loops(bench.kernel.body)
+    assert len(loops) == bench.characteristics.parallel_loops
+    has_red = any(loop.pragma.reductions for loop in loops)
+    has_scan = any(loop.pragma.scans for loop in loops)
+    assert has_red == bench.characteristics.reduction
+    assert has_scan == bench.characteristics.scan
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_fresh_args_are_independent(benches, name):
+    bench = benches[name]
+    a1 = bench.make_args()
+    a2 = bench.make_args()
+    for key, value in a1.items():
+        if isinstance(value, np.ndarray):
+            assert value is not a2[key]
+
+
+class TestPaperSpecificBehaviours:
+    def test_lu_intra_beats_inter(self, benches):
+        """§5: intra-warp NP wins for LU (divergence elimination)."""
+        bench = benches["LU"]
+        t_inter = bench.run_variant(NpConfig(slave_size=4, np_type="inter")).timing.seconds
+        t_intra = bench.run_variant(
+            NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True)
+        ).timing.seconds
+        assert t_intra < t_inter
+
+    def test_nn_intra_beats_inter(self, benches):
+        """§5: intra-warp NP wins for NN (coalescing)."""
+        bench = benches["NN"]
+        t_inter = bench.run_variant(NpConfig(slave_size=8, np_type="inter")).timing.seconds
+        t_intra = bench.run_variant(
+            NpConfig(slave_size=8, np_type="intra", use_shfl=True, padded=True)
+        ).timing.seconds
+        assert t_intra < t_inter
+
+    def test_ss_inter_beats_intra(self, benches):
+        """§3.4: intra-warp NP breaks SS's coalesced accesses."""
+        bench = benches["SS"]
+        t_inter = bench.run_variant(NpConfig(slave_size=8, np_type="inter")).timing.seconds
+        t_intra = bench.run_variant(
+            NpConfig(slave_size=8, np_type="intra", use_shfl=True, padded=True)
+        ).timing.seconds
+        assert t_inter < t_intra
+
+    def test_le_partition_shrinks_local_memory(self, benches):
+        """§3.3: partitioning divides LE's 600 B local array by slave_size."""
+        bench = benches["LE"]
+        bl = bench.resource_report()
+        opt = bench.variant_resource_report(NpConfig(slave_size=8, np_type="inter"))
+        assert bl.local_bytes_per_thread == 600
+        assert opt.local_bytes_per_thread < bl.local_bytes_per_thread / 4
+
+    def test_lib_partition_promotes_to_registers(self, benches):
+        """LIB's 80-element arrays split into 10-element register slices."""
+        bench = benches["LIB"]
+        opt = bench.variant_resource_report(NpConfig(slave_size=8, np_type="inter"))
+        assert opt.local_bytes_per_thread == 0
+
+    def test_mc_has_heavy_shared(self, benches):
+        bench = benches["MC"]
+        bl = bench.resource_report()
+        assert bl.shared_bytes_per_block >= 4 * 1024
+
+    def test_uncoalesced_nn_baseline(self, benches):
+        res = benches["NN"].run_baseline()
+        assert res.stats.uncoalesced_accesses > 0
+
+    def test_coalesced_ss_baseline(self, benches):
+        res = benches["SS"].run_baseline()
+        # point loads are dimension-major: fully coalesced
+        assert res.stats.uncoalesced_accesses == 0

@@ -1,0 +1,70 @@
+"""Remaining AST-builder helper coverage (emit-level semantics)."""
+
+import pytest
+
+from repro.minicuda import build as b
+from repro.minicuda.nodes import Cast, Member, Ternary, Unary
+from repro.minicuda.pretty import emit_expr
+
+
+@pytest.mark.parametrize(
+    "helper,op",
+    [
+        (b.add, "+"), (b.sub, "-"), (b.mul, "*"), (b.div, "/"), (b.mod, "%"),
+        (b.lt, "<"), (b.le, "<="), (b.gt, ">"), (b.ge, ">="),
+        (b.eq, "=="), (b.ne, "!="), (b.land, "&&"), (b.lor, "||"),
+    ],
+)
+def test_binary_helpers(helper, op):
+    expr = helper("a", "c")
+    assert expr.op == op
+    assert emit_expr(expr) == f"a {op} c"
+
+
+def test_unary_helpers():
+    assert emit_expr(b.neg("x")) == "-x"
+    assert emit_expr(b.lnot("x")) == "!x"
+    assert isinstance(b.neg(1), Unary)
+
+
+def test_ternary_and_cast():
+    expr = b.ternary(b.gt("x", 0), 1.0, 2.0)
+    assert isinstance(expr, Ternary)
+    assert emit_expr(expr) == "x > 0 ? 1.f : 2.f"
+    cast = b.cast("int", "x")
+    assert isinstance(cast, Cast)
+    assert emit_expr(cast) == "(int)x"
+
+
+def test_member_helper():
+    expr = b.member("threadIdx", "y")
+    assert isinstance(expr, Member)
+    assert emit_expr(expr) == "threadIdx.y"
+
+
+def test_lit_and_expr_stmt():
+    assert emit_expr(b.lit(3)) == "3"
+    assert emit_expr(b.lit(0.5)) == "0.5f"
+    stmt = b.expr_stmt(b.call("foo", 1))
+    from repro.minicuda.nodes import ExprStmt
+
+    assert isinstance(stmt, ExprStmt)
+
+
+def test_sync_helper_shape():
+    stmt = b.sync()
+    assert stmt.expr.func == "__syncthreads"
+    assert stmt.expr.args == []
+
+
+def test_assign_compound():
+    stmt = b.assign("x", 3, op="+=")
+    assert stmt.op == "+="
+
+
+def test_for_range_pragma_passthrough():
+    from repro.minicuda.nodes import NpPragma
+
+    pragma = NpPragma(reductions=[("+", "s")])
+    loop = b.for_range("i", 0, 10, [b.assign("s", 0, op="+=")], pragma=pragma)
+    assert loop.pragma is pragma

@@ -1,0 +1,69 @@
+"""Documentation consistency checks: the repo's own claims must hold."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestReadme:
+    def test_quickstart_code_block_runs(self):
+        """Execute the README's quickstart block verbatim."""
+        readme = (ROOT / "README.md").read_text()
+        match = re.search(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert match, "README must contain a python quickstart block"
+        code = match.group(1)
+        namespace: dict = {}
+        exec(compile(code, "README-quickstart", "exec"), namespace)
+
+    def test_examples_listed_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for script in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (ROOT / script).exists(), script
+
+    def test_cli_modules_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for mod in re.findall(r"python -m (repro[.\w]+)", readme):
+            parts = mod.split(".")
+            pkg = ROOT / "src" / pathlib.Path(*parts)
+            assert (pkg / "__main__.py").exists() or pkg.with_suffix(".py").exists(), mod
+
+
+class TestDesign:
+    def test_experiment_index_complete(self):
+        """DESIGN.md's index covers every registered experiment."""
+        design = (ROOT / "DESIGN.md").read_text()
+        from repro.experiments import EXPERIMENTS
+
+        for exp_id in EXPERIMENTS:
+            anchor = {"table1": "Table 1", "sec6": "§6"}.get(
+                exp_id, f"Fig. {int(exp_id[3:]) if exp_id.startswith('fig') else ''}"
+            )
+            assert anchor in design, f"{exp_id} missing from DESIGN.md index"
+
+    def test_benchmark_inventory_complete(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        from repro.kernels import BENCHMARKS
+
+        for name in BENCHMARKS:
+            assert f"| {name}" in design or f"| {name} " in design, name
+
+    def test_paper_confirmation_present(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        assert "Paper check" in design
+        assert "CUDA-NP" in design
+
+
+class TestExperimentsDoc:
+    def test_summary_covers_all_experiments(self):
+        doc = (ROOT / "EXPERIMENTS.md").read_text()
+        for needle in (
+            "Fig. 1", "Table 1", "Fig. 10", "Fig. 11", "Fig. 12",
+            "Fig. 13", "Fig. 14", "Fig. 15", "Fig. 16", "§6",
+        ):
+            assert needle in doc, needle
+
+    def test_calibration_documented(self):
+        doc = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "1.7 µs" in doc or "1.7 us" in doc
+        assert "Calibrated constants" in doc

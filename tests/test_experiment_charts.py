@@ -1,0 +1,63 @@
+"""ASCII chart rendering tests."""
+
+from repro.experiments.charts import (
+    bar_chart,
+    chart_fig10,
+    chart_fig11,
+    grouped_bar_chart,
+)
+from repro.experiments.util import ExperimentResult
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart({"TMV": 7.98, "NN": 12.91, "CFD": 1.07}, title="fig10")
+        lines = out.splitlines()
+        assert lines[0] == "fig10"
+        assert len(lines) == 4
+        # the biggest value gets the longest bar
+        assert lines[2].count("█") > lines[1].count("█")
+        assert "12.91" in lines[2]
+
+    def test_labels_aligned(self):
+        out = bar_chart({"A": 1.0, "LONGNAME": 2.0})
+        a, b = out.splitlines()
+        assert a.index("█") == b.index("█")
+
+    def test_baseline_tick(self):
+        out = bar_chart({"x": 4.0, "y": 0.5}, baseline=1.0)
+        assert "+" in out or "|" in out
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_unit_suffix(self):
+        out = bar_chart({"x": 2.0}, unit="x")
+        assert "2.00x" in out
+
+
+class TestGrouped:
+    def test_groups_rendered(self):
+        out = grouped_bar_chart(
+            {"LU": {"inter": 1.2, "intra": 1.7}, "NN": {"inter": 1.0, "intra": 8.0}}
+        )
+        assert "LU:" in out and "NN:" in out
+        assert out.count("█") > 0
+
+
+class TestResultAdapters:
+    def test_chart_fig10(self):
+        result = ExperimentResult(
+            "fig10", "t", ["Benchmark", "v", "b", "m", "speedup"],
+            rows=[["TMV", "-", 1, 1, 7.98], ["GM", "-", "-", "-", 2.9]],
+        )
+        out = chart_fig10(result)
+        assert "TMV" in out and "GM" in out
+
+    def test_chart_fig11_skips_na(self):
+        result = ExperimentResult(
+            "fig11", "t", ["Benchmark", "inter-S4", "intra-S4"],
+            rows=[["TMV", 3.99, "n/a"]],
+        )
+        out = chart_fig11(result)
+        assert "inter-S4" in out and "n/a" not in out

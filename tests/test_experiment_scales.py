@@ -1,0 +1,37 @@
+"""Paper-scale configuration registry tests."""
+
+import pytest
+
+from repro.experiments.scales import PAPER_SCALE_KWARGS, paper_scale
+from repro.kernels import BENCHMARKS
+
+
+def test_every_benchmark_has_a_scale():
+    assert set(PAPER_SCALE_KWARGS) == set(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_paper_scale_instantiates(name):
+    bench, sample = paper_scale(name)
+    assert sample >= 1
+    assert bench.name == name
+    # grids are large enough that sampling is meaningful
+    grid = bench.grid
+    blocks = grid if isinstance(grid, int) else grid[0] * grid[1]
+    assert blocks >= 8
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_fast_scale_shrinks_but_stays_large(name):
+    full, _ = paper_scale(name)
+    fast, _ = paper_scale(name, fast=True)
+    def blocks(b):
+        g = b.grid
+        return g if isinstance(g, int) else g[0] * g[1]
+    assert blocks(fast) <= blocks(full)
+    assert blocks(fast) >= 2
+
+
+def test_lu_fast_offset_consistent():
+    bench, _ = paper_scale("LU", fast=True)
+    assert bench.grid > 0  # offset scaled along with the matrix

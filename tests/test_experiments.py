@@ -1,0 +1,126 @@
+"""Experiment harness tests: every table/figure regenerates (fast mode) and
+its paper-shape assertions hold."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all
+from repro.experiments.util import ExperimentResult, format_table, geomean
+
+
+class TestUtil:
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], ["xx", 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "|" in lines[0]
+
+    def test_experiment_result_format(self):
+        r = ExperimentResult(
+            "figX", "demo", ["h"], rows=[[1]],
+            paper_anchors=[("thing", "1x", "1.1x")],
+            notes=["note"],
+        )
+        text = r.format()
+        assert "figX" in text and "thing" in text and "note" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig01", "table1", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "sec6",
+        }
+
+    def test_run_all_filters(self):
+        results = run_all(fast=True, only=["fig01"])
+        assert len(results) == 1
+        assert results[0].exp_id == "fig01"
+
+
+class TestFig01:
+    def test_anchors(self):
+        res = EXPERIMENTS["fig01"](fast=True)
+        anchors = {d: (p, m) for d, p, m in res.paper_anchors}
+        assert "plain memcopy bandwidth" in anchors
+        # Bandwidth column monotone over the parent sweep.
+        bws = [row[2] for row in res.rows[2:]]
+        assert bws == sorted(bws, reverse=True)
+
+
+class TestTable1:
+    def test_rows_and_structure(self):
+        res = EXPERIMENTS["table1"](fast=True)
+        names = [row[0] for row in res.rows]
+        assert names == ["MC", "LU", "LE", "MV", "SS", "LIB", "CFD", "BK", "TMV", "NN"]
+        le = next(row for row in res.rows if row[0] == "LE")
+        assert le[4] == "R"
+        lib = next(row for row in res.rows if row[0] == "LIB")
+        assert lib[4] == "S"
+        # LE baseline local memory is the paper's 600 B
+        assert le[7] == 600
+
+    def test_local_memory_shrinks(self):
+        res = EXPERIMENTS["table1"](fast=True)
+        for row in res.rows:
+            if row[0] in ("LE", "LIB", "CFD"):
+                assert row[10] < row[7], f"{row[0]} local memory did not shrink"
+
+
+class TestFig12:
+    def test_no_padding_wins(self):
+        res = EXPERIMENTS["fig12"](fast=True)
+        assert all(row[4] for row in res.rows)
+
+
+class TestFig15:
+    def test_partition_wins_both(self):
+        res = EXPERIMENTS["fig15"](fast=True)
+        assert all(row[4] == "partition" for row in res.rows)
+
+
+class TestSec6:
+    def test_all_slowdowns_exceed_one(self):
+        res = EXPERIMENTS["sec6"](fast=True)
+        assert all(row[2] > 1.0 for row in res.rows)
+
+    def test_optimized_nn_smaller_than_naive(self):
+        res = EXPERIMENTS["sec6"](fast=True)
+        naive = next(row[2] for row in res.rows if row[0] == "NN")
+        optimized = next(row[2] for row in res.rows if "1 launch/TB" in str(row[0]))
+        assert optimized < naive
+
+
+@pytest.mark.slow
+class TestSlowExperiments:
+    """The tuning-based experiments, exercised in fast mode."""
+
+    def test_fig10(self):
+        res = EXPERIMENTS["fig10"](fast=True)
+        assert res.rows[-1][0] == "GM"
+        gm = res.rows[-1][4]
+        assert gm > 1.0
+        speedups = [row[4] for row in res.rows[:-1]]
+        assert all(s > 1.0 for s in speedups)
+
+    def test_fig11(self):
+        res = EXPERIMENTS["fig11"](fast=True)
+        assert len(res.rows) == 10
+
+    def test_fig13(self):
+        res = EXPERIMENTS["fig13"](fast=True)
+        assert all(row[5] > 1.0 for row in res.rows)  # NP beats baseline
+
+    def test_fig14(self):
+        res = EXPERIMENTS["fig14"](fast=True)
+        assert all(row[5] for row in res.rows)  # NP wins column
+
+    def test_fig16(self):
+        res = EXPERIMENTS["fig16"](fast=True)
+        assert len(res.rows) >= 8
+        # shfl never loses badly to shared memory
+        assert all(row[3] > 0.85 for row in res.rows)

@@ -1,0 +1,68 @@
+"""Pre-Kepler (sm_20) path: no __shfl anywhere, shared-memory everything.
+
+The pragma's ``sm_version`` clause (§3.6) exists exactly for this: "If the
+target version is less than 3, the shfl instruction cannot be used to
+guarantee correctness."
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import FERMI
+from repro.gpusim.launch import run_kernel
+from repro.minicuda.nodes import Call, walk
+from repro.npc.autotune import launch_variant
+from repro.npc.config import NpConfig
+from repro.npc.pipeline import compile_np, enumerate_configs
+
+SRC = """
+__global__ void t(float *a, float *o, int n) {
+    int tid = threadIdx.x + blockIdx.x * blockDim.x;
+    float s = 0;
+    #pragma np parallel for reduction(+:s)
+    for (int i = 0; i < n; i++)
+        s += a[tid * n + i];
+    o[tid] = s;
+}
+"""
+
+
+def args(rng):
+    data = rng.standard_normal(64 * 9).astype(np.float32)
+    return lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=9)
+
+
+def test_fermi_configs_never_use_shfl():
+    for config in enumerate_configs(SRC, 32, device=FERMI):
+        variant = compile_np(SRC, 32, config, device=FERMI)
+        shfls = [
+            n for n in walk(variant.kernel.body)
+            if isinstance(n, Call) and n.func.startswith("__shfl")
+        ]
+        assert not shfls, config.describe()
+
+
+def test_fermi_intra_warp_shared_memory_correct():
+    rng = np.random.default_rng(5)
+    make = args(rng)
+    base = run_kernel(SRC, 2, 32, make(), device=FERMI)
+    config = NpConfig(
+        slave_size=8, np_type="intra", use_shfl=False, padded=True, sm_version=20
+    )
+    variant = compile_np(SRC, 32, config, device=FERMI)
+    res = launch_variant(variant, 2, make(), device=FERMI)
+    np.testing.assert_allclose(res.buffer("o"), base.buffer("o"), rtol=1e-4)
+
+
+def test_fermi_occupancy_limits_apply():
+    rng = np.random.default_rng(5)
+    make = args(rng)
+    res = run_kernel(SRC, 2, 32, make(), device=FERMI)
+    assert res.occupancy.blocks_per_smx <= FERMI.max_blocks_per_smx == 8
+
+
+def test_sm_version_pragma_propagates():
+    src = SRC.replace("reduction(+:s)", "reduction(+:s) sm_version(20)")
+    configs = enumerate_configs(src, 32)  # default device is Kepler!
+    assert configs
+    assert all(c.sm_version == 20 and not c.use_shfl for c in configs)

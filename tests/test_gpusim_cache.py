@@ -1,0 +1,73 @@
+"""L1 cache model tests: functional LRU cache and capacity estimate."""
+
+import pytest
+
+from repro.gpusim.cache import CapacityModel, SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, line_bytes=128, ways=4)
+
+    def test_repeat_hits(self):
+        c = SetAssociativeCache(16 * 1024)
+        c.access(0)
+        assert c.access(4)        # same line
+        assert c.access(127)
+        assert not c.access(128)  # next line
+        assert c.hits == 2 and c.misses == 2
+
+    def test_lru_eviction_within_set(self):
+        c = SetAssociativeCache(2 * 128 * 4, line_bytes=128, ways=4)  # 2 sets
+        set_stride = 2 * 128  # same set every 2 lines
+        lines = [i * set_stride for i in range(5)]  # 5 lines, 4 ways
+        for a in lines:
+            c.access(a)
+        assert not c.access(lines[0])  # evicted
+        assert c.access(lines[4])      # most recent survives
+
+    def test_working_set_fits(self):
+        c = SetAssociativeCache(16 * 1024)
+        addrs = list(range(0, 8 * 1024, 4))
+        c.access_many(addrs)
+        c.reset_stats()
+        c.access_many(addrs)
+        assert c.hit_rate == 1.0
+
+    def test_thrashing_large_working_set(self):
+        c = SetAssociativeCache(4 * 1024, ways=2)
+        addrs = list(range(0, 64 * 1024, 128))
+        c.access_many(addrs)
+        c.reset_stats()
+        c.access_many(addrs)
+        assert c.hit_rate < 0.2
+
+
+class TestCapacityModel:
+    def test_fits_is_one(self):
+        m = CapacityModel(16 * 1024)
+        assert m.hit_rate(100, 100) == 1.0
+
+    def test_thrash_scales_inverse(self):
+        m = CapacityModel(16 * 1024)
+        assert m.hit_rate(600, 2048) == pytest.approx(16 * 1024 / (600 * 2048))
+
+    def test_no_local_traffic(self):
+        m = CapacityModel(16 * 1024)
+        assert m.hit_rate(0, 2048) == 1.0
+
+    def test_monotone_in_threads(self):
+        m = CapacityModel(16 * 1024)
+        rates = [m.hit_rate(600, t) for t in (64, 256, 1024, 2048)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_agrees_with_functional_cache_qualitatively(self):
+        """Capacity estimate and LRU simulation agree on fits-vs-thrashes."""
+        m = CapacityModel(16 * 1024)
+        c = SetAssociativeCache(16 * 1024)
+        # 8 KB working set, streamed twice
+        addrs = list(range(0, 8 * 1024, 4)) * 2
+        c.access_many(addrs)
+        assert m.hit_rate(8 * 1024, 1) == 1.0
+        assert c.hit_rate > 0.9

@@ -1,0 +1,73 @@
+"""Coalescing / bank-conflict model tests."""
+
+import numpy as np
+
+from repro.gpusim.coalescing import (
+    bank_conflict_replays,
+    broadcast_segments,
+    is_fully_coalesced,
+    transactions_for,
+)
+
+ALL = np.ones(32, dtype=bool)
+
+
+def addrs(elems, itemsize=4, base=0):
+    return base + np.asarray(elems, dtype=np.int64) * itemsize
+
+
+class TestTransactions:
+    def test_consecutive_floats_one_txn(self):
+        assert transactions_for(addrs(range(32)), ALL) == 1
+
+    def test_consecutive_unaligned_two_txns(self):
+        assert transactions_for(addrs(range(16, 48)), ALL) == 2
+
+    def test_stride_two_floats(self):
+        assert transactions_for(addrs(range(0, 64, 2)), ALL) == 2
+
+    def test_fully_scattered(self):
+        assert transactions_for(addrs([i * 1000 for i in range(32)]), ALL) == 32
+
+    def test_same_address_broadcast(self):
+        assert transactions_for(addrs([7] * 32), ALL) == 1
+
+    def test_mask_limits_lanes(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        assert transactions_for(addrs([0, 32, 64, 96] + [0] * 28), mask) == 4
+
+    def test_empty_mask(self):
+        assert transactions_for(addrs(range(32)), np.zeros(32, dtype=bool)) == 0
+
+    def test_coalesced_predicate(self):
+        assert is_fully_coalesced(addrs(range(32)), ALL)
+        assert not is_fully_coalesced(addrs(range(0, 64, 2)), ALL)
+
+
+class TestBankConflicts:
+    def test_conflict_free_sequential(self):
+        assert bank_conflict_replays(addrs(range(32)), ALL) == 0
+
+    def test_same_word_broadcast_free(self):
+        assert bank_conflict_replays(addrs([5] * 32), ALL) == 0
+
+    def test_stride_32_worst_case(self):
+        # every lane hits bank 0 at a different word: 31 replays
+        assert bank_conflict_replays(addrs(range(0, 32 * 32, 32)), ALL) == 31
+
+    def test_stride_2_two_way(self):
+        assert bank_conflict_replays(addrs(range(0, 64, 2)), ALL) == 1
+
+    def test_masked_lanes_ignored(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[0] = True
+        assert bank_conflict_replays(addrs(range(0, 32 * 32, 32)), mask) == 0
+
+
+class TestBroadcast:
+    def test_uniform_is_broadcast(self):
+        assert broadcast_segments(addrs([3] * 32), ALL)
+
+    def test_divergent_not_broadcast(self):
+        assert not broadcast_segments(addrs(range(32)), ALL)

@@ -1,0 +1,48 @@
+"""Device specification tests."""
+
+import pytest
+
+from repro.gpusim.device import FERMI, GTX680, K20C, DeviceSpec
+
+
+class TestSpecs:
+    def test_gtx680_paper_platform(self):
+        assert GTX680.sm_version == 30
+        assert GTX680.num_smx == 8
+        assert GTX680.supports_shfl
+        assert not GTX680.supports_dynamic_parallelism
+        assert GTX680.max_threads_per_block == 1024
+
+    def test_k20c_dynamic_parallelism(self):
+        assert K20C.sm_version == 35
+        assert K20C.supports_dynamic_parallelism
+        assert K20C.max_registers_per_thread == 255
+
+    def test_fermi_no_shfl(self):
+        assert not FERMI.supports_shfl
+        assert FERMI.max_threads_per_smx == 1536
+
+    def test_cycles_to_seconds(self):
+        assert GTX680.cycles_to_seconds(GTX680.core_clock_ghz * 1e9) == pytest.approx(1.0)
+
+    def test_peak_bytes_per_cycle(self):
+        assert GTX680.peak_bytes_per_cycle == pytest.approx(
+            GTX680.mem_bandwidth_gbs / GTX680.core_clock_ghz
+        )
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GTX680.num_smx = 4  # type: ignore[misc]
+
+
+class TestSharedConfig:
+    def test_reconfigure_split(self):
+        d16 = GTX680.with_shared_config(16)
+        assert d16.shared_per_smx == 16 * 1024
+        assert d16.l1_size >= 16 * 1024
+        d48 = GTX680.with_shared_config(48)
+        assert d48.shared_per_smx == 48 * 1024
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            GTX680.with_shared_config(20)

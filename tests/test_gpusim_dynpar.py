@@ -1,0 +1,69 @@
+"""Dynamic-parallelism cost model tests (Fig. 1 / §6 anchors)."""
+
+import pytest
+
+from repro.gpusim.dynpar import DynParModel
+
+TOTAL = 64 * 1024 * 1024
+
+
+class TestFig1Anchors:
+    def setup_method(self):
+        self.model = DynParModel()
+
+    def test_plain_bandwidth_matches_paper(self):
+        assert self.model.plain_bandwidth_gbs == pytest.approx(142, rel=0.02)
+
+    def test_enabled_bandwidth_matches_paper(self):
+        assert self.model.enabled_bandwidth_gbs == pytest.approx(63, rel=0.02)
+
+    def test_16k_children_near_34(self):
+        # m = 4096 parents -> 16384-thread children
+        bw = self.model.memcopy_bandwidth_gbs(TOTAL, 4096)
+        assert bw == pytest.approx(34, rel=0.1)
+
+    def test_bandwidth_monotone_in_launches(self):
+        bws = [
+            self.model.memcopy_bandwidth_gbs(TOTAL, m)
+            for m in (64, 256, 1024, 4096, 16384, 65536)
+        ]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_few_launches_approach_enabled_bw(self):
+        bw = self.model.memcopy_bandwidth_gbs(TOTAL, 1)
+        assert bw == pytest.approx(self.model.enabled_bandwidth_gbs, rel=0.05)
+
+    def test_zero_launches_invalid(self):
+        with pytest.raises(ValueError):
+            self.model.memcopy_time_s(TOTAL, 0)
+
+
+class TestSlowdownModel:
+    def setup_method(self):
+        self.model = DynParModel()
+
+    def test_more_launches_more_slowdown(self):
+        t1 = self.model.kernel_time_with_dp(1e-4, 9e-4, 100)
+        t2 = self.model.kernel_time_with_dp(1e-4, 9e-4, 100000)
+        assert t2 > t1
+
+    def test_slowdown_exceeds_enabled_tax(self):
+        # Even one launch can't beat the enabled-kernel tax.
+        t = self.model.kernel_time_with_dp(1e-4, 9e-4, 1)
+        assert t >= (1e-4 + 9e-4) * self.model.enabled_tax * 0.99
+
+    def test_launch_floor_binds_for_tiny_children(self):
+        # 1e5 launches of trivially small work: floor dominates.
+        t = self.model.kernel_time_with_dp(0.0, 1e-6, 100000)
+        assert t >= 100000 * self.model.min_child_us * 1e-6
+
+    def test_slowdown_vs_baseline_uses_fraction(self):
+        class FakeTiming:
+            seconds = 1e-3
+
+        class FakeResult:
+            timing = FakeTiming()
+
+        s_high = self.model.slowdown_vs_baseline(FakeResult(), 10000, 0.9)
+        s_low = self.model.slowdown_vs_baseline(FakeResult(), 10, 0.9)
+        assert s_high > s_low > 1.0

@@ -1,0 +1,106 @@
+"""Device intrinsic tests: shfl family and math table."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import IntrinsicError
+from repro.gpusim.intrinsics import (
+    MATH_INTRINSICS,
+    shfl,
+    shfl_down,
+    shfl_up,
+)
+
+LANES = np.arange(32, dtype=np.float32)
+
+
+class TestShfl:
+    def test_paper_example(self):
+        """__shfl(var, 0, 4): groups of 4, all read from the group's lane 0
+        (paper §2.1 walks exactly this case)."""
+        out = shfl(LANES, np.zeros(32, dtype=np.int32), 4)
+        expected = np.repeat(np.arange(0, 32, 4), 4).astype(np.float32)
+        assert np.array_equal(out, expected)
+
+    def test_full_warp_broadcast(self):
+        out = shfl(LANES, np.full(32, 5), 32)
+        assert np.all(out == 5)
+
+    def test_lane_id_wraps_modulo(self):
+        out = shfl(LANES, np.full(32, 9), 8)  # 9 % 8 == 1 within group
+        expected = np.repeat(np.arange(1, 32, 8), 8).astype(np.float32)
+        assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("width", [0, 3, 33, 64])
+    def test_bad_width(self, width):
+        with pytest.raises(IntrinsicError):
+            shfl(LANES, np.zeros(32, dtype=np.int32), width)
+
+    def test_shfl_down_tree_reduction(self):
+        """The canonical warp-sum: after log2 rounds lane 0 holds the total."""
+        val = LANES.copy()
+        for off in (16, 8, 4, 2, 1):
+            val = val + shfl_down(val, off, 32)
+        assert val[0] == LANES.sum()
+
+    def test_shfl_down_group(self):
+        out = shfl_down(LANES, 1, 8)
+        assert out[0] == 1 and out[6] == 7
+        assert out[7] == 7  # boundary reads own value
+
+    def test_shfl_up_inclusive_scan(self):
+        """Hillis-Steele inclusive scan within one 8-lane group."""
+        val = LANES[:].copy()
+        group = 8
+        lane_in_group = np.arange(32) % group
+        d = 1
+        while d < group:
+            t = shfl_up(val, d, group)
+            val = np.where(lane_in_group >= d, val + t, val)
+            d *= 2
+        # group 0 holds prefix sums of 0..7
+        assert np.array_equal(val[:8], np.cumsum(np.arange(8)).astype(np.float32))
+
+    def test_shfl_up_boundary(self):
+        out = shfl_up(LANES, 1, 8)
+        assert out[0] == 0  # reads own value at group start
+        assert out[1] == 0 and out[9] == 8
+
+
+class TestMathTable:
+    @pytest.mark.parametrize(
+        "fn,arg,expected",
+        [
+            ("sqrtf", 4.0, 2.0),
+            ("fabsf", -3.0, 3.0),
+            ("expf", 0.0, 1.0),
+            ("logf", 1.0, 0.0),
+            ("floorf", 1.7, 1.0),
+            ("ceilf", 1.2, 2.0),
+        ],
+    )
+    def test_unary(self, fn, arg, expected):
+        intrinsic = MATH_INTRINSICS[fn]
+        out = intrinsic.fn(np.full(32, arg, np.float32))
+        assert out.dtype == np.float32
+        assert out[0] == pytest.approx(expected)
+
+    def test_binary_minmax(self):
+        a = np.full(32, 2.0, np.float32)
+        b = np.full(32, 3.0, np.float32)
+        assert MATH_INTRINSICS["fminf"].fn(a, b)[0] == 2.0
+        assert MATH_INTRINSICS["fmaxf"].fn(a, b)[0] == 3.0
+
+    def test_int_minmax_preserves_dtype(self):
+        a = np.full(32, 2, np.int32)
+        b = np.full(32, 3, np.int32)
+        out = MATH_INTRINSICS["min"].fn(a, b)
+        assert out.dtype == np.int32
+
+    def test_sfu_weights_exceed_alu(self):
+        assert MATH_INTRINSICS["sqrtf"].weight > 1
+        assert MATH_INTRINSICS["powf"].weight > MATH_INTRINSICS["sqrtf"].weight
+
+    def test_nan_domain_does_not_warn(self):
+        out = MATH_INTRINSICS["sqrtf"].fn(np.full(32, -1.0, np.float32))
+        assert np.isnan(out).all()

@@ -1,0 +1,57 @@
+"""Launch API odds and ends: dim normalization, result surface."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import LaunchError
+from repro.gpusim.launch import _as_dim3, run_kernel
+
+
+class TestDimNormalization:
+    def test_int_becomes_3tuple(self):
+        assert _as_dim3(4) == (4, 1, 1)
+
+    def test_pair_padded(self):
+        assert _as_dim3((2, 3)) == (2, 3, 1)
+
+    def test_triple_passthrough(self):
+        assert _as_dim3((2, 3, 4)) == (2, 3, 4)
+
+    def test_zero_rejected(self):
+        with pytest.raises(LaunchError):
+            _as_dim3(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(LaunchError):
+            _as_dim3((4, -1))
+
+
+class TestLaunchResultSurface:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_kernel(
+            "__global__ void t(int *o) {"
+            " o[threadIdx.x + blockIdx.x * blockDim.x] = 1; }",
+            (2, 2),
+            40,
+            {"o": np.zeros(160, np.int32)},
+        )
+
+    def test_shape_properties(self, result):
+        assert result.total_blocks == 4
+        assert result.threads_per_block == 40
+        assert result.total_warps == 8  # 2 warps per 40-thread block
+
+    def test_milliseconds_consistent(self, result):
+        assert result.milliseconds == pytest.approx(result.timing.milliseconds)
+
+    def test_gmem_buffer_accessor(self, result):
+        # the kernel ignores blockIdx.y, so the two y-planes overwrite the
+        # same 80 slots
+        assert result.buffer("o").sum() == 80
+
+    def test_kernel_name(self, result):
+        assert result.kernel_name == "t"
+
+    def test_device_default(self, result):
+        assert result.device.name == "GTX 680"

@@ -1,0 +1,42 @@
+"""Cross-validation: the simulated memcopy kernel vs the Fig. 1 cost model.
+
+The analytical dynamic-parallelism model and the functional simulator
+describe the same device; their plain-copy bandwidths should at least agree
+on order of magnitude and on saturation behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import K20C
+from repro.gpusim.dynpar import DynParModel
+from repro.kernels.memcopy import MemcopyBenchmark
+
+
+def test_simulated_copy_bandwidth_reasonable():
+    bench = MemcopyBenchmark(n=1 << 16, block=256, device=K20C)
+    result = bench.run_baseline(sample_blocks=8)
+    bw = result.timing.achieved_bandwidth_gbs
+    assert 10 < bw <= K20C.mem_bandwidth_gbs * 1.01
+
+
+def test_simulated_copy_is_memory_bound_at_scale():
+    bench = MemcopyBenchmark(n=1 << 18, block=256, device=K20C)
+    result = bench.run_baseline(sample_blocks=8)
+    assert result.timing.bound in ("memory", "balanced")
+
+
+def test_model_and_simulator_same_regime():
+    """The model's plain bandwidth and the simulator's saturated copy
+    bandwidth are within ~3x of each other (both near DRAM limits)."""
+    model = DynParModel()
+    bench = MemcopyBenchmark(n=1 << 18, block=256, device=K20C)
+    sim_bw = bench.run_baseline(sample_blocks=8).timing.achieved_bandwidth_gbs
+    assert model.plain_bandwidth_gbs / 3 < sim_bw < model.plain_bandwidth_gbs * 3
+
+
+def test_copy_functional():
+    bench = MemcopyBenchmark(n=4096, block=256)
+    result = bench.run_baseline()
+    assert bench.check(result)
+    np.testing.assert_array_equal(result.buffer("dst"), bench.src)

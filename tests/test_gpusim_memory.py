@@ -1,0 +1,147 @@
+"""Simulated memory-space tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import MemoryFault
+from repro.gpusim.memory import (
+    ConstArray,
+    GlobalMemory,
+    LocalArray,
+    SharedArray,
+    dtype_for,
+)
+
+ALL = np.ones(32, dtype=bool)
+
+
+class TestGlobalMemory:
+    def test_alloc_and_load(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc("a", np.arange(64, dtype=np.float32))
+        offsets = np.arange(32, dtype=np.int64)
+        got = buf.load(offsets, ALL)
+        assert np.array_equal(got, np.arange(32, dtype=np.float32))
+
+    def test_store_masked(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc("a", np.zeros(32, dtype=np.float32))
+        mask = np.zeros(32, dtype=bool)
+        mask[::2] = True
+        buf.store(np.arange(32, dtype=np.int64), mask, np.full(32, 5.0, np.float32))
+        assert buf.data[0] == 5.0 and buf.data[1] == 0.0
+
+    def test_oob_raises(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc("a", np.zeros(8, dtype=np.float32))
+        with pytest.raises(MemoryFault):
+            buf.load(np.full(32, 9, np.int64), ALL)
+
+    def test_oob_inactive_lane_ok(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc("a", np.zeros(8, dtype=np.float32))
+        mask = np.zeros(32, dtype=bool)
+        mask[0] = True
+        offs = np.full(32, 100, np.int64)
+        offs[0] = 3
+        buf.load(offs, mask)  # no raise
+
+    def test_alignment_and_distinct_addresses(self):
+        gmem = GlobalMemory()
+        a = gmem.alloc("a", np.zeros(3, dtype=np.float32))
+        b = gmem.alloc("b", np.zeros(3, dtype=np.float32))
+        assert a.base_addr % 256 == 0 and b.base_addr % 256 == 0
+        assert b.base_addr >= a.base_addr + 256
+
+    def test_duplicate_name_rejected(self):
+        gmem = GlobalMemory()
+        gmem.alloc("a", np.zeros(4, dtype=np.float32))
+        with pytest.raises(MemoryFault):
+            gmem.alloc("a", np.zeros(4, dtype=np.float32))
+
+    def test_2d_input_rejected_after_reshape(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc("a", np.zeros((4, 4), dtype=np.float32))
+        assert buf.size == 16  # flattened
+
+    def test_alloc_zeros_dtype(self):
+        gmem = GlobalMemory()
+        buf = gmem.alloc_zeros("z", 16, "int")
+        assert buf.data.dtype == np.int32
+
+
+class TestSharedArray:
+    def test_flat_index_2d(self):
+        arr = SharedArray("t", (4, 8), "float")
+        i = np.full(32, 2, np.int64)
+        j = np.full(32, 3, np.int64)
+        assert arr.flat_index([i, j])[0] == 19
+
+    def test_wrong_rank_raises(self):
+        arr = SharedArray("t", (4, 8), "float")
+        with pytest.raises(MemoryFault):
+            arr.flat_index([np.zeros(32, np.int64)])
+
+    def test_store_load_roundtrip(self):
+        arr = SharedArray("t", (64,), "float")
+        idx = np.arange(32, dtype=np.int64)
+        arr.store(idx, ALL, np.arange(32, dtype=np.float32))
+        got = arr.load(idx, ALL)
+        assert np.array_equal(got, np.arange(32, dtype=np.float32))
+
+    def test_oob(self):
+        arr = SharedArray("t", (8,), "float")
+        with pytest.raises(MemoryFault):
+            arr.load(np.full(32, 8, np.int64), ALL)
+
+
+class TestLocalArray:
+    def test_per_lane_isolation(self):
+        arr = LocalArray("g", 4, "float")
+        idx = np.zeros(32, dtype=np.int64)
+        values = np.arange(32, dtype=np.float32)
+        arr.store(idx, ALL, values)
+        got = arr.load(idx, ALL)
+        assert np.array_equal(got, values)  # each lane sees its own slot
+
+    def test_interleaved_addresses_coalesce(self):
+        from repro.gpusim.coalescing import transactions_for
+
+        arr = LocalArray("g", 16, "float")
+        idx = np.full(32, 5, np.int64)  # all lanes, same element
+        assert transactions_for(arr.byte_addrs(idx), ALL) == 1
+
+    def test_divergent_index_not_coalesced(self):
+        from repro.gpusim.coalescing import transactions_for
+
+        arr = LocalArray("g", 64, "float")
+        idx = np.arange(32, dtype=np.int64)  # every lane different element
+        assert transactions_for(arr.byte_addrs(idx), ALL) > 8
+
+    def test_register_flag(self):
+        arr = LocalArray("g", 4, "float", in_registers=True)
+        assert arr.in_registers
+
+    def test_oob(self):
+        arr = LocalArray("g", 4, "float")
+        with pytest.raises(MemoryFault):
+            arr.load(np.full(32, 4, np.int64), ALL)
+
+
+class TestConstArray:
+    def test_load(self):
+        arr = ConstArray("lut", np.arange(16, dtype=np.int32))
+        got = arr.load(np.full(32, 3, np.int64), ALL)
+        assert got[0] == 3
+
+    def test_oob(self):
+        arr = ConstArray("lut", np.arange(4, dtype=np.int32))
+        with pytest.raises(MemoryFault):
+            arr.load(np.full(32, 4, np.int64), ALL)
+
+
+def test_dtype_for():
+    assert dtype_for("float") == np.float32
+    assert dtype_for("int") == np.int32
+    with pytest.raises(MemoryFault):
+        dtype_for("double")

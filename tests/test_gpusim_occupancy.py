@@ -1,0 +1,88 @@
+"""CUDA occupancy calculator tests against known configurations."""
+
+import pytest
+
+from repro.gpusim.device import GTX680, K20C
+from repro.gpusim.occupancy import Occupancy, ResourceUsage, compute_occupancy
+
+
+def usage(reg=32, shared=0, local=0):
+    return ResourceUsage(
+        reg_bytes_per_thread=reg,
+        shared_bytes_per_block=shared,
+        local_bytes_per_thread=local,
+    )
+
+
+class TestLimits:
+    def test_thread_limited(self):
+        occ = compute_occupancy(GTX680, 1024, usage(reg=16))
+        assert occ.blocks_per_smx == 2
+        assert occ.limiting_factor in ("threads", "warps")
+        assert occ.threads_per_smx == 2048
+
+    def test_block_count_limited(self):
+        # tiny blocks with tiny resources: the 16-block cap binds
+        occ = compute_occupancy(GTX680, 32, usage(reg=8))
+        assert occ.blocks_per_smx == 16
+        assert occ.limiting_factor == "max_blocks"
+
+    def test_shared_limited(self):
+        # 12 KB shared per block -> 4 blocks in 48 KB
+        occ = compute_occupancy(GTX680, 64, usage(shared=12 * 1024))
+        assert occ.blocks_per_smx == 4
+        assert occ.limiting_factor == "shared"
+
+    def test_register_limited(self):
+        # 63 regs/thread x 512 threads = 32256 regs -> 2 blocks of 64 K
+        occ = compute_occupancy(GTX680, 512, usage(reg=63 * 4))
+        assert occ.blocks_per_smx == 2
+        assert occ.limiting_factor == "registers"
+
+    def test_register_cap_clamps(self):
+        # requesting more than max_registers_per_thread clamps to the cap
+        occ_hi = compute_occupancy(GTX680, 256, usage(reg=400))
+        occ_cap = compute_occupancy(GTX680, 256, usage(reg=63 * 4))
+        assert occ_hi.blocks_per_smx == occ_cap.blocks_per_smx
+
+    def test_paper_lu_example(self):
+        """Paper §3: lud_perimeter (32 threads, 3 KB shared) -> 16 TBs/SMX."""
+        occ = compute_occupancy(GTX680, 32, usage(reg=44, shared=3 * 1024))
+        assert occ.blocks_per_smx == 16
+
+
+class TestValidation:
+    def test_block_too_large(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX680, 2048, usage())
+
+    def test_shared_over_block_limit(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX680, 64, usage(shared=49 * 1024))
+
+    def test_nonpositive_block(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(GTX680, 0, usage())
+
+
+class TestDerived:
+    def test_warps_per_smx(self):
+        occ = compute_occupancy(GTX680, 96, usage(reg=16))
+        # 96 threads = 3 warps per block
+        assert occ.warps_per_smx() == occ.blocks_per_smx * 3
+
+    def test_occupancy_fraction(self):
+        occ = compute_occupancy(GTX680, 1024, usage(reg=16))
+        assert occ.occupancy_fraction(GTX680) == pytest.approx(1.0)
+
+    def test_more_shared_never_increases_blocks(self):
+        prev = None
+        for shared in (0, 4 * 1024, 12 * 1024, 24 * 1024, 48 * 1024):
+            occ = compute_occupancy(GTX680, 64, usage(shared=shared))
+            if prev is not None:
+                assert occ.blocks_per_smx <= prev
+            prev = occ.blocks_per_smx
+
+    def test_k20c_allows_255_regs(self):
+        occ = compute_occupancy(K20C, 128, usage(reg=200 * 4))
+        assert occ.blocks_per_smx >= 1

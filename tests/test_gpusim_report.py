@@ -1,0 +1,48 @@
+"""Profile-report rendering tests."""
+
+import numpy as np
+
+from repro.gpusim.report import compare_report, profile_report
+from repro.kernels.tmv import TmvBenchmark
+from repro.npc.config import NpConfig
+
+
+def test_profile_report_sections():
+    bench = TmvBenchmark(width=128, height=128, block=32)
+    result = bench.run_baseline()
+    text = profile_report(result)
+    for needle in (
+        "kernel profile: tmv",
+        "occupancy:",
+        "instruction mix (per warp):",
+        "memory system:",
+        "timing model:",
+        "modeled time",
+        "GTX 680",
+    ):
+        assert needle in text
+
+
+def test_profile_report_sampled():
+    bench = TmvBenchmark(width=512, height=128, block=32)
+    result = bench.run_baseline(sample_blocks=2)
+    text = profile_report(result)
+    assert "blocks executed (sampled)" in text
+
+
+def test_compare_report():
+    bench = TmvBenchmark(width=128, height=128, block=32)
+    base = bench.run_baseline()
+    variant = bench.run_variant(NpConfig(slave_size=8, np_type="inter"))
+    text = compare_report(base, variant)
+    assert "tmv vs tmv_np" in text
+    assert "speedup" in text
+    # speedup value present and > 1
+    last = text.strip().splitlines()[-1]
+    assert float(last.split()[-1].rstrip("x")) > 1.0
+
+
+def test_coalesced_annotation():
+    bench = TmvBenchmark(width=128, height=128, block=32)
+    text = profile_report(bench.run_baseline())
+    assert "(coalesced)" in text

@@ -1,0 +1,136 @@
+"""Hong–Kim timing model tests: regimes and monotonicities."""
+
+import pytest
+
+from repro.gpusim.device import GTX680
+from repro.gpusim.occupancy import Occupancy, ResourceUsage, compute_occupancy
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.timing import estimate_kernel_time
+
+
+def make_stats(
+    warps=64,
+    alu_per_warp=100.0,
+    gmem_per_warp=10,
+    txn_per_inst=1.0,
+    local_per_warp=0,
+    local_txn=0,
+):
+    s = KernelStats()
+    s.warps_executed = warps
+    s.blocks_executed = max(1, warps // 8)
+    s.threads_launched = warps * 32
+    s.alu_insts = alu_per_warp * warps
+    s.global_load_insts = gmem_per_warp * warps
+    s.global_transactions = int(gmem_per_warp * warps * txn_per_inst)
+    s.local_load_insts = local_per_warp * warps
+    s.local_transactions = local_txn * warps
+    s.local_bytes = local_per_warp * warps * 128
+    return s
+
+
+def occ(threads_per_block=256, reg=64, shared=0, local=0):
+    return compute_occupancy(
+        GTX680,
+        threads_per_block,
+        ResourceUsage(reg, shared, local),
+    ), ResourceUsage(reg, shared, local)
+
+
+class TestRegimes:
+    def test_pure_compute(self):
+        o, u = occ()
+        t = estimate_kernel_time(GTX680, make_stats(gmem_per_warp=0), o, u)
+        assert t.bound == "compute"
+        assert t.dram_bytes == 0
+
+    def test_memory_bound_when_uncoalesced(self):
+        o, u = occ()
+        t = estimate_kernel_time(
+            GTX680, make_stats(gmem_per_warp=50, txn_per_inst=32), o, u
+        )
+        assert t.bound == "memory"
+
+    def test_zero_warps_idle(self):
+        o, u = occ()
+        t = estimate_kernel_time(GTX680, KernelStats(), o, u, total_warps=0)
+        assert t.bound == "idle" and t.seconds == 0
+
+
+class TestMonotonicity:
+    def test_more_resident_warps_helps_latency_bound(self):
+        """Higher occupancy hides memory latency (the paper's core claim)."""
+        stats = make_stats(warps=512, gmem_per_warp=20)
+        usage_lo = ResourceUsage(240, 24 * 1024, 0)   # few blocks fit
+        usage_hi = ResourceUsage(32, 0, 0)            # many blocks fit
+        occ_lo = compute_occupancy(GTX680, 64, usage_lo)
+        occ_hi = compute_occupancy(GTX680, 64, usage_hi)
+        t_lo = estimate_kernel_time(GTX680, stats, occ_lo, usage_lo)
+        t_hi = estimate_kernel_time(GTX680, stats, occ_hi, usage_hi)
+        assert occ_hi.warps_per_smx() > occ_lo.warps_per_smx()
+        assert t_hi.seconds < t_lo.seconds
+
+    def test_uncoalesced_never_faster(self):
+        o, u = occ()
+        stats_c = make_stats(warps=2048, gmem_per_warp=20, txn_per_inst=1)
+        stats_u = make_stats(warps=2048, gmem_per_warp=20, txn_per_inst=16)
+        t_c = estimate_kernel_time(GTX680, stats_c, o, u)
+        t_u = estimate_kernel_time(GTX680, stats_u, o, u)
+        assert t_u.seconds > t_c.seconds
+
+    def test_more_work_more_time(self):
+        o, u = occ()
+        t1 = estimate_kernel_time(GTX680, make_stats(warps=256), o, u)
+        t2 = estimate_kernel_time(GTX680, make_stats(warps=2048), o, u)
+        assert t2.seconds > t1.seconds
+
+    def test_small_grid_cannot_fill_smx(self):
+        o, u = occ()
+        t = estimate_kernel_time(GTX680, make_stats(warps=8), o, u)
+        assert t.active_warps_per_smx == 1
+
+
+class TestLocalMemory:
+    def test_l1_hit_when_footprint_small(self):
+        o, u = occ(local=64)
+        stats = make_stats(local_per_warp=50, local_txn=50)
+        t = estimate_kernel_time(GTX680, stats, o, u)
+        assert t.l1_hit_rate == 1.0
+
+    def test_l1_thrash_when_footprint_large(self):
+        usage = ResourceUsage(64, 0, 600)  # 600 B/thread like LE
+        o = compute_occupancy(GTX680, 256, usage)
+        stats = make_stats(local_per_warp=50, local_txn=50)
+        t = estimate_kernel_time(GTX680, stats, o, usage)
+        assert t.l1_hit_rate < 0.2
+
+    def test_local_spill_slows_kernel(self):
+        stats_no = make_stats(warps=2048, gmem_per_warp=5)
+        stats_spill = make_stats(
+            warps=2048, gmem_per_warp=5, local_per_warp=50, local_txn=50
+        )
+        usage = ResourceUsage(64, 0, 600)
+        o = compute_occupancy(GTX680, 256, usage)
+        t_no = estimate_kernel_time(GTX680, stats_no, o, usage)
+        t_spill = estimate_kernel_time(GTX680, stats_spill, o, usage)
+        assert t_spill.seconds > 1.5 * t_no.seconds
+
+
+class TestDerived:
+    def test_bandwidth_bounded_by_peak(self):
+        o, u = occ()
+        stats = make_stats(warps=1 << 14, gmem_per_warp=100, alu_per_warp=1.0)
+        t = estimate_kernel_time(GTX680, stats, o, u)
+        assert 0 < t.achieved_bandwidth_gbs <= GTX680.mem_bandwidth_gbs * 1.01
+
+    def test_milliseconds_property(self):
+        o, u = occ()
+        t = estimate_kernel_time(GTX680, make_stats(), o, u)
+        assert t.milliseconds == pytest.approx(t.seconds * 1e3)
+
+    def test_total_warps_scaling(self):
+        o, u = occ()
+        stats = make_stats(warps=64)
+        t1 = estimate_kernel_time(GTX680, stats, o, u, total_warps=64)
+        t4 = estimate_kernel_time(GTX680, stats, o, u, total_warps=64 * 16)
+        assert t4.seconds > 2 * t1.seconds

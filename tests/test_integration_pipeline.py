@@ -1,0 +1,55 @@
+"""Full-pipeline integration tests: the README quickstart flow, end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.kernels import TmvBenchmark
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        assert callable(repro.compile_np)
+        assert callable(repro.run_kernel)
+        assert repro.GTX680.name == "GTX 680"
+        assert repro.__version__
+
+    def test_readme_quickstart_flow(self):
+        kernel = """
+        __global__ void tmv(float *a, float *b, float *c, int w, int h) {
+            float sum = 0;
+            int tx = threadIdx.x + blockIdx.x * blockDim.x;
+            #pragma np parallel for reduction(+:sum)
+            for (int i = 0; i < h; i++)
+                sum += a[i*w+tx] * b[i];
+            c[tx] = sum;
+        }
+        """
+        rng = np.random.default_rng(0)
+        a = rng.random((128, 128), dtype=np.float32)
+        b = rng.random(128, dtype=np.float32)
+        args = dict(a=a.ravel(), b=b, c=np.zeros(128, np.float32), w=128, h=128)
+
+        from repro.npc.autotune import launch_variant
+        from repro.npc.config import NpConfig
+
+        baseline = repro.run_kernel(kernel, grid=2, block=64, args=dict(args))
+        variant = repro.compile_np(kernel, block_size=64, config=NpConfig(slave_size=8))
+
+        result = launch_variant(variant, grid=2, args=dict(args))
+        np.testing.assert_allclose(
+            result.buffer("c"), a.T @ b, rtol=1e-3, atol=1e-3
+        )
+        assert baseline.timing.seconds > result.timing.seconds
+
+
+class TestBenchmarkAutotuneIntegration:
+    def test_tmv_autotune_quickstart(self):
+        bench = TmvBenchmark(width=128, height=128, block=32)
+        report = bench.autotune(
+            configs=bench.configs(slave_sizes=(4, 8))
+        )
+        assert report.best_speedup > 1.0
+        assert all(p.output_ok for p in report.points if p.result is not None)
+        rows = report.summary_rows()
+        assert rows and all(len(r) == 3 for r in rows)

@@ -1,0 +1,198 @@
+"""Additional interpreter edge cases: loop forms, operators, scoping."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import SimError
+from repro.gpusim.launch import run_kernel
+
+
+def run(src, grid=1, block=32, **args):
+    return run_kernel(src, grid, block, args)
+
+
+class TestLoopForms:
+    def test_infinite_for_with_uniform_break(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int i = 0;"
+            " for (;;) { i++; if (i == 5) break; }"
+            " o[threadIdx.x] = i; }",
+            o=np.zeros(32, np.int32),
+        )
+        assert np.all(res.buffer("o") == 5)
+
+    def test_for_without_update(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int s = 0;"
+            " for (int i = 0; i < 4;) { s += i; i++; }"
+            " o[threadIdx.x] = s; }",
+            o=np.zeros(32, np.int32),
+        )
+        assert np.all(res.buffer("o") == 6)
+
+    def test_nested_break_only_exits_inner(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int s = 0;"
+            " for (int i = 0; i < 3; i++)"
+            "   for (int j = 0; j < 10; j++) { if (j == 2) break; s += 1; }"
+            " o[threadIdx.x] = s; }",
+            o=np.zeros(32, np.int32),
+        )
+        assert np.all(res.buffer("o") == 6)
+
+    def test_while_with_divergent_continue(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int i = 0; int s = 0;"
+            " while (i < 8) { i++;"
+            "   if (i % 2 == threadIdx.x % 2) continue;"
+            "   s += i; }"
+            " o[threadIdx.x] = s; }",
+            o=np.zeros(32, np.int32),
+        )
+        even_tid = 1 + 3 + 5 + 7   # skips even i
+        odd_tid = 2 + 4 + 6 + 8    # skips odd i
+        out = res.buffer("o")
+        assert out[0] == even_tid and out[1] == odd_tid
+
+    def test_loop_over_zero_iterations(self):
+        res = run(
+            "__global__ void t(int *o, int n) {"
+            " int s = 7;"
+            " for (int i = 0; i < n; i++) s = 0;"
+            " o[threadIdx.x] = s; }",
+            o=np.zeros(32, np.int32),
+            n=0,
+        )
+        assert np.all(res.buffer("o") == 7)
+
+
+class TestOperators:
+    def test_bitwise_and_shifts(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int x = threadIdx.x;"
+            " o[threadIdx.x] = ((x << 2) | 1) & 255 ^ 2; }",
+            o=np.zeros(32, np.int32),
+        )
+        x = np.arange(32)
+        assert np.array_equal(res.buffer("o"), (((x << 2) | 1) & 255) ^ 2)
+
+    def test_logical_not_and_unary(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int x = threadIdx.x;"
+            " o[threadIdx.x] = !x + (-x) + ~x; }",
+            o=np.zeros(32, np.int32),
+        )
+        x = np.arange(32)
+        expected = (x == 0).astype(np.int32) + (-x) + (~x)
+        assert np.array_equal(res.buffer("o"), expected)
+
+    def test_float_mod(self):
+        res = run(
+            "__global__ void t(float *o) { o[0] = 7.5f % 2.f; }",
+            o=np.zeros(1, np.float32),
+        )
+        assert res.buffer("o")[0] == pytest.approx(1.5)
+
+    def test_negative_int_mod_c_semantics(self):
+        res = run(
+            "__global__ void t(int *o) { int a = 0 - 7; o[0] = a % 3; }",
+            o=np.zeros(1, np.int32),
+        )
+        assert res.buffer("o")[0] == -1  # C: (-7) % 3 == -1
+
+    def test_comparison_chain_via_logical(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int x = threadIdx.x;"
+            " o[threadIdx.x] = (x >= 4 && x < 8) ? 1 : 0; }",
+            o=np.zeros(32, np.int32),
+        )
+        assert res.buffer("o")[4:8].sum() == 4
+        assert res.buffer("o").sum() == 4
+
+    def test_int_overflow_wraps(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int x = 2147483647; x += 1; o[0] = x; }",
+            o=np.zeros(1, np.int32),
+        )
+        assert res.buffer("o")[0] == -2147483648
+
+
+class TestDeclsAndScope:
+    def test_redeclaration_in_loop_body_resets(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int last = 0;"
+            " for (int i = 0; i < 3; i++) { int tmp = i * 10; last = tmp; }"
+            " o[threadIdx.x] = last; }",
+            o=np.zeros(32, np.int32),
+        )
+        assert np.all(res.buffer("o") == 20)
+
+    def test_local_array_redecl_zeroes(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " int s = 0;"
+            " for (int it = 0; it < 2; it++) {"
+            "   int g[4];"
+            "   s += g[0];"        # must be 0 each iteration
+            "   g[0] = 9; }"
+            " o[threadIdx.x] = s; }",
+            o=np.zeros(32, np.int32),
+        )
+        assert np.all(res.buffer("o") == 0)
+
+    def test_shared_not_reset_between_warp_rounds(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " __shared__ int acc[1];"
+            " if (threadIdx.x == 0) acc[0] = 0;"
+            " __syncthreads();"
+            " atomicAdd(acc[0], 1);"
+            " __syncthreads();"
+            " o[threadIdx.x] = acc[0]; }",
+            block=64,
+            o=np.zeros(64, np.int32),
+        )
+        assert np.all(res.buffer("o") == 64)
+
+    def test_multiple_blocks_no_shared_leak(self):
+        res = run(
+            "__global__ void t(int *o) {"
+            " __shared__ int acc[1];"
+            " if (threadIdx.x == 0) acc[0] = 0;"
+            " __syncthreads();"
+            " atomicAdd(acc[0], 1);"
+            " __syncthreads();"
+            " o[threadIdx.x + blockIdx.x * blockDim.x] = acc[0]; }",
+            grid=4,
+            o=np.zeros(128, np.int32),
+        )
+        assert np.all(res.buffer("o") == 32)  # per-block, not 128
+
+
+class TestErrors:
+    def test_sync_in_expression_rejected(self):
+        with pytest.raises(SimError):
+            run(
+                "__global__ void t(int *o) { o[0] = __syncthreads(); }",
+                o=np.zeros(1, np.int32),
+            )
+
+    def test_break_outside_loop(self):
+        from repro.minicuda.parser import parse_kernel
+        from repro.minicuda.nodes import Break
+
+        kernel = parse_kernel("__global__ void t(int *o) { o[0] = 1; }")
+        kernel.body.stmts.insert(0, Break())
+        from repro.gpusim.launch import launch
+
+        with pytest.raises(SimError, match="break"):
+            launch(kernel, 1, 32, {"o": np.zeros(1, np.int32)})

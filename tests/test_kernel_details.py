@@ -1,0 +1,161 @@
+"""Per-benchmark detail tests beyond the shared differential harness."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.bk import NBUCKETS, STRIP, BkBenchmark
+from repro.kernels.cfd import CfdBenchmark, NNB, NVAR
+from repro.kernels.cublas_proxy import CublasGemvN, CublasGemvT, SmmMv
+from repro.kernels.le import LeBenchmark, NPOINTS
+from repro.kernels.lib import LibBenchmark, NMAT
+from repro.kernels.lu import BS, LuBenchmark
+from repro.kernels.mc import EDGE_A, EDGE_B, McBenchmark, NCORN, NEDGES
+from repro.kernels.memcopy import MemcopyBenchmark
+from repro.kernels.mv import MvBenchmark
+from repro.kernels.nn import NnBenchmark
+from repro.kernels.ss import SsBenchmark
+from repro.kernels.tmv import TmvBenchmark
+
+
+class TestLu:
+    def test_reference_matches_numpy_triangular_solve(self):
+        """The row-strip update is a unit-lower-triangular solve."""
+        bench = LuBenchmark(matrix_dim=64)
+        ref = bench.reference().reshape(64, 64)
+        m0 = bench.m
+        dia = m0[:BS, :BS]
+        # Row strip of the first tile: L^{-1} @ strip with L = unit-lower(dia)
+        L = np.tril(dia, -1) + np.eye(BS, dtype=np.float32)
+        strip = m0[:BS, BS : 2 * BS]
+        expected = np.linalg.solve(L, strip)
+        np.testing.assert_allclose(ref[:BS, BS : 2 * BS], expected, rtol=2e-3, atol=2e-3)
+
+    def test_grid_counts_perimeter_tiles(self):
+        assert LuBenchmark(matrix_dim=128).grid == 7
+        assert LuBenchmark(matrix_dim=128, offset=64).grid == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LuBenchmark(matrix_dim=100)
+
+
+class TestLe:
+    def test_texture_bindings(self):
+        bench = LeBenchmark()
+        consts = bench.const_arrays()
+        assert set(consts) == {"t_grad_x", "t_grad_y"}
+        assert consts["t_grad_x"].size == bench.positions * NPOINTS
+
+    def test_gicov_positive_where_defined(self):
+        bench = LeBenchmark(positions=64)
+        ref = bench.reference()
+        assert ref.shape == (64,)
+
+    def test_local_array_is_exactly_600_bytes(self):
+        bench = LeBenchmark()
+        assert bench.resource_report().local_bytes_per_thread == NPOINTS * 4
+
+
+class TestLib:
+    def test_local_arrays_are_960_bytes(self):
+        """Table 1: LIB's baseline local footprint."""
+        assert LibBenchmark().resource_report().local_bytes_per_thread == 3 * NMAT * 4
+
+    def test_reference_prefix_product_monotone(self):
+        bench = LibBenchmark(npath=32)
+        disc = bench.reference_discounts().reshape(32, NMAT)
+        assert np.all(np.diff(disc, axis=1) <= 0)  # discounts decrease
+
+    def test_scan_loop_is_marked(self):
+        from repro.npc.master_slave import collect_parallel_loops
+
+        loops = collect_parallel_loops(LibBenchmark().kernel.body)
+        scans = [l for l in loops if l.pragma.scans]
+        assert len(scans) == 1
+        assert scans[0].pragma.scans == [("*", "b")]
+
+
+class TestMc:
+    def test_edge_tables_are_valid_corners(self):
+        assert EDGE_A.min() >= 0 and EDGE_A.max() < NCORN
+        assert EDGE_B.min() >= 0 and EDGE_B.max() < NCORN
+        assert len(EDGE_A) == NEDGES
+
+    def test_occupied_flags(self):
+        bench = McBenchmark(nvox=64)
+        occ = bench.reference_occupied()
+        assert set(np.unique(occ)) <= {0, 1}
+
+    def test_2d_block(self):
+        assert McBenchmark().block_size == (8, 4)
+        assert McBenchmark().flat_block_size == 32
+
+
+class TestBk:
+    def test_counts_sum_to_elements(self):
+        bench = BkBenchmark()
+        assert bench.reference().sum() == bench.elements
+
+    def test_bucket_ids_in_range(self):
+        b = BkBenchmark().reference_buckets()
+        assert b.min() >= 0 and b.max() < NBUCKETS
+
+    def test_grid_strided_layout_coalesced(self):
+        res = BkBenchmark().run_baseline()
+        assert res.stats.uncoalesced_accesses == 0
+
+
+class TestCfd:
+    def test_neighbour_indices_valid(self):
+        bench = CfdBenchmark(ncells=256)
+        assert bench.nbr.max() < 256
+
+    def test_reference_linear_in_vars(self):
+        """Flux is linear: scaling the state scales the flux."""
+        b1 = CfdBenchmark(ncells=128)
+        b2 = CfdBenchmark(ncells=128)
+        b2.vars = b1.vars * 2
+        np.testing.assert_allclose(b2.reference(), b1.reference() * 2, rtol=1e-4)
+
+
+class TestMatrixFamily:
+    def test_tmv_width_validation(self):
+        with pytest.raises(ValueError):
+            TmvBenchmark(width=100, block=64)
+
+    def test_mv_reference(self):
+        bench = MvBenchmark(width=64, height=128, block=64)
+        np.testing.assert_allclose(bench.reference(), bench.a @ bench.x, rtol=1e-5)
+
+    def test_gemv_proxies_agree_with_each_other(self):
+        """CUBLAS-N and SMM compute the same product."""
+        n = CublasGemvN(width=128, height=128)
+        s = SmmMv(width=128, height=128)
+        rn = n.run_baseline()
+        rs = s.run_baseline()
+        assert n.check(rn) and s.check(rs)
+
+    def test_gemv_t_matches_tmv(self):
+        t = CublasGemvT(width=128, height=128)
+        res = t.run_baseline()
+        assert t.check(res)
+
+    def test_memcopy_identity(self):
+        bench = MemcopyBenchmark(n=2048, block=256)
+        res = bench.run_baseline()
+        assert bench.check(res)
+        # one coalesced load + one coalesced store per warp-iteration
+        assert res.stats.uncoalesced_accesses == 0
+
+
+class TestNnSs:
+    def test_nn_min_distance_nonnegative(self):
+        assert NnBenchmark(records=64, queries=64, block=32).reference().min() >= 0
+
+    def test_ss_dim_cap(self):
+        with pytest.raises(ValueError):
+            SsBenchmark(dim=2048)
+
+    def test_nn_baseline_uncoalesced_by_design(self):
+        res = NnBenchmark().run_baseline()
+        assert res.stats.uncoalesced_accesses > 0

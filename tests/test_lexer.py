@@ -1,0 +1,89 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.minicuda.errors import LexError
+from repro.minicuda.lexer import Lexer, tokenize
+from repro.minicuda.tokens import TokKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src) if t.kind is not TokKind.EOF]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind is not TokKind.EOF]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("float foo int if whilex")
+        assert toks[0].kind is TokKind.KEYWORD
+        assert toks[1].kind is TokKind.IDENT
+        assert toks[2].kind is TokKind.KEYWORD
+        assert toks[3].kind is TokKind.KEYWORD
+        assert toks[4].kind is TokKind.IDENT  # not the 'while' keyword
+
+    def test_cuda_qualifiers_are_keywords(self):
+        toks = tokenize("__global__ __shared__ __device__")
+        assert all(t.kind is TokKind.KEYWORD for t in toks[:-1])
+
+    def test_integers(self):
+        toks = tokenize("0 42 0x1F 7u")
+        assert [t.kind for t in toks[:-1]] == [TokKind.INT] * 4
+
+    def test_floats(self):
+        toks = tokenize("1.0 .5 2.f 1e3 1.5e-2f 3f")
+        nonEof = toks[:-1]
+        assert [t.kind for t in nonEof] == [TokKind.FLOAT] * 6
+
+    def test_int_vs_float_disambiguation(self):
+        toks = tokenize("3 3.0 3f")
+        assert toks[0].kind is TokKind.INT
+        assert toks[1].kind is TokKind.FLOAT
+        assert toks[2].kind is TokKind.FLOAT
+
+    def test_punctuators_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("x+=1") == ["x", "+=", "1"]
+        assert texts("i++") == ["i", "++"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int a = `2`;")
+
+
+class TestCommentsAndPreprocessor:
+    def test_line_comment_stripped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_stripped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_define_expands(self):
+        assert texts("#define N 16\nint a[N];") == ["int", "a", "[", "16", "]", ";"]
+
+    def test_define_expands_expression(self):
+        assert texts("#define N 8*2\nN") == ["8", "*", "2"]
+
+    def test_defines_exposed(self):
+        lexer = Lexer("#define BS 16\n#define M 3\nBS")
+        lexer.tokenize()
+        assert lexer.defines == {"BS": "16", "M": "3"}
+
+    def test_pragma_is_single_token(self):
+        toks = tokenize("#pragma np parallel for\nfor")
+        assert toks[0].kind is TokKind.PRAGMA
+        assert toks[0].text == "np parallel for"
+
+    def test_locations_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1
+        assert toks[1].loc.line == 2
+        assert toks[1].loc.col == 3

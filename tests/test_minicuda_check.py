@@ -1,0 +1,142 @@
+"""Static semantic-checker tests."""
+
+import pytest
+
+from repro.minicuda.check import assert_valid, check_kernel
+from repro.minicuda.errors import TypeError_
+from repro.minicuda.parser import parse_kernel
+
+
+def diags_of(body, params="float *a, int w", extra=frozenset()):
+    kernel = parse_kernel(f"__global__ void t({params}) {{\n{body}\n}}")
+    return check_kernel(kernel, extra)
+
+
+def errors_of(body, **kw):
+    return [d for d in diags_of(body, **kw) if d.severity == "error"]
+
+
+class TestCleanKernels:
+    def test_valid_kernel_clean(self):
+        assert errors_of(
+            "float s = 0;\n"
+            "for (int i = 0; i < w; i++) s += a[i];\n"
+            "a[0] = s;"
+        ) == []
+
+    def test_all_benchmarks_clean(self):
+        from repro.kernels import BENCHMARKS
+
+        for name, cls in BENCHMARKS.items():
+            bench = cls()
+            extra = set((bench.const_arrays() or {}).keys())
+            diags = check_kernel(bench.kernel, extra)
+            assert [d for d in diags if d.severity == "error"] == [], name
+
+    def test_transformed_variants_clean(self):
+        """Generated kernels must pass their own compiler's checker."""
+        from repro.kernels import TmvBenchmark
+        from repro.npc.config import NpConfig
+
+        bench = TmvBenchmark(width=128, height=128, block=32)
+        for config in (
+            NpConfig(slave_size=8, np_type="inter"),
+            NpConfig(slave_size=8, np_type="intra", use_shfl=True, padded=True),
+        ):
+            variant = bench.compile_variant(config)
+            errs = [
+                d for d in check_kernel(variant.kernel) if d.severity == "error"
+            ]
+            assert errs == [], config.describe()
+
+
+class TestErrors:
+    def test_undeclared_use(self):
+        errs = errors_of("a[0] = ghost;")
+        assert any("undeclared" in e.message for e in errs)
+
+    def test_undeclared_assignment(self):
+        errs = errors_of("ghost = 1.f;")
+        assert any("undeclared" in e.message for e in errs)
+
+    def test_index_scalar(self):
+        errs = errors_of("int x = 0; a[0] = (float)x[1];")
+        assert any("index a scalar" in e.message for e in errs)
+
+    def test_pointer_arity(self):
+        errs = errors_of("__shared__ float t[4][4]; a[0] = t[1];")
+        assert any("expects 2 indices" in e.message for e in errs)
+
+    def test_unknown_call(self):
+        errs = errors_of("a[0] = frobnicate(1.f);")
+        assert any("unknown device function" in e.message for e in errs)
+
+    def test_sync_as_value(self):
+        errs = errors_of("a[0] = __syncthreads();")
+        assert any("cannot be used as a value" in e.message for e in errs)
+
+    def test_break_outside_loop(self):
+        from repro.minicuda.nodes import Break
+
+        kernel = parse_kernel("__global__ void t(float *a) { a[0] = 0.f; }")
+        kernel.body.stmts.insert(0, Break())
+        errs = [d for d in check_kernel(kernel) if d.severity == "error"]
+        assert any("outside of a loop" in e.message for e in errs)
+
+    def test_constant_array_write(self):
+        errs = errors_of("__constant__ float lut[4]; lut[0] = 1.f;")
+        assert any("read-only" in e.message for e in errs)
+
+    def test_whole_array_assignment(self):
+        errs = errors_of("float g[4]; g = 1.f;")
+        assert any("as a whole" in e.message for e in errs)
+
+    def test_pragma_unknown_variable(self):
+        errs = errors_of(
+            "#pragma np parallel for reduction(+:ghost)\n"
+            "for (int i = 0; i < w; i++) a[i] = 0.f;"
+        )
+        assert any("pragma names unknown" in e.message for e in errs)
+
+    def test_pragma_array_variable(self):
+        errs = errors_of(
+            "float g[4];\n"
+            "#pragma np parallel for reduction(+:g)\n"
+            "for (int i = 0; i < w; i++) a[i] = 0.f;"
+        )
+        assert any("private scalar" in e.message for e in errs)
+
+    def test_bad_dim3_member(self):
+        errs = errors_of("a[0] = (float)threadIdx.w;")
+        assert any("no member" in e.message for e in errs)
+
+
+class TestWarnings:
+    def test_launch_bound_buffer_is_warning(self):
+        diags = diags_of("a[0] = lut[3];")
+        assert [d for d in diags if d.severity == "error"] == []
+        assert any("launch-bound" in d.message for d in diags)
+
+    def test_extra_names_suppress_warning(self):
+        diags = diags_of("a[0] = lut[3];", extra={"lut"})
+        assert diags == []
+
+
+class TestPipelineIntegration:
+    def test_compile_np_rejects_invalid(self):
+        from repro.npc.config import NpConfig
+        from repro.npc.pipeline import compile_np
+
+        src = (
+            "__global__ void t(float *a, int n) {\n"
+            "#pragma np parallel for\n"
+            "for (int i = 0; i < n; i++) a[i] = ghost;\n}"
+        )
+        with pytest.raises(TypeError_, match="undeclared"):
+            compile_np(src, 32, NpConfig(slave_size=4))
+
+    def test_assert_valid_passes_warnings(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a) { a[0] = lut[0]; }"
+        )
+        assert_valid(kernel)  # warning only: no raise

@@ -1,0 +1,118 @@
+"""AST node utilities: traversal, cloning, substitution, builders."""
+
+import pytest
+
+from repro.minicuda import nodes as n
+from repro.minicuda.build import (
+    add,
+    assign,
+    block,
+    call,
+    decl,
+    e,
+    for_range,
+    if_,
+    ix,
+    name,
+    sync,
+)
+from repro.minicuda.parser import parse_kernel
+
+
+def test_scalar_type_validation():
+    with pytest.raises(ValueError):
+        n.ScalarType("double")
+
+
+def test_array_type_validation():
+    with pytest.raises(ValueError):
+        n.ArrayType(n.FLOAT, (0,))
+    with pytest.raises(ValueError):
+        n.ArrayType(n.FLOAT, (4,), "heap")
+
+
+def test_array_numel():
+    assert n.ArrayType(n.FLOAT, (4, 8)).numel == 32
+
+
+def test_walk_visits_all_names():
+    kernel = parse_kernel(
+        "__global__ void t(float *a, int w) {"
+        " int x = w + 1; if (x > 0) a[x] = (float)x; }"
+    )
+    assert n.names_used(kernel.body) == {"a", "w", "x"}
+
+
+def test_children_order():
+    stmt = if_(e("c"), [assign("x", 1)], [assign("y", 2)])
+    kids = list(n.children(stmt))
+    assert isinstance(kids[0], n.Name)
+    assert isinstance(kids[1], n.Block)
+    assert isinstance(kids[2], n.Block)
+
+
+def test_clone_is_deep():
+    loop = for_range("i", 0, 8, [assign(ix("a", "i"), 0)])
+    copy = n.clone(loop)
+    copy.body.stmts[0].value = n.IntLit(9)
+    assert loop.body.stmts[0].value.value == 0
+
+
+def test_substitute_replaces_free_names():
+    expr = add(name("x"), add(name("y"), name("x")))
+    out = n.substitute(expr, {"x": n.IntLit(5)})
+    found = [node.value for node in n.walk(out) if isinstance(node, n.IntLit)]
+    assert found == [5, 5]
+    # original untouched
+    assert n.names_used(expr) == {"x", "y"}
+
+
+def test_map_expr_bottom_up():
+    expr = add(name("a"), name("b"))
+
+    def repl(node):
+        if isinstance(node, n.Name):
+            return n.IntLit(1)
+        return node
+
+    out = n.map_expr(expr, repl)
+    assert isinstance(out.lhs, n.IntLit) and isinstance(out.rhs, n.IntLit)
+
+
+class TestBuilders:
+    def test_e_coercion(self):
+        assert isinstance(e(3), n.IntLit)
+        assert isinstance(e(1.5), n.FloatLit)
+        assert isinstance(e("x"), n.Name)
+        member = e("threadIdx.x")
+        assert isinstance(member, n.Member) and member.name == "x"
+
+    def test_e_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            e(object())
+
+    def test_ix_multi(self):
+        expr = ix("t", 1, 2)
+        assert isinstance(expr, n.Index) and isinstance(expr.base, n.Index)
+
+    def test_for_range_shape(self):
+        loop = for_range("i", 2, "n", [sync()], step=3)
+        assert isinstance(loop.init, n.VarDecl)
+        assert loop.cond.op == "<"
+        assert loop.update.value.value == 3
+
+    def test_block_flattens(self):
+        b = block(assign("x", 1), [assign("y", 2), assign("z", 3)])
+        assert len(b.stmts) == 3
+
+    def test_if_wraps_single_stmt(self):
+        stmt = if_(e(1), assign("x", 1))
+        assert isinstance(stmt.then, n.Block)
+
+    def test_call_builder(self):
+        c = call("fminf", 1.0, "x")
+        assert c.func == "fminf" and len(c.args) == 2
+
+    def test_decl_builder(self):
+        d = decl("x", n.FLOAT, 0.0)
+        assert d.name == "x" and isinstance(d.init, n.FloatLit)

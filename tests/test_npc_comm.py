@@ -1,0 +1,159 @@
+"""Communication codegen tests: the generated broadcast / reduction / scan
+statements are executed through the simulator and checked numerically."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.launch import launch
+from repro.minicuda.build import assign, block, decl, e, ix, name
+from repro.minicuda.nodes import (
+    Block,
+    FLOAT,
+    INT,
+    Kernel,
+    Param,
+    PointerType,
+    ScalarType,
+)
+from repro.npc.comm import (
+    CommBuffers,
+    apply_op,
+    gen_broadcast,
+    gen_group_exclusive_scan,
+    gen_read_from_lane,
+    gen_reduction,
+    identity_lit,
+)
+from repro.npc.config import NpConfig
+
+MASTER = 8  # masters per block in these harness kernels
+
+
+def harness(stmts, config, out_elems=64, seed_expr="(float)(master_id * 10 + slave_id)"):
+    """Build a kernel: seed x per thread, run stmts, store x per thread."""
+    S = config.slave_size
+    kernel = Kernel(
+        name="h",
+        params=[Param("o", PointerType(FLOAT))],
+        const_env={"master_size": MASTER, "slave_size": S},
+    )
+    from repro.minicuda.parser import parse_kernel
+
+    if config.np_type == "inter":
+        master_src, slave_src = "threadIdx.x", "threadIdx.y"
+    else:
+        master_src, slave_src = "threadIdx.y", "threadIdx.x"
+    prelude = parse_kernel(
+        "__global__ void p(float *o) {\n"
+        f"int master_id = {master_src};\n"
+        f"int slave_id = {slave_src};\n"
+        f"float x = {seed_expr};\n"
+        "}"
+    ).body.stmts
+    store = parse_kernel(
+        "__global__ void p(float *o) {\n"
+        "int master_id = 0; int slave_id = 0; float x = 0;\n"
+        f"o[master_id * {S} + slave_id] = x;\n"
+        "}"
+    ).body.stmts[-1]
+    buffers = CommBuffers(MASTER, S)
+    kernel.body = Block(prelude + list(stmts(buffers)) + [store])
+    kernel.body.stmts[3:3] = buffers.shared_decls()
+    blk = (MASTER, S) if config.np_type == "inter" else (S, MASTER)
+    res = launch(kernel, 1, blk, {"o": np.zeros(MASTER * S, np.float32)})
+    return res.buffer("o").reshape(MASTER, S)
+
+
+def seeds(S):
+    m = np.arange(MASTER)[:, None]
+    s = np.arange(S)[None, :]
+    return (m * 10 + s).astype(np.float32)
+
+
+CONFIGS = [
+    NpConfig(slave_size=4, np_type="inter"),
+    NpConfig(slave_size=8, np_type="inter"),
+    NpConfig(slave_size=3, np_type="inter"),
+    NpConfig(slave_size=4, np_type="intra", use_shfl=True),
+    NpConfig(slave_size=8, np_type="intra", use_shfl=True),
+    NpConfig(slave_size=4, np_type="intra", use_shfl=False),
+]
+
+IDS = [c.describe() for c in CONFIGS]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=IDS)
+def test_broadcast(config):
+    out = harness(
+        lambda buffers: gen_broadcast([("x", True)], config, buffers), config
+    )
+    expected = np.repeat(seeds(config.slave_size)[:, :1], config.slave_size, axis=1)
+    assert np.array_equal(out, expected)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=IDS)
+@pytest.mark.parametrize("op", ["+", "max"])
+def test_reduction_all_threads_get_total(config, op):
+    out = harness(
+        lambda buffers: gen_reduction("x", op, True, config, buffers), config
+    )
+    vals = seeds(config.slave_size)
+    expected = vals.sum(axis=1) if op == "+" else vals.max(axis=1)
+    assert np.allclose(out, expected[:, None])
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=IDS)
+def test_group_exclusive_scan(config):
+    out = harness(
+        lambda buffers: gen_group_exclusive_scan("x", "+", True, config, buffers),
+        config,
+    )
+    vals = seeds(config.slave_size)
+    expected = np.cumsum(vals, axis=1) - vals  # exclusive prefix
+    assert np.allclose(out, expected)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=IDS)
+def test_read_from_last_lane(config):
+    S = config.slave_size
+    out = harness(
+        lambda buffers: gen_read_from_lane("x", S - 1, True, config, buffers),
+        config,
+    )
+    expected = np.repeat(seeds(S)[:, -1:], S, axis=1)
+    assert np.array_equal(out, expected)
+
+
+class TestHelpers:
+    def test_identities(self):
+        assert identity_lit("+", True).value == 0.0
+        assert identity_lit("*", False).value == 1
+        assert identity_lit("min", True).value > 1e38
+        assert identity_lit("max", False).value < -2e9
+
+    def test_identity_unknown_op(self):
+        from repro.minicuda.errors import TransformError
+
+        with pytest.raises(TransformError):
+            identity_lit("^", True)
+
+    def test_apply_op_minmax_calls(self):
+        from repro.minicuda.nodes import Call
+
+        assert isinstance(apply_op("min", name("a"), name("b"), True), Call)
+        assert apply_op("min", name("a"), name("b"), False).func == "min"
+        assert apply_op("+", name("a"), name("b"), True).op == "+"
+
+    def test_buffers_track_rows(self):
+        b = CommBuffers(16, 8)
+        b.bcast_name(True, 2)
+        b.bcast_name(True, 1)
+        b.comm_name(False)
+        decls = {d.name: d for d in b.shared_decls()}
+        assert decls["__np_bcast_f"].type.dims == (2, 16)
+        assert decls["__np_comm_i"].type.dims == (8, 16)
+        assert "__np_comm_f" not in decls
+
+    def test_fresh_names_unique(self):
+        b = CommBuffers(16, 8)
+        assert b.fresh() != b.fresh()

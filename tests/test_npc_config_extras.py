@@ -1,0 +1,82 @@
+"""Remaining config/variant plumbing coverage."""
+
+import numpy as np
+import pytest
+
+from repro.npc.config import CompiledVariant, ExtraBuffer, NpConfig
+from repro.npc.pipeline import compile_np
+
+
+class TestExtraBuffer:
+    def test_size_for_grid(self):
+        extra = ExtraBuffer(name="g__g", elems_per_block=320)
+        assert extra.size_for_grid(7) == 2240
+
+    def test_host_args_allocates_missing(self):
+        src = """
+        __global__ void t(float *a, float *o) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float g[128];
+            #pragma np parallel for
+            for (int i = 0; i < 128; i++)
+                g[i % 7] = a[tid];
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < 128; i++)
+                s += g[i % 7];
+            o[tid] = s;
+        }
+        """
+        variant = compile_np(src, 32, NpConfig(slave_size=4, local_placement="global"))
+        assert variant.extra_buffers
+        args = variant.host_args({"a": np.zeros(64, np.float32)}, grid_blocks=2)
+        name = variant.extra_buffers[0].name
+        assert name in args
+        assert args[name].size == variant.extra_buffers[0].elems_per_block * 2
+
+    def test_host_args_respects_existing(self):
+        extra = ExtraBuffer(name="g__g", elems_per_block=4)
+        variant = CompiledVariant(
+            kernel=None, config=NpConfig(slave_size=4), master_size=32,
+            block=(32, 4), extra_buffers=[extra],
+        )
+        mine = np.ones(8, np.float32)
+        args = variant.host_args({"g__g": mine}, grid_blocks=2)
+        assert args["g__g"] is mine
+
+
+class TestNpConfigSurface:
+    def test_shfl_availability_matrix(self):
+        assert NpConfig(slave_size=4, np_type="intra", use_shfl=True).shfl_available
+        assert not NpConfig(slave_size=4, np_type="inter", use_shfl=True).shfl_available
+        assert not NpConfig(
+            slave_size=4, np_type="intra", use_shfl=True, sm_version=20
+        ).shfl_available
+        assert not NpConfig(
+            slave_size=4, np_type="intra", use_shfl=False
+        ).shfl_available
+
+    def test_describe_mentions_everything(self):
+        text = NpConfig(
+            slave_size=8, np_type="intra", use_shfl=False,
+            padded=True, local_placement="shared",
+        ).describe()
+        for needle in ("intra", "S=8", "smem", "padded", "local=shared"):
+            assert needle in text
+
+    def test_frozen(self):
+        config = NpConfig(slave_size=4)
+        with pytest.raises(Exception):
+            config.slave_size = 8  # type: ignore[misc]
+
+    def test_variant_properties(self):
+        src = """
+        __global__ void t(float *o, int n) {
+            #pragma np parallel for
+            for (int i = 0; i < n; i++)
+                o[threadIdx.x * n + i] = 1.f;
+        }
+        """
+        variant = compile_np(src, 64, NpConfig(slave_size=8))
+        assert variant.threads_per_block == 512
+        assert variant.slave_size == 8

@@ -1,0 +1,122 @@
+"""Intra-warp-mapping-specific semantics: warp composition and coalescing.
+
+Intra-warp NP puts a master and its slaves in the *same* warp
+(block = (slave, master)); these tests pin the mechanical consequences the
+paper's §3.4 trade-off list relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.launch import run_kernel
+from repro.npc.autotune import launch_variant
+from repro.npc.config import NpConfig
+from repro.npc.pipeline import compile_np
+
+SUM = """
+__global__ void t(float *a, float *o, int n) {
+    int tid = threadIdx.x + blockIdx.x * blockDim.x;
+    float s = 0;
+    #pragma np parallel for reduction(+:s)
+    for (int i = 0; i < n; i++)
+        s += a[tid * n + i];
+    o[tid] = s;
+}
+"""
+
+
+def make_args(n=16, seed=7):
+    data = np.random.default_rng(seed).standard_normal(64 * 16).astype(np.float32)
+    return lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=n)
+
+
+def test_intra_eliminates_divergence_on_master_branch():
+    src = """
+    __global__ void t(float *a, float *o, int n) {
+        int tid = threadIdx.x;
+        float s = 0;
+        if (tid < 16) {
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i];
+        } else {
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i] * 3.f;
+        }
+        o[tid] = s;
+    }
+    """
+    args = make_args()
+    inter = launch_variant(
+        compile_np(src, 32, NpConfig(slave_size=4, np_type="inter")), 1, args()
+    )
+    intra = launch_variant(
+        compile_np(
+            src, 32, NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True)
+        ),
+        1,
+        args(),
+    )
+    base = run_kernel(src, 1, 32, args())
+    np.testing.assert_allclose(inter.buffer("o"), base.buffer("o"), rtol=1e-3)
+    np.testing.assert_allclose(intra.buffer("o"), base.buffer("o"), rtol=1e-3)
+    # masters 0..7 share warp 0 under intra(S=4): uniform branch per warp
+    assert intra.stats.divergent_branches == 0
+    assert inter.stats.divergent_branches > 0
+
+
+def test_intra_breaks_coalescing_of_column_walk():
+    """§3.4 third trade-off: TMV-style column accesses (coalesced across
+    masters) fragment when slaves of one master occupy adjacent lanes."""
+    src = """
+    __global__ void t(float *a, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float s = 0;
+        #pragma np parallel for reduction(+:s)
+        for (int i = 0; i < n; i++)
+            s += a[i * 64 + tid];
+        o[tid] = s;
+    }
+    """
+    data = np.random.default_rng(3).standard_normal(64 * 16).astype(np.float32)
+
+    def args():
+        return dict(a=data.copy(), o=np.zeros(64, np.float32), n=16)
+
+    inter = launch_variant(
+        compile_np(src, 32, NpConfig(slave_size=8, np_type="inter")), 2, args()
+    )
+    intra = launch_variant(
+        compile_np(
+            src, 32, NpConfig(slave_size=8, np_type="intra", use_shfl=True, padded=True)
+        ),
+        2,
+        args(),
+    )
+    per_inst_inter = inter.stats.per_warp().transactions_per_mem_inst
+    per_inst_intra = intra.stats.per_warp().transactions_per_mem_inst
+    assert per_inst_intra > 2 * per_inst_inter
+
+
+def test_intra_smem_and_shfl_agree():
+    args = make_args()
+    shfl = launch_variant(
+        compile_np(SUM, 32, NpConfig(slave_size=8, np_type="intra", use_shfl=True, padded=True)),
+        2, args(),
+    )
+    smem = launch_variant(
+        compile_np(SUM, 32, NpConfig(slave_size=8, np_type="intra", use_shfl=False, padded=True)),
+        2, args(),
+    )
+    np.testing.assert_allclose(shfl.buffer("o"), smem.buffer("o"), rtol=1e-4)
+    assert shfl.stats.shfl_insts > 0
+    assert smem.stats.shfl_insts == 0
+    assert smem.stats.syncthreads > shfl.stats.syncthreads
+
+
+def test_shfl_needs_whole_group_in_warp():
+    """S=32 intra with a 32-master block still forms legal warps; S beyond
+    the warp is rejected at config construction."""
+    with pytest.raises(ValueError):
+        NpConfig(slave_size=64, np_type="intra")

@@ -1,0 +1,163 @@
+"""Local-array replacement tests (§3.3): policy + rewrites."""
+
+import pytest
+
+from repro.minicuda.errors import TransformError
+from repro.minicuda.nodes import ArrayType, For, Index, PointerType, VarDecl, walk
+from repro.minicuda.parser import parse_kernel
+from repro.minicuda.pretty import emit_expr
+from repro.npc.config import (
+    LOCAL_TO_SHARED_BUDGET,
+    NpConfig,
+    REGISTER_PROMOTE_ELEMS,
+)
+from repro.npc.local_arrays import (
+    plan_local_arrays,
+    replacement_decl,
+    rewrite_index,
+)
+
+
+def setup_kernel(array_decl: str, body: str):
+    kernel = parse_kernel(
+        f"__global__ void t(float *a, int w) {{\n{array_decl}\n{body}\n}}"
+    )
+    loops = [
+        s for s in walk(kernel.body) if isinstance(s, For) and s.pragma is not None
+    ]
+    return kernel, loops
+
+
+def plan_for(array_decl, body, config=None, master_size=32, chunked=False):
+    kernel, loops = setup_kernel(array_decl, body)
+    config = config or NpConfig(slave_size=8)
+    return plan_local_arrays(kernel, loops, [], config, master_size, 0, chunked)
+
+
+ITER_LOOP = (
+    "#pragma np parallel for\n"
+    "for (int i = 0; i < 64; i++) g[i] = a[i];"
+)
+NON_ITER_LOOP = (
+    "#pragma np parallel for\n"
+    "for (int i = 0; i < 64; i++) g[i % 3] = a[i];"
+)
+
+
+class TestPolicy:
+    def test_partition_preferred(self):
+        plans = plan_for("float g[64];", ITER_LOOP)
+        assert plans["g"].placement == "partition"
+        assert plans["g"].partition_elems == 8
+        assert plans["g"].register_promoted  # 8 <= REGISTER_PROMOTE_ELEMS
+
+    def test_large_partition_stays_local(self):
+        plans = plan_for(
+            "float g[256];",
+            "#pragma np parallel for\nfor (int i = 0; i < 256; i++) g[i] = a[i];",
+            config=NpConfig(slave_size=4),
+        )
+        assert plans["g"].placement == "partition"
+        assert plans["g"].partition_elems == 64
+        assert not plans["g"].register_promoted
+
+    def test_shared_when_not_partitionable_and_small(self):
+        plans = plan_for("float g[64];", NON_ITER_LOOP)
+        assert plans["g"].placement == "shared"  # 256 B < 384 B budget
+
+    def test_global_when_too_big_for_shared(self):
+        plans = plan_for(
+            "float g[200];",
+            "#pragma np parallel for\nfor (int i = 0; i < 200; i++) g[i % 3] = a[i];",
+        )
+        assert plans["g"].placement == "global"
+        assert plans["g"].extra_buffer.elems_per_block == 32 * 200
+
+    def test_budget_subtracts_existing_shared(self):
+        kernel, loops = setup_kernel("float g[90];", NON_ITER_LOOP.replace("64", "90"))
+        # 90*4=360 B < 384: shared... unless baseline shared eats the budget
+        small = plan_local_arrays(kernel, loops, [], NpConfig(slave_size=8), 32, 0)
+        big_baseline = plan_local_arrays(
+            kernel, loops, [], NpConfig(slave_size=8), 32,
+            baseline_shared_bytes=32 * 200,
+        )
+        assert small["g"].placement == "shared"
+        assert big_baseline["g"].placement == "global"
+
+    def test_array_unused_in_parallel_loops_kept(self):
+        plans = plan_for(
+            "float g[16];",
+            "g[0] = 1.f;\n#pragma np parallel for\n"
+            "for (int i = 0; i < 8; i++) a[i] = 0.f;",
+        )
+        assert plans == {}
+
+    def test_forced_partition_illegal_raises(self):
+        with pytest.raises(TransformError):
+            plan_for(
+                "float g[64];",
+                NON_ITER_LOOP,
+                config=NpConfig(slave_size=8, local_placement="partition"),
+            )
+
+    def test_forced_keep(self):
+        plans = plan_for(
+            "float g[64];",
+            NON_ITER_LOOP,
+            config=NpConfig(slave_size=8, local_placement="keep"),
+        )
+        assert plans == {}
+
+    def test_multi_dim_local_rejected(self):
+        with pytest.raises(TransformError):
+            plan_for(
+                "float g[4][4];",
+                "#pragma np parallel for\nfor (int i = 0; i < 4; i++) g[i][0] = 0.f;",
+            )
+
+
+class TestRewrites:
+    def test_partition_decl_and_access(self):
+        plans = plan_for("float g[64];", ITER_LOOP)
+        plan = plans["g"]
+        (decl,) = replacement_decl(plan, 32)
+        assert isinstance(decl.type, ArrayType)
+        assert decl.type.space == "reg"
+        assert decl.type.dims == (8,)
+        from repro.minicuda.build import name
+
+        out = rewrite_index(plan, name("i"))
+        assert emit_expr(out) == "g__part[i / slave_size]"
+
+    def test_partition_chunked_access(self):
+        plans = plan_for("float g[64];", ITER_LOOP, chunked=True)
+        plan = plans["g"]
+        from repro.minicuda.build import name
+
+        out = rewrite_index(plan, name("i"))
+        assert emit_expr(out) == "g__part[i % 8]"
+
+    def test_shared_decl_and_access(self):
+        plans = plan_for("float g[64];", NON_ITER_LOOP)
+        plan = plans["g"]
+        (decl,) = replacement_decl(plan, 32)
+        assert decl.type.space == "shared"
+        assert decl.type.dims == (32, 64)
+        from repro.minicuda.build import name
+
+        out = rewrite_index(plan, name("i"))
+        assert emit_expr(out) == "g__sm[master_id][i]"
+
+    def test_global_decl_and_access(self):
+        plans = plan_for(
+            "float g[200];",
+            "#pragma np parallel for\nfor (int i = 0; i < 200; i++) g[i % 3] = a[i];",
+        )
+        plan = plans["g"]
+        (decl,) = replacement_decl(plan, 32)
+        assert isinstance(decl.type, PointerType)
+        assert "g__g" in emit_expr(decl.init)
+        from repro.minicuda.build import name
+
+        out = rewrite_index(plan, name("i"))
+        assert emit_expr(out) == "g__p[i * master_size]"

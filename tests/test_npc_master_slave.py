@@ -1,0 +1,295 @@
+"""Structural unit tests for the master/slave transformation internals."""
+
+import pytest
+
+from repro.minicuda.errors import TransformError
+from repro.minicuda.nodes import Call, ExprStmt, For, If, VarDecl, walk
+from repro.minicuda.parser import parse_kernel
+from repro.minicuda.pretty import emit_kernel
+from repro.npc.config import NpConfig
+from repro.npc.master_slave import (
+    MasterSlaveTransformer,
+    collect_parallel_loops,
+    contains_parallel_loop,
+    is_parallel_loop,
+    prelude,
+    remap_thread_ids,
+)
+
+
+def transform(src, config=None, master_size=32, section_sync=False):
+    kernel = parse_kernel(src)
+    kernel.body = remap_thread_ids(kernel.body, "inter")
+    kernel.const_env = {"master_size": master_size, "slave_size": (config or NpConfig(slave_size=4)).slave_size}
+    t = MasterSlaveTransformer(
+        kernel, config or NpConfig(slave_size=4), master_size,
+        section_sync=section_sync,
+    )
+    result = t.transform()
+    kernel.body = result.body
+    return kernel, result, t
+
+
+BASIC = """
+__global__ void t(float *a, float *o, int n) {
+    int tid = threadIdx.x;
+    float q = a[tid];
+    float s = 0;
+    #pragma np parallel for reduction(+:s)
+    for (int i = 0; i < n; i++)
+        s += a[tid * n + i] * q;
+    o[tid] = s;
+}
+"""
+
+
+class TestHelpers:
+    def test_loop_predicates(self):
+        kernel = parse_kernel(BASIC)
+        loops = collect_parallel_loops(kernel.body)
+        assert len(loops) == 1
+        assert is_parallel_loop(loops[0])
+        assert contains_parallel_loop(kernel.body)
+        assert not is_parallel_loop(kernel.body.stmts[0])
+
+    def test_prelude_inter_vs_intra(self):
+        inter = prelude(NpConfig(slave_size=4, np_type="inter"))
+        intra = prelude(NpConfig(slave_size=4, np_type="intra"))
+        assert emit_kernel_stmts(inter) == [
+            "int master_id = threadIdx.x;",
+            "int slave_id = threadIdx.y;",
+        ]
+        assert emit_kernel_stmts(intra) == [
+            "int master_id = threadIdx.y;",
+            "int slave_id = threadIdx.x;",
+        ]
+
+    def test_remap_rejects_multidim(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a) { a[threadIdx.y] = 0.f; }"
+        )
+        with pytest.raises(TransformError, match="1-D"):
+            remap_thread_ids(kernel.body, "inter")
+
+
+def emit_kernel_stmts(stmts):
+    from repro.minicuda.nodes import Block, Kernel
+    from repro.minicuda.pretty import emit_kernel as emit
+
+    text = emit(Kernel(name="p", body=Block(list(stmts))))
+    return [line.strip() for line in text.splitlines()[1:-1]]
+
+
+class TestClassification:
+    def test_invariant_statements_run_redundantly(self):
+        kernel, _, _ = transform(BASIC)
+        out = emit_kernel(kernel)
+        # tid derives from master_id: no guard around its declaration.
+        assert "int tid = master_id;" in out
+
+    def test_loads_are_guarded_then_broadcast(self):
+        kernel, result, t = transform(BASIC)
+        out = emit_kernel(kernel)
+        assert "if (slave_id == 0)" in out
+        assert any("broadcast live-ins ['q']" in n for n in result.notes)
+
+    def test_final_store_guarded(self):
+        kernel, _, _ = transform(BASIC)
+        out = emit_kernel(kernel)
+        assert "o[tid] = s;" in out
+        # the store appears after the reduction inside a guard
+        guard_pos = out.rindex("if (slave_id == 0)")
+        assert out.index("o[tid] = s;") > guard_pos
+
+    def test_consecutive_guarded_statements_fuse(self):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x;
+            float x = a[tid];
+            float y = a[tid + 1];
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += x + y;
+            o[tid] = s;
+        }
+        """
+        kernel, _, _ = transform(src)
+        out = emit_kernel(kernel)
+        # Three guards total: ONE fused guard holding both loads, the
+        # shared-memory broadcast's write guard, and the final store guard —
+        # not one guard per statement.
+        assert out.count("if (slave_id == 0)") == 3
+        x_pos = out.index("x = a[tid];")
+        y_pos = out.index("y = a[tid + 1];")
+        # no guard opens between the two loads: they share one
+        assert "if (slave_id == 0)" not in out[x_pos:y_pos]
+
+
+class TestSyncHandling:
+    def test_user_syncthreads_unguarded(self):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            __shared__ float tile[32];
+            int tid = threadIdx.x;
+            tile[tid] = a[tid];
+            __syncthreads();
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += tile[i];
+            o[tid] = s;
+        }
+        """
+        kernel, _, _ = transform(src)
+        # __syncthreads() must be at top level, not inside a slave guard
+        top_level_syncs = [
+            s for s in kernel.body.stmts
+            if isinstance(s, ExprStmt)
+            and isinstance(s.expr, Call)
+            and s.expr.func == "__syncthreads"
+        ]
+        assert top_level_syncs
+
+    def test_section_sync_inserted(self):
+        kernel, _, _ = transform(BASIC, section_sync=True)
+        syncs = [
+            n for n in walk(kernel.body)
+            if isinstance(n, Call) and n.func == "__syncthreads"
+        ]
+        assert len(syncs) >= 2  # before and after the parallel section
+
+
+class TestDistributionModes:
+    def test_cyclic_default(self):
+        kernel, result, t = transform(BASIC)
+        assert not t.chunked
+        assert any("cyclic" in n for n in result.notes)
+
+    def test_chunked_when_kernel_has_scan(self):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x;
+            float b = 1.f;
+            #pragma np parallel for scan(*:b)
+            for (int i = 0; i < n; i++)
+                b = b * a[tid * n + i];
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i];
+            o[tid] = s + b;
+        }
+        """
+        kernel, result, t = transform(src)
+        assert t.chunked
+        # BOTH loops chunked (partition-slice consistency)
+        assert sum("chunked" in n for n in result.notes) >= 2
+
+    def test_padded_mode(self):
+        kernel, result, _ = transform(
+            BASIC, config=NpConfig(slave_size=4, padded=True)
+        )
+        assert any("padded" in n for n in result.notes)
+        out = emit_kernel(kernel)
+        assert "if (i < n)" in out  # runtime guard skips padding iterations
+
+    def test_scan_chunk_step_restriction(self):
+        src = """
+        __global__ void t(float *a, int n) {
+            float b = 1.f;
+            #pragma np parallel for scan(*:b)
+            for (int i = 0; i < n; i += 2)
+                b = b * a[i];
+            a[0] = b;
+        }
+        """
+        with pytest.raises(TransformError, match="unit step"):
+            transform(src)
+
+
+class TestReductionCodegenChoice:
+    def test_inter_warp_uses_shared(self):
+        kernel, _, t = transform(BASIC, NpConfig(slave_size=4, np_type="inter"))
+        assert t.buffers.need_comm_f
+        assert not any(
+            isinstance(n, Call) and n.func.startswith("__shfl")
+            for n in walk(kernel.body)
+        )
+
+    def test_intra_warp_uses_shfl(self):
+        kernel = parse_kernel(BASIC)
+        kernel.body = remap_thread_ids(kernel.body, "intra")
+        kernel.const_env = {"master_size": 32, "slave_size": 4}
+        t = MasterSlaveTransformer(
+            kernel, NpConfig(slave_size=4, np_type="intra", use_shfl=True), 32
+        )
+        result = t.transform()
+        assert not t.buffers.need_comm_f
+        assert any(
+            isinstance(n, Call) and n.func.startswith("__shfl")
+            for n in walk(result.body)
+        )
+
+
+class TestEarlyExit:
+    def test_early_exit_body_keeps_return_unguarded(self):
+        src = """
+        __global__ void t(float *a, float *o, int n, int lim) {
+            int tid = threadIdx.x;
+            if (tid >= lim) return;
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i];
+            o[tid] = s;
+        }
+        """
+        kernel, _, _ = transform(src)
+        guard = kernel.body.stmts[2]  # prelude-less body: tid, if, ...
+        exits = [s for s in walk(kernel.body) if isinstance(s, If)
+                 and any(isinstance(x, type(s)) for x in [s])]
+        out = emit_kernel(kernel)
+        assert "return;" in out
+        # the return is NOT nested inside a slave_id==0 guard
+        idx = out.index("return;")
+        assert "slave_id == 0" not in out[max(0, idx - 120):idx]
+
+    def test_variant_early_exit_requires_invariance(self):
+        src = """
+        __global__ void t(float *a, int n) {
+            float x = a[threadIdx.x];
+            if (x > 0.f) return;
+            #pragma np parallel for
+            for (int i = 0; i < n; i++)
+                a[i] = 0.f;
+        }
+        """
+        with pytest.raises(TransformError, match="slave-invariant"):
+            transform(src)
+
+
+class TestLoopHeaderFolding:
+    def test_cyclic_header_folds_trivial_algebra(self):
+        kernel, _, _ = transform(BASIC)
+        out = emit_kernel(kernel)
+        assert "slave_id * 1" not in out
+        assert "slave_size * 1" not in out
+        assert "0 + slave_id" not in out
+        assert "for (int i = slave_id; i < n; i += 4)" in out
+
+    def test_nontrivial_step_kept(self):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x;
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i += 2)
+                s += a[tid * n + i];
+            o[tid] = s;
+        }
+        """
+        kernel, _, _ = transform(src)
+        out = emit_kernel(kernel)
+        assert "slave_id * 2" in out
+        assert "i += 8" in out  # 4 slaves x step 2, folded to a literal

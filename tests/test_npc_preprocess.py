@@ -1,0 +1,133 @@
+"""Preprocessor tests (§3.7): dim flattening + unrolled-run recombination."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.launch import launch, run_kernel
+from repro.minicuda.nodes import For, NpPragma, walk
+from repro.minicuda.parser import parse_kernel
+from repro.npc.preprocess import combine_unrolled, flatten_thread_dims
+
+
+class TestFlatten:
+    SRC = """
+    __global__ void t(int *o) {
+        int i = threadIdx.x + threadIdx.y * blockDim.x
+              + threadIdx.z * blockDim.x * blockDim.y;
+        o[i + blockIdx.x * (blockDim.x * blockDim.y * blockDim.z)]
+            = threadIdx.y * 100 + threadIdx.x;
+    }
+    """
+
+    def test_flattened_kernel_equivalent(self):
+        kernel = parse_kernel(self.SRC)
+        multi = launch(kernel, 2, (8, 2, 2), {"o": np.zeros(64, np.int32)})
+        flat, size = flatten_thread_dims(kernel, (8, 2, 2))
+        assert size == 32
+        flat_res = launch(flat, 2, size, {"o": np.zeros(64, np.int32)})
+        assert np.array_equal(multi.buffer("o"), flat_res.buffer("o"))
+
+    def test_1d_kernel_untouched(self):
+        kernel = parse_kernel(
+            "__global__ void t(int *o) { o[threadIdx.x] = 0; }"
+        )
+        flat, size = flatten_thread_dims(kernel, (32, 1, 1))
+        assert flat is kernel
+        assert size == 32
+
+    def test_no_residual_multi_dim_refs(self):
+        kernel = parse_kernel(self.SRC)
+        flat, _ = flatten_thread_dims(kernel, (8, 2, 2))
+        from repro.minicuda.nodes import Member, Name
+
+        for node in walk(flat.body):
+            if isinstance(node, Member) and isinstance(node.base, Name):
+                if node.base.id in ("threadIdx", "blockDim"):
+                    assert node.name == "x"
+
+
+class TestCombineUnrolled:
+    def test_affine_run_folds_without_buffer(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a) {\n"
+            "float s = 0;\n"
+            "s += a[0];\n s += a[4];\n s += a[8];\n s += a[12];\n"
+            "a[0] = s;\n}"
+        )
+        rec = combine_unrolled(kernel)
+        assert rec.loops_formed == 1
+        assert rec.const_arrays == {}  # affine -> direct indexing
+        loops = [s for s in walk(rec.kernel.body) if isinstance(s, For)]
+        assert len(loops) == 1
+        assert loops[0].pragma is not None  # pure accumulation -> reduction
+        assert loops[0].pragma.reductions[0][0] == "+"
+
+    def test_nonlinear_run_uses_constant_buffer(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a) {\n"
+            "float s = 0;\n"
+            "s += a[7];\n s += a[13];\n s += a[2];\n"
+            "a[0] = s;\n}"
+        )
+        rec = combine_unrolled(kernel)
+        assert rec.loops_formed == 1
+        (values,) = rec.const_arrays.values()
+        assert list(values) == [7, 13, 2]
+
+    def test_folded_kernel_equivalent(self):
+        src = (
+            "__global__ void t(float *a, float *o) {\n"
+            "float s = 0;\n"
+            "s += a[7];\n s += a[13];\n s += a[2];\n s += a[5];\n"
+            "o[threadIdx.x] = s;\n}"
+        )
+        kernel = parse_kernel(src)
+        data = np.arange(16, dtype=np.float32)
+        base = run_kernel(kernel, 1, 32, {"a": data, "o": np.zeros(32, np.float32)})
+        rec = combine_unrolled(kernel)
+        folded = run_kernel(
+            rec.kernel,
+            1,
+            32,
+            {"a": data, "o": np.zeros(32, np.float32)},
+            const_arrays=rec.const_arrays,
+        )
+        assert np.allclose(base.buffer("o"), folded.buffer("o"))
+
+    def test_short_runs_not_folded(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a) {\nfloat s = 0;\n"
+            "s += a[0];\n s += a[1];\n a[0] = s;\n}"
+        )
+        rec = combine_unrolled(kernel)
+        assert rec.loops_formed == 0
+
+    def test_non_accumulation_not_marked_parallel(self):
+        # Only integer literals vary (the Fig. 9 pattern); stores are folded
+        # into a loop but not marked parallel automatically.
+        kernel = parse_kernel(
+            "__global__ void t(float *a) {\n"
+            "a[0] = 1.f;\n a[1] = 1.f;\n a[2] = 1.f;\n}"
+        )
+        rec = combine_unrolled(kernel)
+        assert rec.loops_formed == 1
+        loops = [s for s in walk(rec.kernel.body) if isinstance(s, For)]
+        assert loops[0].pragma is None
+
+    def test_recursion_into_if(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a, int w) {\n"
+            "float s = 0;\n"
+            "if (w > 0) {\n s += a[0];\n s += a[2];\n s += a[4];\n }\n"
+            "a[0] = s;\n}"
+        )
+        rec = combine_unrolled(kernel)
+        assert rec.loops_formed == 1
+
+    def test_min_run_configurable(self):
+        kernel = parse_kernel(
+            "__global__ void t(float *a) {\nfloat s = 0;\n"
+            "s += a[0];\n s += a[1];\n a[0] = s;\n}"
+        )
+        rec = combine_unrolled(kernel, min_run=2)
+        assert rec.loops_formed == 1

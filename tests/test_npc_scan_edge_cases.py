@@ -1,0 +1,150 @@
+"""Scan-transformation edge cases beyond the main differential matrix."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.launch import run_kernel
+from repro.npc.autotune import launch_variant
+from repro.npc.config import NpConfig
+from repro.npc.pipeline import compile_np
+
+
+def differential(src, args_fn, outs, configs, grid=2, block=32, rtol=1e-3):
+    base = run_kernel(src, grid, block, args_fn())
+    for config in configs:
+        variant = compile_np(src, block, config)
+        res = launch_variant(variant, grid, args_fn())
+        for out in outs:
+            np.testing.assert_allclose(
+                res.buffer(out), base.buffer(out), rtol=rtol, atol=1e-4,
+                err_msg=f"{out} for {config.describe()}",
+            )
+
+
+def test_scan_with_non_power_of_two_slaves():
+    """Inter-warp groups may have any size; the shared-memory group scan
+    must stay correct for S=3 and S=5."""
+    src = """
+    __global__ void t(float *f, float *pre, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float s = 0;
+        #pragma np parallel for scan(+:s)
+        for (int i = 0; i < n; i++) {
+            s += f[tid * n + i];
+            pre[tid * n + i] = s;
+        }
+    }
+    """
+    rng = np.random.default_rng(71)
+    data = rng.standard_normal(64 * 11).astype(np.float32)
+    differential(
+        src,
+        lambda: dict(f=data.copy(), pre=np.zeros(64 * 11, np.float32), n=11),
+        ["pre"],
+        [
+            NpConfig(slave_size=3, np_type="inter"),
+            NpConfig(slave_size=5, np_type="inter"),
+        ],
+    )
+
+
+def test_scan_with_nonunit_incoming_value():
+    """The prefix must fold the value the scan variable already holds."""
+    src = """
+    __global__ void t(float *f, float *pre, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float b = 2.f;
+        #pragma np parallel for scan(*:b)
+        for (int i = 0; i < n; i++) {
+            b = b * f[tid * n + i];
+            pre[tid * n + i] = b;
+        }
+        pre[tid * n] = pre[tid * n] + b;
+    }
+    """
+    rng = np.random.default_rng(72)
+    data = rng.uniform(0.9, 1.1, 64 * 8).astype(np.float32)
+    differential(
+        src,
+        lambda: dict(f=data.copy(), pre=np.zeros(64 * 8, np.float32), n=8),
+        ["pre"],
+        [
+            NpConfig(slave_size=4, np_type="inter"),
+            NpConfig(slave_size=4, np_type="intra", use_shfl=True),
+            NpConfig(slave_size=4, np_type="intra", use_shfl=False),
+        ],
+    )
+
+
+def test_scan_trip_count_smaller_than_group():
+    """n < slave_size: some slaves get empty chunks."""
+    src = """
+    __global__ void t(float *f, float *pre, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float s = 0;
+        #pragma np parallel for scan(+:s)
+        for (int i = 0; i < n; i++) {
+            s += f[tid * 8 + i];
+            pre[tid * 8 + i] = s;
+        }
+        o[tid] = s;
+    }
+    """
+    rng = np.random.default_rng(73)
+    data = rng.standard_normal(64 * 8).astype(np.float32)
+    differential(
+        src,
+        lambda: dict(
+            f=data.copy(),
+            pre=np.zeros(64 * 8, np.float32),
+            o=np.zeros(64, np.float32),
+            n=3,
+        ),
+        ["pre", "o"],
+        [
+            NpConfig(slave_size=8, np_type="inter"),
+            NpConfig(slave_size=8, np_type="intra", use_shfl=True),
+        ],
+    )
+
+
+def test_two_scan_variables_same_loop():
+    src = """
+    __global__ void t(float *f, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float s = 0;
+        float p = 1.f;
+        #pragma np parallel for scan(+:s) scan(*:p)
+        for (int i = 0; i < n; i++) {
+            s += f[tid * n + i];
+            p = p * (1.f + 0.01f * f[tid * n + i]);
+        }
+        o[tid] = s + p;
+    }
+    """
+    rng = np.random.default_rng(74)
+    data = rng.standard_normal(64 * 12).astype(np.float32)
+    differential(
+        src,
+        lambda: dict(f=data.copy(), o=np.zeros(64, np.float32), n=12),
+        ["o"],
+        [
+            NpConfig(slave_size=4, np_type="inter"),
+            NpConfig(slave_size=4, np_type="intra", use_shfl=True),
+        ],
+    )
+
+
+def test_scan_unsupported_operator_rejected():
+    from repro.minicuda.errors import PragmaError
+
+    from repro.minicuda.parser import parse_kernel
+
+    with pytest.raises(PragmaError):
+        parse_kernel(
+            "__global__ void t(float *a, int n) {\n"
+            "float s = 0;\n"
+            "#pragma np parallel for scan(min:s)\n"
+            "for (int i = 0; i < n; i++) s += a[i];\n"
+            "a[0] = s;\n}"
+        )

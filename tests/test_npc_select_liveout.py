@@ -1,0 +1,101 @@
+"""§3.2 select-assign live-out tests (the paper's 'if (i==3) x = a[i]')."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.launch import run_kernel
+from repro.minicuda.errors import TransformError
+from repro.npc.autotune import launch_variant
+from repro.npc.config import NpConfig
+from repro.npc.pipeline import compile_np
+
+SELECT = """
+__global__ void t(float *a, float *o, int n, int pick) {
+    int tid = threadIdx.x + blockIdx.x * blockDim.x;
+    float x = 0;
+    #pragma np parallel for
+    for (int i = 0; i < n; i++) {
+        if (i == pick)
+            x = a[tid * n + i];
+    }
+    o[tid] = x * 2.f;
+}
+"""
+
+CONFIGS = [
+    NpConfig(slave_size=4, np_type="inter"),
+    NpConfig(slave_size=8, np_type="inter"),
+    NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True),
+    NpConfig(slave_size=8, np_type="intra", use_shfl=False, padded=True),
+]
+
+
+def make_args(seed=91):
+    data = np.random.default_rng(seed).standard_normal(64 * 10).astype(np.float32)
+    return lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=10, pick=3)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.describe() for c in CONFIGS])
+def test_select_assign_recovered(config):
+    """The writing iteration lands on some *slave*; the value must still
+    reach the master's final store."""
+    args = make_args()
+    base = run_kernel(SELECT, 2, 32, args())
+    variant = compile_np(SELECT, 32, config)
+    assert any("select-assign" in n for n in variant.notes)
+    res = launch_variant(variant, 2, args())
+    np.testing.assert_allclose(res.buffer("o"), base.buffer("o"), rtol=1e-5)
+
+
+def test_unannotated_accumulation_rejected():
+    """'s += ...' live-out without a clause must be a compile error, not a
+    silent wrong answer."""
+    src = """
+    __global__ void t(float *a, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float s = 0;
+        #pragma np parallel for
+        for (int i = 0; i < n; i++)
+            s += a[tid * n + i];
+        o[tid] = s;
+    }
+    """
+    with pytest.raises(TransformError, match="reduction/scan clause"):
+        compile_np(src, 32, NpConfig(slave_size=4))
+
+
+def test_loop_local_temp_not_treated_as_live_out():
+    """Temps declared inside the loop need no handling."""
+    src = """
+    __global__ void t(float *a, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float s = 0;
+        #pragma np parallel for reduction(+:s)
+        for (int i = 0; i < n; i++) {
+            float tmp = a[tid * n + i] * 2.f;
+            s += tmp;
+        }
+        o[tid] = s;
+    }
+    """
+    variant = compile_np(src, 32, NpConfig(slave_size=4))
+    assert not any("select-assign" in n for n in variant.notes)
+
+
+def test_dead_write_not_reduced():
+    """A plain assignment never read after the loop needs no handling."""
+    src = """
+    __global__ void t(float *a, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float x = 0;
+        float s = 0;
+        #pragma np parallel for reduction(+:s)
+        for (int i = 0; i < n; i++) {
+            x = a[tid * n + i];
+            s += x;
+        }
+        o[tid] = s;
+    }
+    """
+    variant = compile_np(src, 32, NpConfig(slave_size=4))
+    assert not any("select-assign" in n for n in variant.notes)

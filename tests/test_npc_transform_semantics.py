@@ -1,0 +1,443 @@
+"""Differential semantics tests for the master/slave transformation.
+
+Each case is a small kernel exercising one §3 mechanism; the NP variant's
+output must match the baseline's for every configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.launch import run_kernel
+from repro.npc.autotune import launch_variant
+from repro.npc.config import NpConfig
+from repro.npc.pipeline import compile_np
+
+CONFIGS = [
+    NpConfig(slave_size=2, np_type="inter"),
+    NpConfig(slave_size=3, np_type="inter"),
+    NpConfig(slave_size=8, np_type="inter"),
+    NpConfig(slave_size=8, np_type="inter", padded=True),
+    NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True),
+    NpConfig(slave_size=4, np_type="intra", use_shfl=False, padded=True),
+    NpConfig(slave_size=16, np_type="intra", use_shfl=True, padded=True),
+]
+IDS = [c.describe() for c in CONFIGS]
+
+
+def differential(src, args_fn, out_name, configs=CONFIGS, block=32, grid=2,
+                 const_arrays=None, rtol=1e-4, atol=1e-5):
+    base = run_kernel(src, grid, block, args_fn(), const_arrays=const_arrays)
+    expected = base.buffer(out_name).copy()
+    for config in configs:
+        variant = compile_np(src, block, config)
+        res = launch_variant(
+            variant, grid, args_fn(), const_arrays=const_arrays
+        )
+        got = res.buffer(out_name)
+        np.testing.assert_allclose(
+            got, expected, rtol=rtol, atol=atol,
+            err_msg=f"mismatch for {config.describe()}",
+        )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestReductionLoops:
+    def test_sum_with_nonzero_incoming(self, rng):
+        """The reduction must fold into the value `sum` already holds."""
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float sum = (float)tid;
+            #pragma np parallel for reduction(+:sum)
+            for (int i = 0; i < n; i++)
+                sum += a[tid * n + i];
+            o[tid] = sum;
+        }
+        """
+        data = rng.standard_normal(64 * 17).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=17),
+            "o",
+        )
+
+    def test_product_reduction(self, rng):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float p = 1.f;
+            #pragma np parallel for reduction(*:p)
+            for (int i = 0; i < n; i++)
+                p *= a[tid * n + i];
+            o[tid] = p;
+        }
+        """
+        data = rng.uniform(0.9, 1.1, 64 * 9).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=9),
+            "o",
+            rtol=1e-3,
+        )
+
+    def test_min_max_reductions(self, rng):
+        src = """
+        __global__ void t(float *a, float *lo, float *hi, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float mn = 3.4e38f;
+            float mx = -3.4e38f;
+            #pragma np parallel for reduction(min:mn) reduction(max:mx)
+            for (int i = 0; i < n; i++) {
+                mn = fminf(mn, a[tid * n + i]);
+                mx = fmaxf(mx, a[tid * n + i]);
+            }
+            lo[tid] = mn;
+            hi[tid] = mx;
+        }
+        """
+        data = rng.standard_normal(64 * 21).astype(np.float32)
+
+        def args():
+            return dict(
+                a=data.copy(),
+                lo=np.zeros(64, np.float32),
+                hi=np.zeros(64, np.float32),
+                n=21,
+            )
+
+        differential(src, args, "lo")
+        differential(src, args, "hi")
+
+    def test_int_reduction(self, rng):
+        src = """
+        __global__ void t(int *a, int *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            int s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i];
+            o[tid] = s;
+        }
+        """
+        data = rng.integers(-100, 100, 64 * 13).astype(np.int32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.int32), n=13),
+            "o",
+        )
+
+    def test_two_reductions_in_one_loop(self, rng):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float s = 0;
+            float q = 0;
+            #pragma np parallel for reduction(+:s,q)
+            for (int i = 0; i < n; i++) {
+                float v = a[tid * n + i];
+                s += v;
+                q += v * v;
+            }
+            o[tid] = s * 10.f + q;
+        }
+        """
+        data = rng.standard_normal(64 * 15).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=15),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+
+class TestBroadcastPaths:
+    def test_loaded_live_in_broadcast(self, rng):
+        """A live-in loaded from memory is master-only; slaves need it."""
+        src = """
+        __global__ void t(float *a, float *q, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float scale = q[tid];
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i] * scale;
+            o[tid] = s;
+        }
+        """
+        data = rng.standard_normal(64 * 11).astype(np.float32)
+        q = rng.standard_normal(64).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), q=q.copy(), o=np.zeros(64, np.float32), n=11),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_int_and_float_broadcast_together(self, rng):
+        src = """
+        __global__ void t(float *a, int *k, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            int off = k[tid];
+            float w = a[tid];
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[(tid + off) % 64 * n + i] * w;
+            o[tid] = s;
+        }
+        """
+        data = rng.standard_normal(64 * 8).astype(np.float32)
+        k = rng.integers(0, 8, 64).astype(np.int32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), k=k.copy(), o=np.zeros(64, np.float32), n=8),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+
+class TestScanLoops:
+    def test_prefix_product_with_stores(self, rng):
+        src = """
+        __global__ void t(float *f, float *disc, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float b = 1.f;
+            #pragma np parallel for scan(*:b)
+            for (int i = 0; i < n; i++) {
+                b = b * f[tid * n + i];
+                disc[tid * n + i] = b;
+            }
+            o[tid] = b;
+        }
+        """
+        data = rng.uniform(0.9, 1.1, 64 * 16).astype(np.float32)
+
+        def args():
+            return dict(
+                f=data.copy(),
+                disc=np.zeros(64 * 16, np.float32),
+                o=np.zeros(64, np.float32),
+                n=16,
+            )
+
+        differential(src, args, "disc", rtol=1e-3)
+        differential(src, args, "o", rtol=1e-3)
+
+    def test_prefix_sum_scan(self, rng):
+        src = """
+        __global__ void t(float *f, float *pre, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float s = 0;
+            #pragma np parallel for scan(+:s)
+            for (int i = 0; i < n; i++) {
+                s += f[tid * n + i];
+                pre[tid * n + i] = s;
+            }
+        }
+        """
+        data = rng.standard_normal(64 * 12).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(f=data.copy(), pre=np.zeros(64 * 12, np.float32), n=12),
+            "pre",
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_scan_plus_reduction_same_loop(self, rng):
+        src = """
+        __global__ void t(float *f, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float b = 1.f;
+            float v = 0;
+            #pragma np parallel for scan(*:b) reduction(+:v)
+            for (int i = 0; i < n; i++) {
+                b = b * f[tid * n + i];
+                v += b;
+            }
+            o[tid] = v + b;
+        }
+        """
+        data = rng.uniform(0.9, 1.1, 64 * 10).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(f=data.copy(), o=np.zeros(64, np.float32), n=10),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+
+class TestControlFlowAroundSections:
+    def test_parallel_loop_in_branch(self, rng):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x;
+            float s = 0;
+            if (tid < 16) {
+                #pragma np parallel for reduction(+:s)
+                for (int i = 0; i < n; i++)
+                    s += a[tid * n + i];
+            } else {
+                #pragma np parallel for reduction(+:s)
+                for (int i = 0; i < n; i++)
+                    s += a[tid * n + i] * 2.f;
+            }
+            o[tid] = s;
+        }
+        """
+        data = rng.standard_normal(32 * 9).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(32, np.float32), n=9),
+            "o",
+            grid=1,
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_parallel_loop_in_sequential_loop(self, rng):
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float acc = 0;
+            for (int t = 0; t < 4; t++) {
+                float s = 0;
+                #pragma np parallel for reduction(+:s)
+                for (int i = 0; i < n; i++)
+                    s += a[(tid * 4 + t) * n + i];
+                acc += s * (float)(t + 1);
+            }
+            o[tid] = acc;
+        }
+        """
+        data = rng.standard_normal(64 * 4 * 7).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=7),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_early_exit_guard(self, rng):
+        src = """
+        __global__ void t(float *a, float *o, int n, int limit) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            if (tid >= limit) return;
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i];
+            o[tid] = s;
+        }
+        """
+        data = rng.standard_normal(64 * 6).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(
+                a=data.copy(), o=np.zeros(64, np.float32), n=6, limit=40
+            ),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_plain_loop_no_clause(self, rng):
+        """A pragma loop with no reduction/scan: pure work distribution."""
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            #pragma np parallel for
+            for (int i = 0; i < n; i++)
+                o[tid * n + i] = a[tid * n + i] * 2.f + 1.f;
+        }
+        """
+        data = rng.standard_normal(64 * 19).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64 * 19, np.float32), n=19),
+            "o",
+        )
+
+    def test_two_sections_with_dependency(self, rng):
+        """Output of section 1 (via reduction) feeds section 2."""
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * n + i];
+            float mean = s / (float)n;
+            float v = 0;
+            #pragma np parallel for reduction(+:v)
+            for (int i = 0; i < n; i++) {
+                float d = a[tid * n + i] - mean;
+                v += d * d;
+            }
+            o[tid] = v;
+        }
+        """
+        data = rng.standard_normal(64 * 14).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=14),
+            "o",
+            rtol=1e-3, atol=1e-3,
+        )
+
+
+class TestLocalArrayPlacements:
+    SRC = """
+    __global__ void t(float *a, float *o, int n) {
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float g[24];
+        #pragma np parallel for
+        for (int i = 0; i < 24; i++)
+            g[i] = a[tid * 24 + i] * 2.f;
+        float s = 0;
+        #pragma np parallel for reduction(+:s)
+        for (int i = 0; i < 24; i++)
+            s += g[i];
+        o[tid] = s;
+    }
+    """
+
+    @pytest.mark.parametrize("placement", ["partition", "shared", "global", "auto"])
+    @pytest.mark.parametrize("np_type", ["inter", "intra"])
+    def test_all_placements_correct(self, rng, placement, np_type):
+        data = rng.standard_normal(64 * 24).astype(np.float32)
+        config = NpConfig(
+            slave_size=4,
+            np_type=np_type,
+            padded=(np_type == "intra"),
+            local_placement=placement,
+        )
+        differential(
+            self.SRC,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=24),
+            "o",
+            configs=[config],
+            rtol=1e-3, atol=1e-3,
+        )
+
+    def test_runtime_bound_with_padding(self, rng):
+        """Padded distribution with a runtime upper bound (guard skips)."""
+        src = """
+        __global__ void t(float *a, float *o, int n) {
+            int tid = threadIdx.x + blockIdx.x * blockDim.x;
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * 30 + i];
+            o[tid] = s;
+        }
+        """
+        data = rng.standard_normal(64 * 30).astype(np.float32)
+        differential(
+            src,
+            lambda: dict(a=data.copy(), o=np.zeros(64, np.float32), n=23),
+            "o",
+            configs=[NpConfig(slave_size=8, np_type="inter", padded=True)],
+            rtol=1e-3, atol=1e-3,
+        )

@@ -1,0 +1,86 @@
+"""Paper-shape regression tests at (fast) paper scale.
+
+These lock in the evaluation's qualitative findings against model or
+compiler regressions.  They use the sampled paper-scale configurations from
+``repro.experiments.scales`` (functional correctness is asserted elsewhere
+at full-execution scale).
+"""
+
+import pytest
+
+from repro.experiments.scales import paper_scale
+from repro.npc.config import NpConfig
+
+pytestmark = pytest.mark.slow
+
+
+def time_of(bench, sample, config=None):
+    if config is None:
+        return bench.run_baseline(sample_blocks=sample).timing.seconds
+    return bench.run_variant(config, sample_blocks=sample).timing.seconds
+
+
+INTER4 = NpConfig(slave_size=4, np_type="inter")
+INTRA4 = NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True)
+INTRA8 = NpConfig(slave_size=8, np_type="intra", use_shfl=True, padded=True)
+
+
+class TestWinners:
+    def test_every_benchmark_improves(self):
+        """Fig. 10: some variant beats the baseline for all ten."""
+        from repro.kernels import BENCHMARKS
+
+        for name in BENCHMARKS:
+            bench, sample = paper_scale(name, fast=True)
+            base = time_of(bench, sample)
+            best = min(
+                time_of(bench, sample, c)
+                for c in (INTER4, INTRA4)
+            )
+            assert best < base * 1.0, f"{name} did not improve"
+
+    def test_lu_prefers_intra(self):
+        bench, sample = paper_scale("LU", fast=True)
+        assert time_of(bench, sample, INTRA4) < time_of(bench, sample, INTER4)
+
+    def test_nn_prefers_intra_strongly(self):
+        bench, sample = paper_scale("NN", fast=True)
+        assert time_of(bench, sample, INTRA8) < 0.5 * time_of(
+            bench, sample, NpConfig(slave_size=8, np_type="inter")
+        )
+
+    def test_ss_prefers_inter(self):
+        bench, sample = paper_scale("SS", fast=True)
+        assert time_of(bench, sample, INTER4) < time_of(bench, sample, INTRA4)
+
+    def test_le_padding_loses(self):
+        bench, sample = paper_scale("LE", fast=True)
+        padded = time_of(
+            bench, sample, NpConfig(slave_size=8, np_type="inter", padded=True)
+        )
+        cyclic = time_of(
+            bench, sample, NpConfig(slave_size=8, np_type="inter", padded=False)
+        )
+        assert cyclic <= padded
+
+    def test_le_register_partition_beats_shared(self):
+        bench, sample = paper_scale("LE", fast=True)
+        shared = time_of(
+            bench, sample,
+            NpConfig(slave_size=8, np_type="inter", local_placement="shared"),
+        )
+        partition = time_of(
+            bench, sample,
+            NpConfig(slave_size=8, np_type="inter", local_placement="partition"),
+        )
+        assert partition < shared
+
+    def test_lu_shfl_beats_shared_memory_comm(self):
+        """Fig. 16's headline: LU's shared memory is precious."""
+        bench, sample = paper_scale("LU", fast=True)
+        shfl = time_of(bench, sample, INTRA8)
+        smem = time_of(
+            bench, sample,
+            NpConfig(slave_size=8, np_type="intra", use_shfl=False, padded=True),
+        )
+        assert shfl < smem

@@ -1,0 +1,248 @@
+"""Parser unit tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.minicuda import nodes as n
+from repro.minicuda.errors import ParseError
+from repro.minicuda.parser import const_eval, parse, parse_kernel
+
+
+def k(body: str, params: str = "float *a, int w") -> n.Kernel:
+    return parse_kernel(f"__global__ void t({params}) {{\n{body}\n}}")
+
+
+class TestTopLevel:
+    def test_kernel_signature(self):
+        kernel = parse_kernel("__global__ void foo(float *a, int n, unsigned int u) {}")
+        assert kernel.name == "foo"
+        assert [p.name for p in kernel.params] == ["a", "n", "u"]
+        assert isinstance(kernel.params[0].type, n.PointerType)
+        assert kernel.params[1].type == n.INT
+        assert kernel.params[2].type == n.UINT
+
+    def test_const_restrict_params(self):
+        kernel = parse_kernel(
+            "__global__ void foo(const float* __restrict__ a) {}"
+        )
+        assert isinstance(kernel.params[0].type, n.PointerType)
+
+    def test_multiple_kernels(self):
+        program = parse(
+            "__global__ void a() {}\n__global__ void b() {}"
+        )
+        assert set(program.kernels) == {"a", "b"}
+
+    def test_parse_kernel_requires_unique(self):
+        with pytest.raises(ParseError):
+            parse_kernel("__global__ void a() {}\n__global__ void b() {}")
+
+    def test_non_void_kernel_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("__global__ int foo() {}")
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("int x;")
+
+
+class TestDeclarations:
+    def test_scalar_decl_with_init(self):
+        kernel = k("float sum = 0;")
+        decl = kernel.body.stmts[0]
+        assert isinstance(decl, n.VarDecl)
+        assert decl.type == n.FLOAT
+        assert isinstance(decl.init, n.IntLit)
+
+    def test_multi_declarator(self):
+        kernel = k("int i, j = 2, q;")
+        names = [s.name for s in kernel.body.stmts]
+        assert names == ["i", "j", "q"]
+
+    def test_shared_array_2d(self):
+        kernel = k("__shared__ float tile[16][16];")
+        decl = kernel.body.stmts[0]
+        assert isinstance(decl.type, n.ArrayType)
+        assert decl.type.space == "shared"
+        assert decl.type.dims == (16, 16)
+
+    def test_local_array_with_macro_dim(self):
+        kernel = parse_kernel(
+            "#define N 150\n__global__ void t() { float g[N]; }"
+        )
+        assert kernel.body.stmts[0].type.dims == (150,)
+
+    def test_const_expr_dim(self):
+        kernel = k("float g[8*4];")
+        assert kernel.body.stmts[0].type.dims == (32,)
+
+    def test_non_const_dim_rejected(self):
+        with pytest.raises(ParseError):
+            k("float g[w];")
+
+    def test_pointer_decl(self):
+        kernel = k("float *p = a + 4;")
+        decl = kernel.body.stmts[0]
+        assert isinstance(decl.type, n.PointerType)
+
+    def test_shared_scalar_rejected(self):
+        with pytest.raises(ParseError):
+            k("__shared__ float x;")
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        kernel = k("if (w > 0) { a[0] = 1; } else if (w < 0) a[0] = 2; else a[0] = 3;")
+        stmt = kernel.body.stmts[0]
+        assert isinstance(stmt, n.If)
+        assert isinstance(stmt.els.stmts[0], n.If)
+        assert stmt.els.stmts[0].els is not None
+
+    def test_for_with_decl_init(self):
+        kernel = k("for (int i = 0; i < w; i++) a[i] = 0;")
+        loop = kernel.body.stmts[0]
+        assert isinstance(loop, n.For)
+        assert isinstance(loop.init, n.VarDecl)
+        assert isinstance(loop.update, n.Assign)
+        assert loop.update.op == "+="
+
+    def test_for_with_assign_init(self):
+        kernel = k("int i; for (i = 0; i < w; i += 2) a[i] = 0;")
+        loop = kernel.body.stmts[1]
+        assert isinstance(loop.init, n.Assign)
+
+    def test_for_empty_clauses(self):
+        kernel = k("for (;;) break;")
+        loop = kernel.body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.update is None
+
+    def test_while_and_continue(self):
+        kernel = k("int i = 0; while (i < w) { i++; continue; }")
+        loop = kernel.body.stmts[1]
+        assert isinstance(loop, n.While)
+        assert isinstance(loop.body.stmts[-1], n.Continue)
+
+    def test_return(self):
+        kernel = k("if (w < 0) return; a[0] = 1;")
+        assert isinstance(kernel.body.stmts[0].then.stmts[0], n.Return)
+
+    def test_postfix_decrement(self):
+        kernel = k("int i = 3; i--;")
+        stmt = kernel.body.stmts[1]
+        assert isinstance(stmt, n.Assign)
+        assert stmt.value.value == -1
+
+    def test_prefix_increment(self):
+        kernel = k("int i = 3; ++i;")
+        stmt = kernel.body.stmts[1]
+        assert stmt.op == "+=" and stmt.value.value == 1
+
+    def test_compound_assign_to_index(self):
+        kernel = k("a[0] *= 2;")
+        stmt = kernel.body.stmts[0]
+        assert stmt.op == "*=" and isinstance(stmt.target, n.Index)
+
+    def test_empty_statement_skipped(self):
+        kernel = k(";;a[0] = 1;;")
+        assert len(kernel.body.stmts) == 1
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            k("1 = 2;")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        kernel = k("int x = 1 + 2 * 3;")
+        init = kernel.body.stmts[0].init
+        assert init.op == "+"
+        assert init.rhs.op == "*"
+        assert const_eval(init) == 7
+
+    def test_left_associativity(self):
+        init = k("int x = 10 - 4 - 3;").body.stmts[0].init
+        assert const_eval(init) == 3
+
+    def test_comparison_and_logical(self):
+        init = k("int x = 1 < 2 && 3 >= 3 || 0;").body.stmts[0].init
+        assert init.op == "||"
+        assert const_eval(init) == 1
+
+    def test_ternary(self):
+        init = k("int x = w > 0 ? 1 : 2;").body.stmts[0].init
+        assert isinstance(init, n.Ternary)
+
+    def test_nested_ternary_right_assoc(self):
+        init = k("int x = 1 ? 2 : 0 ? 3 : 4;").body.stmts[0].init
+        assert isinstance(init.els, n.Ternary)
+
+    def test_cast(self):
+        init = k("float x = (float)w;").body.stmts[0].init
+        assert isinstance(init, n.Cast)
+        assert init.type.name == "float"
+
+    def test_cast_vs_paren_expr(self):
+        init = k("int x = (w) + 1;").body.stmts[0].init
+        assert isinstance(init, n.Binary)
+
+    def test_member_access(self):
+        init = k("int x = threadIdx.x + blockIdx.y;").body.stmts[0].init
+        assert isinstance(init.lhs, n.Member)
+        assert init.lhs.name == "x"
+
+    def test_call_with_args(self):
+        init = k("float x = fminf(1.f, (float)w);").body.stmts[0].init
+        assert isinstance(init, n.Call)
+        assert len(init.args) == 2
+
+    def test_index_chain(self):
+        kernel = k("__shared__ float t[4][4]; t[1][2] = 0;")
+        target = kernel.body.stmts[1].target
+        assert isinstance(target, n.Index)
+        assert isinstance(target.base, n.Index)
+
+    def test_unary_ops(self):
+        init = k("int x = -w + !0 + ~1;").body.stmts[0].init
+        assert const_eval(k("int x = !0 + ~1;").body.stmts[0].init) == -1
+
+    def test_shift_and_bitwise(self):
+        assert const_eval(k("int x = (1 << 4) | 3;").body.stmts[0].init) == 19
+
+    def test_hex_literal(self):
+        assert const_eval(k("int x = 0xFF;").body.stmts[0].init) == 255
+
+
+class TestPragmas:
+    def test_pragma_attaches_to_for(self):
+        kernel = k(
+            "#pragma np parallel for reduction(+:s)\n"
+            "for (int i = 0; i < w; i++) a[i] = 0;",
+        )
+        loop = kernel.body.stmts[0]
+        assert loop.pragma is not None
+        assert loop.pragma.reductions == [("+", "s")]
+
+    def test_pragma_before_non_for_rejected(self):
+        with pytest.raises(ParseError):
+            k("#pragma np parallel for\nint x = 0;")
+
+    def test_foreign_pragma_ignored(self):
+        kernel = k("#pragma unroll\nfor (int i = 0; i < w; i++) a[i] = 0;")
+        assert kernel.body.stmts[0].pragma is None
+
+
+class TestConstEval:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            ("7 / 2", 3),
+            ("7 % 4", 3),
+            ("-6 / 4", -1),
+            ("2 * 3 + 4", 10),
+            ("(1 + 1) * 8", 16),
+        ],
+    )
+    def test_integer_folding(self, expr, value):
+        assert const_eval(k(f"int x = {expr};").body.stmts[0].init) == value
+
+    def test_non_const_returns_none(self):
+        assert const_eval(k("int x = w + 1;").body.stmts[0].init) is None

@@ -1,0 +1,79 @@
+"""`#pragma np` directive parsing tests (paper §3.6)."""
+
+import pytest
+
+from repro.minicuda.errors import PragmaError
+from repro.minicuda.pragma import is_np_pragma, parse_np_pragma
+
+
+class TestParseNpPragma:
+    def test_bare_parallel_for(self):
+        p = parse_np_pragma("np parallel for")
+        assert p.parallel_for
+        assert p.reductions == [] and p.scans == []
+        assert p.num_threads is None and p.np_type is None
+
+    def test_reduction_single(self):
+        p = parse_np_pragma("np parallel for reduction(+:sum)")
+        assert p.reductions == [("+", "sum")]
+
+    def test_reduction_multiple_vars(self):
+        p = parse_np_pragma("np parallel for reduction(+:var, ep)")
+        assert p.reductions == [("+", "var"), ("+", "ep")]
+
+    def test_multiple_reduction_clauses_accumulate(self):
+        p = parse_np_pragma("np parallel for reduction(+:a) reduction(max:b)")
+        assert p.reductions == [("+", "a"), ("max", "b")]
+
+    def test_scan_clause(self):
+        p = parse_np_pragma("np parallel for scan(*:b)")
+        assert p.scans == [("*", "b")]
+
+    def test_copyin(self):
+        p = parse_np_pragma("np parallel for copyin(x, y)")
+        assert p.copyins == ["x", "y"]
+
+    def test_num_threads(self):
+        assert parse_np_pragma("np parallel for num_threads(8)").num_threads == 8
+
+    @pytest.mark.parametrize("t", ["inter", "intra"])
+    def test_np_type(self, t):
+        assert parse_np_pragma(f"np parallel for np_type({t})").np_type == t
+
+    def test_sm_version(self):
+        assert parse_np_pragma("np parallel for sm_version(35)").sm_version == 35
+
+    def test_all_clauses_combined(self):
+        p = parse_np_pragma(
+            "np parallel for reduction(min:d) num_threads(4) "
+            "np_type(intra) sm_version(30) copyin(q)"
+        )
+        assert p.reductions == [("min", "d")]
+        assert p.num_threads == 4
+        assert p.np_type == "intra"
+        assert p.sm_version == 30
+        assert p.copyins == ["q"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "np for",                               # missing 'parallel'
+            "np parallel for reduction(+ sum)",     # missing ':'
+            "np parallel for reduction(^:x)",       # unsupported op
+            "np parallel for np_type(diagonal)",    # bad np_type
+            "np parallel for num_threads(zero)",    # non-integer
+            "np parallel for num_threads(0)",       # < 1
+            "np parallel for bogus(1)",             # unknown clause
+            "np parallel for junk",                 # trailing junk
+            "np parallel for reduction(+:)",        # empty var list
+            "np parallel for reduction(+:2bad)",    # bad identifier
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PragmaError):
+            parse_np_pragma(bad)
+
+    def test_is_np_pragma(self):
+        assert is_np_pragma("np parallel for")
+        assert not is_np_pragma("unroll 4")
+        assert not is_np_pragma("npx parallel")

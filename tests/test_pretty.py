@@ -1,0 +1,120 @@
+"""Pretty-printer tests including the parse -> emit -> parse fixpoint."""
+
+import pytest
+
+from repro.minicuda.build import add, ix, mul, name, ternary
+from repro.minicuda.parser import parse_kernel
+from repro.minicuda.pretty import emit_expr, emit_kernel
+
+ROUND_TRIP_SOURCES = [
+    # The paper's TMV kernel (Fig. 2)
+    """
+    __global__ void tmv(float *a, float *b, float *c, int w, int h) {
+        float sum = 0;
+        int tx = threadIdx.x + blockIdx.x * blockDim.x;
+        #pragma np parallel for reduction(+:sum)
+        for (int i = 0; i < h; i++)
+            sum += a[i*w+tx] * b[i];
+        c[tx] = sum;
+    }
+    """,
+    # Control flow and shared arrays (Fig. 3 shape)
+    """
+    #define BS 16
+    __global__ void peri(float *m, int dim, int off) {
+        __shared__ float row[BS][BS];
+        int tx = threadIdx.x;
+        if (tx < BS) {
+            int idx = tx;
+            #pragma np parallel for num_threads(8) np_type(inter)
+            for (int i = 0; i < BS; i++)
+                row[i][idx] = m[off + i * dim + idx];
+        } else {
+            m[tx] = 0.f;
+        }
+        __syncthreads();
+    }
+    """,
+    # Ternaries, casts, calls, while, break/continue, scan clause
+    """
+    __global__ void misc(float *a, int n) {
+        float x = n > 0 ? sqrtf((float)n) : 0.f;
+        int i = 0;
+        while (i < n) {
+            i++;
+            if (i == 3) continue;
+            if (i > 7) break;
+            a[i] = x + (i % 2 != 0 ? 1.f : -1.f);
+        }
+        float b = 1.f;
+        #pragma np parallel for scan(*:b) copyin(x)
+        for (int j = 0; j < 8; j++)
+            b = b * a[j];
+        a[0] = b;
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("src", ROUND_TRIP_SOURCES, ids=["tmv", "peri", "misc"])
+def test_emit_parse_fixpoint(src):
+    """parse -> emit must be a fixpoint after one normalization step."""
+    once = emit_kernel(parse_kernel(src))
+    twice = emit_kernel(parse_kernel(once))
+    assert once == twice
+
+
+def test_emit_preserves_pragma_clauses():
+    out = emit_kernel(
+        parse_kernel(
+            "__global__ void t(float *a) {\n"
+            "#pragma np parallel for reduction(+:s) scan(*:b) num_threads(4)"
+            " np_type(intra) sm_version(30)\n"
+            "for (int i = 0; i < 4; i++) a[i] = 0;\n}"
+        )
+    )
+    assert "#pragma np parallel for" in out
+    assert "reduction(+:s)" in out
+    assert "scan(*:b)" in out
+    assert "num_threads(4)" in out
+    assert "np_type(intra)" in out
+
+
+def test_minimal_parentheses():
+    assert emit_expr(add(mul("a", "b"), "c")) == "a * b + c"
+    assert emit_expr(mul(add("a", "b"), "c")) == "(a + b) * c"
+
+
+def test_precedence_respects_associativity():
+    from repro.minicuda.build import sub
+
+    # (a - b) - c prints without parens; a - (b - c) needs them
+    left = sub(sub("a", "b"), "c")
+    import repro.minicuda.nodes as n
+
+    right = n.Binary("-", n.Name("a"), n.Binary("-", n.Name("b"), n.Name("c")))
+    assert emit_expr(left) == "a - b - c"
+    assert emit_expr(right) == "a - (b - c)"
+
+
+def test_float_literal_suffix():
+    src = "__global__ void t(float *a) { a[0] = 1.5f + 2.f; }"
+    out = emit_kernel(parse_kernel(src))
+    assert "1.5f" in out
+
+
+def test_const_env_emitted_as_defines():
+    kernel = parse_kernel("__global__ void t(float *a) { a[0] = 0.f; }")
+    kernel.const_env = {"slave_size": 8}
+    assert "#define slave_size 8" in emit_kernel(kernel)
+
+
+def test_register_promoted_array_prints_plain():
+    import repro.minicuda.nodes as n
+
+    kernel = parse_kernel("__global__ void t(float *a) { a[0] = 0.f; }")
+    kernel.body.stmts.insert(
+        0, n.VarDecl("part", n.ArrayType(n.FLOAT, (4,), "reg"))
+    )
+    out = emit_kernel(kernel)
+    assert "float part[4];" in out

@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.cache import CapacityModel
+from repro.gpusim.coalescing import bank_conflict_replays, transactions_for
+from repro.gpusim.device import GTX680
+from repro.gpusim.intrinsics import shfl, shfl_down, shfl_up
+from repro.gpusim.occupancy import ResourceUsage, compute_occupancy
+
+lane_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, width=32),
+    min_size=32,
+    max_size=32,
+)
+widths = st.sampled_from([1, 2, 4, 8, 16, 32])
+
+
+class TestCoalescingProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=32, max_size=32)
+    )
+    def test_transaction_bounds(self, elems):
+        """1 <= transactions <= active lanes, and <= distinct addresses."""
+        addrs = np.asarray(elems, dtype=np.int64) * 4
+        mask = np.ones(32, dtype=bool)
+        txns = transactions_for(addrs, mask)
+        assert 1 <= txns <= 32
+        assert txns <= len(set(elems))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=32, max_size=32),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_masking_fewer_lanes_never_more_transactions(self, elems, keep):
+        addrs = np.asarray(elems, dtype=np.int64) * 4
+        full = np.ones(32, dtype=bool)
+        partial = np.zeros(32, dtype=bool)
+        partial[:keep] = True
+        assert transactions_for(addrs, partial) <= transactions_for(addrs, full)
+
+    @given(st.integers(min_value=0, max_value=1 << 16))
+    def test_uniform_address_one_transaction_zero_conflicts(self, elem):
+        addrs = np.full(32, elem, dtype=np.int64) * 4
+        mask = np.ones(32, dtype=bool)
+        assert transactions_for(addrs, mask) == 1
+        assert bank_conflict_replays(addrs, mask) == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 12), min_size=32, max_size=32)
+    )
+    def test_bank_replays_bounded(self, elems):
+        addrs = np.asarray(elems, dtype=np.int64) * 4
+        mask = np.ones(32, dtype=bool)
+        assert 0 <= bank_conflict_replays(addrs, mask) <= 31
+
+
+class TestShflProperties:
+    @given(lane_values, widths)
+    def test_shfl_is_permutation_of_group_values(self, values, width):
+        vals = np.asarray(values, dtype=np.float32)
+        out = shfl(vals, np.zeros(32, dtype=np.int32), width)
+        for g in range(32 // width):
+            group = set(vals[g * width : (g + 1) * width].tolist())
+            assert set(out[g * width : (g + 1) * width].tolist()) <= group
+
+    @given(lane_values, widths)
+    def test_shfl_zero_broadcasts_group_leader(self, values, width):
+        vals = np.asarray(values, dtype=np.float32)
+        out = shfl(vals, np.zeros(32, dtype=np.int32), width)
+        for g in range(32 // width):
+            assert np.all(out[g * width : (g + 1) * width] == vals[g * width])
+
+    @given(lane_values, st.sampled_from([2, 4, 8, 16, 32]))
+    def test_shfl_down_tree_sums_group(self, values, width):
+        vals = np.asarray(values, dtype=np.float32)
+        acc = vals.astype(np.float64).copy().astype(np.float32)
+        off = width // 2
+        while off >= 1:
+            acc = acc + shfl_down(acc, off, width)
+            off //= 2
+        for g in range(32 // width):
+            expected = vals[g * width : (g + 1) * width].astype(np.float64).sum()
+            assert acc[g * width] == pytest.approx(expected, rel=1e-3, abs=1e-2)
+
+    @given(lane_values, st.sampled_from([2, 4, 8, 16, 32]))
+    def test_hillis_steele_matches_cumsum(self, values, width):
+        vals = np.asarray(values, dtype=np.float32)
+        acc = vals.copy()
+        lane_in_group = np.arange(32) % width
+        d = 1
+        while d < width:
+            t = shfl_up(acc, d, width)
+            acc = np.where(lane_in_group >= d, acc + t, acc)
+            d *= 2
+        ref = vals.reshape(-1, width).astype(np.float64).cumsum(axis=1).reshape(-1)
+        assert np.allclose(acc, ref, rtol=1e-3, atol=1e-2)
+
+
+class TestOccupancyProperties:
+    @given(
+        st.integers(min_value=32, max_value=1024),
+        st.integers(min_value=4, max_value=255),
+        st.integers(min_value=0, max_value=48 * 1024),
+    )
+    def test_blocks_within_hardware_bounds(self, threads, reg, shared):
+        occ = compute_occupancy(
+            GTX680, threads, ResourceUsage(reg * 4, shared, 0)
+        )
+        assert 0 <= occ.blocks_per_smx <= GTX680.max_blocks_per_smx
+        assert occ.threads_per_smx <= GTX680.max_threads_per_smx
+        assert occ.warps_per_smx() <= GTX680.max_warps_per_smx
+
+    @given(st.integers(min_value=32, max_value=512))
+    @settings(max_examples=25)
+    def test_monotone_in_registers(self, threads):
+        prev = None
+        for reg_bytes in (16, 64, 128, 252):
+            occ = compute_occupancy(GTX680, threads, ResourceUsage(reg_bytes, 0, 0))
+            if prev is not None:
+                assert occ.blocks_per_smx <= prev
+            prev = occ.blocks_per_smx
+
+
+class TestCacheProperties:
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=4096),
+    )
+    def test_hit_rate_in_unit_interval(self, local_bytes, threads):
+        m = CapacityModel(16 * 1024)
+        assert 0.0 <= m.hit_rate(local_bytes, threads) <= 1.0
+
+    @given(st.integers(min_value=1, max_value=2048))
+    def test_smaller_footprint_never_worse(self, threads):
+        m = CapacityModel(16 * 1024)
+        assert m.hit_rate(100, threads) >= m.hit_rate(600, threads)
+
+
+class TestFrontEndProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=8
+        ),
+        st.sampled_from(["+", "*", "-"]),
+    )
+    @settings(max_examples=50)
+    def test_const_eval_matches_python(self, ints, op):
+        from repro.minicuda.parser import const_eval, parse_kernel
+
+        expr_src = f" {op} ".join(str(v) for v in ints)
+        kernel = parse_kernel(
+            f"__global__ void t(float *a) {{ a[0] = (float)({expr_src}); }}"
+        )
+        cast = kernel.body.stmts[0].value
+        got = const_eval(cast.expr)
+        assert got == eval(expr_src)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50)
+    def test_int_literal_round_trip(self, value):
+        from repro.minicuda.parser import parse_kernel
+        from repro.minicuda.pretty import emit_kernel
+
+        src = f"__global__ void t(int *o) {{ o[0] = {value}; }}"
+        out = emit_kernel(parse_kernel(src))
+        assert str(value) in out
+
+
+class TestTransformProperty:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.sampled_from([2, 3, 4, 8]),
+        st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_distribution_covers_all_iterations(self, trip, slave_size, padded):
+        """Any (trip count, slave count, padding) combination processes each
+        iteration exactly once — checked via an order-insensitive sum."""
+        from repro.gpusim.launch import run_kernel
+        from repro.npc.autotune import launch_variant
+        from repro.npc.config import NpConfig
+        from repro.npc.pipeline import compile_np
+
+        src = f"""
+        __global__ void t(float *a, float *o, int n) {{
+            int tid = threadIdx.x;
+            float s = 0;
+            #pragma np parallel for reduction(+:s)
+            for (int i = 0; i < n; i++)
+                s += a[tid * 40 + i];
+            o[tid] = s;
+        }}
+        """
+        rng = np.random.default_rng(trip * 100 + slave_size)
+        data = rng.integers(1, 100, 32 * 40).astype(np.float32)
+
+        def args():
+            return dict(a=data.copy(), o=np.zeros(32, np.float32), n=trip)
+
+        base = run_kernel(src, 1, 32, args())
+        config = NpConfig(slave_size=slave_size, np_type="inter", padded=padded)
+        variant = compile_np(src, 32, config)
+        res = launch_variant(variant, 1, args())
+        np.testing.assert_allclose(
+            res.buffer("o"), base.buffer("o"), rtol=1e-4
+        )

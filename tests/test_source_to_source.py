@@ -1,0 +1,73 @@
+"""End-to-end source-to-source guarantees.
+
+The compiler's output is *source*: for every benchmark, the transformed
+kernel must pretty-print to text that re-parses, and the re-parsed kernel
+must produce identical simulation results (the printed artifact is the real
+artifact, not a lossy view).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import BENCHMARKS
+from repro.minicuda.parser import parse, parse_kernel
+from repro.minicuda.pretty import emit_kernel
+from repro.npc.autotune import launch_variant
+from repro.npc.config import NpConfig
+
+CONFIG = NpConfig(slave_size=4, np_type="inter")
+NAMES = list(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_variant_source_reparses(name):
+    bench = BENCHMARKS[name]()
+    variant = bench.compile_variant(CONFIG)
+    text = emit_kernel(variant.kernel)
+    program = parse(text)
+    assert variant.kernel.name in program.kernels
+
+
+@pytest.mark.parametrize("name", ["TMV", "LE", "LIB", "BK"])
+def test_reparsed_variant_runs_identically(name):
+    """Pretty-print -> reparse -> run must equal the direct AST run."""
+    bench = BENCHMARKS[name]()
+    variant = bench.compile_variant(CONFIG)
+
+    direct = launch_variant(
+        variant,
+        bench.grid,
+        bench.make_args(),
+        const_arrays=bench.const_arrays(),
+    )
+
+    # Round-trip through source.  The #define lines re-inline the constants.
+    reparsed = parse_kernel(emit_kernel(variant.kernel))
+    variant_rt = type(variant)(
+        kernel=reparsed,
+        config=variant.config,
+        master_size=variant.master_size,
+        block=variant.block,
+        extra_buffers=variant.extra_buffers,
+        const_arrays=variant.const_arrays,
+    )
+    roundtrip = launch_variant(
+        variant_rt,
+        bench.grid,
+        bench.make_args(),
+        const_arrays=bench.const_arrays(),
+    )
+
+    for param in direct.gmem.buffers():
+        np.testing.assert_array_equal(
+            direct.buffer(param), roundtrip.buffer(param), err_msg=param
+        )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_baseline_source_round_trip_fixpoint(name):
+    """Benchmark sources themselves are emit/parse fixpoints."""
+    bench = BENCHMARKS[name]()
+    once = emit_kernel(bench.kernel)
+    twice = emit_kernel(parse_kernel(once))
+    assert once == twice
