@@ -18,7 +18,7 @@ from . import (
     sec6_dynpar_slowdown,
     table1_characteristics,
 )
-from .util import ExperimentResult, format_table, geomean
+from .util import ExperimentResult, describe_failure, format_table, geomean
 
 EXPERIMENTS = {
     "fig01": fig01_dynpar_memcopy.run,
@@ -35,13 +35,33 @@ EXPERIMENTS = {
 
 
 def run_all(fast: bool = False, only: list[str] | None = None) -> list[ExperimentResult]:
-    """Run every experiment (or the selected ids) and return the results."""
+    """Run every experiment (or the selected ids) and return the results.
+
+    Containment: a fault inside one experiment degrades that experiment to
+    a failure record — the remaining experiments still run and report.
+    """
     results = []
     for exp_id, fn in EXPERIMENTS.items():
         if only and exp_id not in only:
             continue
-        results.append(fn(fast=fast))
+        try:
+            results.append(fn(fast=fast))
+        except Exception as exc:
+            failed = ExperimentResult(
+                exp_id=exp_id,
+                title="experiment failed (remaining experiments unaffected)",
+                headers=["experiment", "status"],
+            )
+            failed.add_failure(exp_id, exc)
+            results.append(failed)
     return results
 
 
-__all__ = ["EXPERIMENTS", "run_all", "ExperimentResult", "format_table", "geomean"]
+__all__ = [
+    "EXPERIMENTS",
+    "run_all",
+    "ExperimentResult",
+    "describe_failure",
+    "format_table",
+    "geomean",
+]

@@ -8,6 +8,7 @@ compared with the baseline's.  The paper reports speedups from 1.36× to
 
 from __future__ import annotations
 
+from ..gpusim.errors import SimError
 from ..kernels import BENCHMARKS
 from .scales import paper_scale
 from .util import ExperimentResult, geomean
@@ -28,13 +29,17 @@ def run(fast: bool = False) -> ExperimentResult:
     speedups = []
     for name in BENCHMARKS:
         bench, sample = paper_scale(name, fast=fast)
-        report = bench.autotune(
-            configs=bench.configs(slave_sizes=sizes),
-            check=False,              # sampled launches: outputs are partial
-            sample_blocks=sample,
-        )
-        best = report.best
-        speedup = report.best_speedup
+        try:
+            report = bench.autotune(
+                configs=bench.configs(slave_sizes=sizes),
+                check=False,          # sampled launches: outputs are partial
+                sample_blocks=sample,
+            )
+            best = report.best      # RuntimeError when every variant faulted
+            speedup = report.best_speedup
+        except (SimError, RuntimeError) as exc:
+            result.add_failure(name, exc)
+            continue
         speedups.append(speedup)
         result.rows.append(
             [

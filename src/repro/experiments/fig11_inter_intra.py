@@ -10,10 +10,11 @@ better.
 
 from __future__ import annotations
 
+from ..gpusim.errors import SimError
 from ..kernels import BENCHMARKS
 from ..npc.config import INTRA_WARP_SLAVE_SIZES, NpConfig
 from .scales import paper_scale
-from .util import ExperimentResult
+from .util import ExperimentResult, describe_failure
 
 SLAVE_SIZES = (2, 4, 8, 16, 32)
 
@@ -33,7 +34,11 @@ def run(fast: bool = False) -> ExperimentResult:
     winners: dict[str, str] = {}
     for name in BENCHMARKS:
         bench, sample = paper_scale(name, fast=fast)
-        base = bench.run_baseline(sample_blocks=sample)
+        try:
+            base = bench.run_baseline(sample_blocks=sample)
+        except SimError as exc:
+            result.add_failure(name, exc)
+            continue
         row: list[object] = [name]
         best_by_type = {"inter": 0.0, "intra": 0.0}
         for np_type in ("inter", "intra"):
@@ -52,6 +57,12 @@ def run(fast: bool = False) -> ExperimentResult:
                 )
                 try:
                     res = bench.run_variant(config, sample_blocks=sample)
+                except SimError as exc:
+                    row.append("fault")
+                    result.failures.append(
+                        f"{name} {np_type}-S{s}: {describe_failure(exc)}"
+                    )
+                    continue
                 except Exception:
                     row.append("err")
                     continue

@@ -11,7 +11,9 @@ arrays leave shared, etc.
 
 from __future__ import annotations
 
+from ..gpusim.errors import SimError
 from ..kernels import BENCHMARKS
+from ..minicuda.errors import MiniCudaError
 from ..npc.config import NpConfig
 from .util import ExperimentResult
 
@@ -46,13 +48,17 @@ def run(fast: bool = False) -> ExperimentResult:
         ],
     )
     for name, cls in BENCHMARKS.items():
-        bench = cls()
-        ch = bench.characteristics
-        bl = bench.resource_report()
-        threads_bl = bench.flat_block_size
-        variant = bench.compile_variant(DEFAULT_OPT)
-        opt = bench.variant_resource_report(DEFAULT_OPT)
-        threads_opt = variant.threads_per_block
+        try:
+            bench = cls()
+            ch = bench.characteristics
+            bl = bench.resource_report()
+            threads_bl = bench.flat_block_size
+            variant = bench.compile_variant(DEFAULT_OPT)
+            opt = bench.variant_resource_report(DEFAULT_OPT)
+            threads_opt = variant.threads_per_block
+        except (SimError, MiniCudaError) as exc:
+            result.add_failure(name, exc)
+            continue
         result.rows.append(
             [
                 name,

@@ -6,6 +6,23 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from ..gpusim.diagnostics import FaultReport
+from ..gpusim.errors import SimError
+
+
+def describe_failure(exc: BaseException) -> str:
+    """One-line failure summary, located when the simulator knows where."""
+    if isinstance(exc, SimError):
+        return FaultReport.from_exception(exc).summary()
+    return f"{type(exc).__name__}: {exc}"
+
+
+def failure_row(name: str, reason: str, n_cols: int) -> list[object]:
+    """A degraded table row standing in for a benchmark that faulted."""
+    row: list[object] = [name, f"FAILED: {reason}"]
+    row.extend("-" for _ in range(n_cols - len(row)))
+    return row[:n_cols]
+
 
 def geomean(values: Iterable[float]) -> float:
     vals = [v for v in values if v > 0]
@@ -60,6 +77,15 @@ class ExperimentResult:
     #: (description, paper value, measured value).
     paper_anchors: list[tuple[str, str, str]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: "name: reason" for every benchmark that faulted instead of producing
+    #: a real row.  Faults degrade single rows; they never abort the table.
+    failures: list[str] = field(default_factory=list)
+
+    def add_failure(self, name: str, exc: BaseException) -> None:
+        """Record a faulted benchmark as a degraded row + failure note."""
+        reason = describe_failure(exc)
+        self.rows.append(failure_row(name, reason, len(self.headers)))
+        self.failures.append(f"{name}: {reason}")
 
     def format(self) -> str:
         out = [format_table(self.headers, self.rows, title=f"{self.exp_id}: {self.title}")]
@@ -68,6 +94,8 @@ class ExperimentResult:
             out.append("paper anchors (paper -> measured):")
             for desc, paper, measured in self.paper_anchors:
                 out.append(f"  {desc}: {paper} -> {measured}")
+        for failure in self.failures:
+            out.append(f"failure: {failure}")
         for note in self.notes:
             out.append(f"note: {note}")
         return "\n".join(out)

@@ -12,17 +12,23 @@ The substrate that stands in for the paper's GTX 680 / K20c hardware:
 - :mod:`~repro.gpusim.launch` — host-side launch API
 - :mod:`~repro.gpusim.dynpar` — dynamic-parallelism overhead model
 - :mod:`~repro.gpusim.report` — nvprof-style kernel profiles
+- :mod:`~repro.gpusim.diagnostics` — located faults, sanitizer reports
+- :mod:`~repro.gpusim.faults` — deterministic fault injection
 """
 
 from .device import FERMI, GTX680, K20C, DeviceSpec
+from .diagnostics import FaultContext, FaultReport, render_report
 from .errors import (
     DivergenceError,
+    DynParError,
+    InjectedFault,
     IntrinsicError,
     LaunchError,
     MemoryFault,
     SimError,
     SyncError,
 )
+from .faults import FaultInjector, FaultSpec, InjectionRecord
 from .launch import LaunchResult, launch, run_kernel
 from .report import compare_report, profile_report
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy

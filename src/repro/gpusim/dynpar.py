@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 
 from .device import DeviceSpec, K20C
+from .errors import DynParError
 from .launch import LaunchResult
 
 
@@ -60,7 +61,7 @@ class DynParModel:
     def memcopy_time_s(self, total_floats: int, num_launches: int) -> float:
         """Copy ``total_floats`` via ``num_launches`` child kernels."""
         if num_launches < 1:
-            raise ValueError("need at least one launch")
+            raise DynParError("need at least one launch")
         bytes_moved = total_floats * 4 * 2  # read + write
         copy_time = bytes_moved / (self.enabled_bandwidth_gbs * 1e9)
         per_child = max(
@@ -116,6 +117,12 @@ class DynParModel:
         ``parallel_fraction`` is the share of baseline time spent in the
         pragma-marked loops (which DP offloads to child kernels).
         """
+        error = getattr(baseline, "error", None)
+        if error is not None:
+            raise DynParError(
+                "cannot model dynamic parallelism on a failed baseline launch: "
+                + error.summary()
+            )
         base = baseline.timing.seconds
         seq = base * (1.0 - parallel_fraction)
         work = base * parallel_fraction

@@ -1,10 +1,42 @@
-"""Runtime errors raised by the GPU simulator."""
+"""Runtime errors raised by the GPU simulator.
+
+Every :class:`SimError` can carry a structured
+:class:`~repro.gpusim.diagnostics.FaultContext` (attached by the
+interpreter at the fault site) so the host runtime can render a
+compute-sanitizer-style report pointing at the exact kernel, block,
+thread, and source line.  Subclasses add fault-specific structured
+fields (memory space, buffer name, offending index, ...) that the
+context builder folds into the report.
+"""
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 
 class SimError(Exception):
-    """Base class for simulator failures."""
+    """Base class for simulator failures.
+
+    ``ctx`` is a :class:`~repro.gpusim.diagnostics.FaultContext` (or None
+    until the interpreter locates the fault).  ``message`` is preserved
+    unadorned in :attr:`message`; ``str()`` appends the located context.
+    """
+
+    def __init__(self, message: str, *, ctx=None):
+        super().__init__(message)
+        self.message = message
+        self.ctx = ctx
+
+    def __str__(self) -> str:
+        if self.ctx is not None:
+            return f"{self.message} [{self.ctx.where()}]"
+        return self.message
+
+    def attach(self, ctx) -> "SimError":
+        """Attach a fault context (first one wins) and return self."""
+        if self.ctx is None:
+            self.ctx = ctx
+        return self
 
 
 class LaunchError(SimError):
@@ -12,7 +44,34 @@ class LaunchError(SimError):
 
 
 class MemoryFault(SimError):
-    """Out-of-bounds or ill-typed access to a simulated memory."""
+    """Out-of-bounds or ill-typed access to a simulated memory.
+
+    Structured fields (all optional) locate the access for diagnostics:
+    ``space`` is one of ``global``/``shared``/``local``/``constant``,
+    ``buffer`` the allocation name, ``index`` the first offending element
+    index, ``limit`` the allocation's element count, ``address`` the
+    simulated byte address, and ``lanes`` the warp lanes that faulted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        space: Optional[str] = None,
+        buffer: Optional[str] = None,
+        index: Optional[int] = None,
+        limit: Optional[int] = None,
+        address: Optional[int] = None,
+        lanes: Sequence[int] = (),
+        ctx=None,
+    ):
+        super().__init__(message, ctx=ctx)
+        self.space = space
+        self.buffer = buffer
+        self.index = index
+        self.limit = limit
+        self.address = address
+        self.lanes = tuple(int(l) for l in lanes)
 
 
 class DivergenceError(SimError):
@@ -20,8 +79,28 @@ class DivergenceError(SimError):
 
 
 class SyncError(SimError):
-    """``__syncthreads`` reached by only part of a thread block."""
+    """``__syncthreads`` reached by only part of a thread block.
+
+    ``lanes`` names the warp lanes that *missed* the barrier (divergent or
+    injected), when the interpreter can identify them.
+    """
+
+    def __init__(self, message: str, *, lanes: Sequence[int] = (), ctx=None):
+        super().__init__(message, ctx=ctx)
+        self.lanes = tuple(int(l) for l in lanes)
 
 
 class IntrinsicError(SimError):
     """Unknown or mis-used device intrinsic."""
+
+
+class DynParError(SimError, ValueError):
+    """Invalid use of the dynamic-parallelism cost model.
+
+    Also a ``ValueError`` for backward compatibility with callers that
+    validated model inputs before the hardened error taxonomy existed.
+    """
+
+
+class InjectedFault(SimError):
+    """Raised when a :mod:`repro.gpusim.faults` injector drops a launch."""

@@ -49,7 +49,8 @@ from ..minicuda.nodes import (
     walk,
 )
 from . import coalescing
-from .errors import IntrinsicError, MemoryFault, SimError, SyncError
+from .diagnostics import FaultContext, lanes_to_mask
+from .errors import InjectedFault, IntrinsicError, MemoryFault, SimError, SyncError
 from .intrinsics import (
     BINOP_WEIGHTS,
     DEFAULT_BINOP_WEIGHT,
@@ -98,7 +99,14 @@ class _LoopFrame:
 
 
 class WarpContext:
-    """All per-warp interpreter state."""
+    """All per-warp interpreter state.
+
+    Besides the execution state proper, the context tracks *where* the warp
+    currently is (source location of the executing statement, the active
+    mask it runs under, and its block/warp coordinates) so any fault raised
+    mid-execution can be located precisely, and carries the optional fault
+    injector consulted at the interpreter's hook points.
+    """
 
     def __init__(
         self,
@@ -106,6 +114,15 @@ class WarpContext:
         init_mask: np.ndarray,
         stats: KernelStats,
         trace: AccessTrace,
+        kernel_name: str = "?",
+        block_idx: Optional[tuple[int, int, int]] = None,
+        block_dim: Optional[tuple[int, int, int]] = None,
+        grid_dim: Optional[tuple[int, int, int]] = None,
+        warp_idx: int = 0,
+        linear_block: Optional[int] = None,
+        injector=None,
+        provenance: Optional[str] = None,
+        synccheck: bool = False,
     ):
         self.env = env
         self.init_mask = init_mask
@@ -114,6 +131,83 @@ class WarpContext:
         self.loop_stack: list[_LoopFrame] = []
         self.stats = stats
         self.trace = trace
+        self.kernel_name = kernel_name
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.warp_idx = warp_idx
+        self.linear_block = linear_block
+        self.injector = injector
+        self.provenance = provenance
+        self.synccheck = synccheck
+        #: Source location of the statement currently executing.
+        self.current_loc = None
+        #: Active mask the current statement runs under.
+        self.current_mask = init_mask
+
+    # -- located diagnostics -------------------------------------------------
+
+    def make_context(
+        self,
+        lanes=(),
+        space=None,
+        buffer=None,
+        index=None,
+        limit=None,
+        address=None,
+        injected=False,
+    ) -> FaultContext:
+        """Snapshot this warp's position as a :class:`FaultContext`."""
+        lanes = tuple(int(l) for l in lanes)
+        active = np.nonzero(self.current_mask)[0] if self.current_mask is not None else []
+        lane = lanes[0] if lanes else (int(active[0]) if len(active) else None)
+        thread_idx = None
+        if lane is not None:
+            try:
+                thread_idx = (
+                    int(self.env["threadIdx.x"][lane]),
+                    int(self.env["threadIdx.y"][lane]),
+                    int(self.env["threadIdx.z"][lane]),
+                )
+            except (KeyError, TypeError, IndexError):
+                thread_idx = None
+        loc = self.current_loc
+        return FaultContext(
+            kernel=self.kernel_name,
+            grid=self.grid_dim,
+            block_dim=self.block_dim,
+            block_idx=self.block_idx,
+            warp=self.warp_idx,
+            lane=lane,
+            thread_idx=thread_idx,
+            active_mask=lanes_to_mask(active),
+            line=(loc.line or None) if loc is not None else None,
+            col=(loc.col or None) if loc is not None else None,
+            space=space,
+            buffer=buffer,
+            index=index,
+            limit=limit,
+            address=address,
+            lanes=lanes,
+            provenance=self.provenance,
+            injected=injected,
+        )
+
+    def fault_context(self, exc: SimError) -> FaultContext:
+        """Locate ``exc`` at this warp's current position, folding in any
+        structured fields the exception carries (memory space, lanes, ...)."""
+        injected = isinstance(exc, InjectedFault) or (
+            self.injector is not None and self.injector.was_planted(exc)
+        )
+        return self.make_context(
+            lanes=getattr(exc, "lanes", ()) or (),
+            space=getattr(exc, "space", None),
+            buffer=getattr(exc, "buffer", None),
+            index=getattr(exc, "index", None),
+            limit=getattr(exc, "limit", None),
+            address=getattr(exc, "address", None),
+            injected=injected,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -302,6 +396,8 @@ def _pointer_arith(op: str, lhs, rhs) -> PointerValue:
 
 
 def _eval_load(ctx: WarpContext, expr: Index, mask: np.ndarray):
+    if expr.loc is not None and expr.loc.line:
+        ctx.current_loc = expr.loc
     root_expr, index_exprs = _resolve_index_chain(expr)
     root = eval_expr(ctx, root_expr, mask)
     indices = [
@@ -312,25 +408,40 @@ def _eval_load(ctx: WarpContext, expr: Index, mask: np.ndarray):
 
 def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.ndarray):
     stats = ctx.stats
+    inj = ctx.injector
     if isinstance(root, PointerValue):
         if len(indices) != 1:
             raise MemoryFault("global pointers are 1-D; use manual 2-D math")
         offsets = root.offsets + indices[0]
+        if inj is not None:
+            offsets = inj.corrupt_index(
+                ctx, "global", root.buffer.name, offsets, mask, root.buffer.size
+            )
         addrs = root.buffer.byte_addrs(offsets)
+        if inj is not None:
+            addrs = inj.corrupt_addrs(ctx, "global", root.buffer.name, addrs, mask)
         txns = coalescing.transactions_for(addrs, mask)
         stats.global_load_insts += 1
         stats.global_transactions += txns
         if not coalescing.is_fully_coalesced(addrs, mask, root.buffer.itemsize):
             stats.uncoalesced_accesses += 1
         ctx.trace.record_global(root.buffer.name, txns, int(mask.sum()))
-        return root.buffer.load(offsets, mask)
+        value = root.buffer.load(offsets, mask)
+        if inj is not None:
+            value = inj.flip_bits(ctx, "global", root.buffer.name, value, mask)
+        return value
     if isinstance(root, SharedArray):
         flat = root.flat_index(indices)
+        if inj is not None:
+            flat = inj.corrupt_index(ctx, "shared", root.name, flat, mask, root.numel)
         stats.shared_load_insts += 1
         replays = coalescing.bank_conflict_replays(root.byte_addrs(flat), mask)
         stats.shared_bank_replays += replays
         ctx.trace.record_shared(root.name, replays)
-        return root.load(flat, mask)
+        value = root.load(flat, mask)
+        if inj is not None:
+            value = inj.flip_bits(ctx, "shared", root.name, value, mask)
+        return value
     if isinstance(root, LocalArray):
         if len(indices) != 1:
             raise MemoryFault("local arrays are 1-D in this subset")
@@ -358,12 +469,19 @@ def _store_object(
     ctx: WarpContext, root, indices: list[np.ndarray], mask: np.ndarray, values
 ) -> None:
     stats = ctx.stats
+    inj = ctx.injector
     values = np.asarray(values)
     if isinstance(root, PointerValue):
         if len(indices) != 1:
             raise MemoryFault("global pointers are 1-D; use manual 2-D math")
         offsets = root.offsets + indices[0]
+        if inj is not None:
+            offsets = inj.corrupt_index(
+                ctx, "global", root.buffer.name, offsets, mask, root.buffer.size
+            )
         addrs = root.buffer.byte_addrs(offsets)
+        if inj is not None:
+            addrs = inj.corrupt_addrs(ctx, "global", root.buffer.name, addrs, mask)
         txns = coalescing.transactions_for(addrs, mask)
         stats.global_store_insts += 1
         stats.global_transactions += txns
@@ -374,6 +492,8 @@ def _store_object(
         return
     if isinstance(root, SharedArray):
         flat = root.flat_index(indices)
+        if inj is not None:
+            flat = inj.corrupt_index(ctx, "shared", root.name, flat, mask, root.numel)
         stats.shared_store_insts += 1
         replays = coalescing.bank_conflict_replays(root.byte_addrs(flat), mask)
         stats.shared_bank_replays += replays
@@ -401,6 +521,8 @@ def _store_object(
 def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
     stats = ctx.stats
     func = expr.func
+    if expr.loc is not None and expr.loc.line:
+        ctx.current_loc = expr.loc
     if func == "__syncthreads":
         raise SimError("__syncthreads() must be a standalone statement")
     if func in ("__shfl", "__shfl_down", "__shfl_up"):
@@ -412,6 +534,8 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
         width = int(width_arr[0])
         stats.shfl_insts += 1
         if func == "__shfl":
+            if ctx.injector is not None:
+                lane = ctx.injector.corrupt_shfl_lane(ctx, _broadcast(lane), width)
             return shfl(var, lane, width)
         if func == "__shfl_down":
             return shfl_down(var, int(lane[0]), width)
@@ -486,6 +610,9 @@ def exec_block(ctx: WarpContext, body: Block, mask: np.ndarray) -> Iterator:
 
 def exec_stmt(ctx: WarpContext, stmt: Stmt, mask: np.ndarray) -> Iterator:
     stats = ctx.stats
+    if stmt.loc is not None and stmt.loc.line:
+        ctx.current_loc = stmt.loc
+    ctx.current_mask = mask
     if isinstance(stmt, VarDecl):
         _exec_decl(ctx, stmt, mask)
     elif isinstance(stmt, Assign):
@@ -493,7 +620,39 @@ def exec_stmt(ctx: WarpContext, stmt: Stmt, mask: np.ndarray) -> Iterator:
     elif isinstance(stmt, ExprStmt):
         if isinstance(stmt.expr, Call) and stmt.expr.func == "__syncthreads":
             stats.syncthreads += 1
-            yield "sync"
+            sync_mask = mask
+            if ctx.injector is not None:
+                skip = ctx.injector.sync_skip_lanes(ctx, sync_mask)
+                if skip is not None:
+                    sync_mask = sync_mask & ~skip
+            # A withheld lane is always a fault: lanes that executed this
+            # statement did not all arrive (only injection can cause this).
+            withheld = mask & ~sync_mask
+            if withheld.any():
+                lanes = np.nonzero(withheld)[0].tolist()
+                raise SyncError(
+                    f"lanes {lanes} of warp {ctx.warp_idx} missed the "
+                    "barrier: __syncthreads reached by only part of the warp",
+                    lanes=lanes,
+                )
+            if ctx.synccheck:
+                # compute-sanitizer synccheck semantics: every non-exited
+                # lane must be active at the barrier.  The default matches
+                # pre-Volta hardware — a warp's arrival at *any* barrier
+                # counts for the whole warp — which the paper's generated
+                # master/slave kernels rely on (barriers under `if (master)`
+                # divergence).
+                expected = ctx.init_mask & ~ctx.returned
+                missing = expected & ~mask
+                if missing.any():
+                    lanes = np.nonzero(missing)[0].tolist()
+                    raise SyncError(
+                        "__syncthreads reached by only part of the thread "
+                        f"block: lanes {lanes} of warp {ctx.warp_idx} are "
+                        "divergence-parked at this barrier",
+                        lanes=lanes,
+                    )
+            yield ("sync", stmt.loc.line if stmt.loc is not None else 0)
         else:
             eval_expr(ctx, stmt.expr, mask)
     elif isinstance(stmt, Block):
@@ -695,6 +854,9 @@ class BlockExecutor:
         base_env: dict,
         stats: KernelStats,
         trace: Optional[AccessTrace] = None,
+        injector=None,
+        linear_block: Optional[int] = None,
+        synccheck: bool = False,
     ):
         self.kernel = kernel
         self.block_idx = block_idx
@@ -703,6 +865,9 @@ class BlockExecutor:
         self.base_env = base_env
         self.stats = stats
         self.trace = trace or AccessTrace()
+        self.injector = injector
+        self.linear_block = linear_block
+        self.synccheck = synccheck
         self.shared: dict[str, SharedArray] = {}
         self._alloc_shared()
 
@@ -755,28 +920,60 @@ class BlockExecutor:
         bx, by, bz = self.block_dim
         total = bx * by * bz
         num_warps = (total + WARP_SIZE - 1) // WARP_SIZE
-        gens = []
+        warps: list[tuple[WarpContext, Iterator]] = []
         for w in range(num_warps):
             env, mask = self._warp_env(w)
-            ctx = WarpContext(env, mask, self.stats, self.trace)
-            gens.append(exec_block(ctx, self.kernel.body, mask))
+            ctx = WarpContext(
+                env,
+                mask,
+                self.stats,
+                self.trace,
+                kernel_name=self.kernel.name,
+                block_idx=self.block_idx,
+                block_dim=self.block_dim,
+                grid_dim=self.grid_dim,
+                warp_idx=w,
+                provenance=getattr(self.kernel, "provenance", None),
+                linear_block=self.linear_block,
+                injector=self.injector,
+                synccheck=self.synccheck,
+            )
+            warps.append((ctx, exec_block(ctx, self.kernel.body, mask)))
         self.stats.blocks_executed += 1
         self.stats.warps_executed += num_warps
         self.stats.threads_launched += total
 
-        alive = gens
+        alive = warps
         while alive:
             still_alive = []
-            synced = 0
-            for gen in alive:
+            arrivals: list[tuple[WarpContext, int]] = []
+            for wctx, gen in alive:
                 try:
                     event = next(gen)
                 except StopIteration:
                     continue
-                if event != "sync":  # pragma: no cover - defensive
-                    raise SyncError(f"unexpected warp event {event!r}")
-                synced += 1
-                still_alive.append(gen)
-            if still_alive and synced != len(still_alive):  # pragma: no cover
-                raise SyncError("warps disagreed on __syncthreads count")
+                except SimError as exc:
+                    # Locate the fault at the warp's current position before
+                    # it unwinds into the host runtime.
+                    raise exc.attach(wctx.fault_context(exc))
+                if not (isinstance(event, tuple) and event[0] == "sync"):
+                    raise SyncError(
+                        f"unexpected warp event {event!r}",
+                        ctx=wctx.make_context(),
+                    )  # pragma: no cover - defensive
+                arrivals.append((wctx, event[1]))
+                still_alive.append((wctx, gen))
+            # Under synccheck, all running warps must wait at the *same*
+            # barrier; mixed source lines mean the block's barriers slipped
+            # out of alignment.  The default (hardware) semantics treat any
+            # __syncthreads arrival as the one block-wide barrier.
+            if arrivals and self.synccheck:
+                lines = sorted({line for _, line in arrivals})
+                if len(lines) > 1:
+                    wctx = arrivals[0][0]
+                    raise SyncError(
+                        "warps arrived at different __syncthreads barriers "
+                        f"(source lines {lines})",
+                        ctx=wctx.make_context(),
+                    )
             alive = still_alive

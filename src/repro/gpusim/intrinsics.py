@@ -71,14 +71,21 @@ BINOP_WEIGHTS: dict[str, float] = {
 DEFAULT_BINOP_WEIGHT = 1.0
 
 
+def _check_width(func: str, lane_size: int, warp_size: int) -> None:
+    """Shuffle widths must be a power of two no larger than the warp."""
+    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
+        raise IntrinsicError(
+            f"{func} width must be a power of two <= {warp_size}, got {lane_size}"
+        )
+
+
 def shfl(values: np.ndarray, lane_id: np.ndarray, lane_size: int, warp_size: int = 32) -> np.ndarray:
     """Kepler ``__shfl(var, laneID, laneSize)`` (paper §2.1).
 
     The warp is partitioned into groups of ``lane_size`` threads; every lane
     reads ``var`` from the thread at position ``laneID`` *within its group*.
     """
-    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
-        raise IntrinsicError(f"__shfl laneSize must be a power of two <= {warp_size}")
+    _check_width("__shfl", lane_size, warp_size)
     lanes = np.arange(warp_size)
     src = (lanes // lane_size) * lane_size + np.asarray(lane_id) % lane_size
     return values[src]
@@ -86,8 +93,7 @@ def shfl(values: np.ndarray, lane_id: np.ndarray, lane_size: int, warp_size: int
 
 def shfl_down(values: np.ndarray, delta: int, lane_size: int, warp_size: int = 32) -> np.ndarray:
     """``__shfl_down(var, delta, width)`` — read from lane + delta in group."""
-    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
-        raise IntrinsicError(f"__shfl_down width must be a power of two <= {warp_size}")
+    _check_width("__shfl_down", lane_size, warp_size)
     lanes = np.arange(warp_size)
     group = lanes // lane_size
     pos = lanes % lane_size + int(delta)
@@ -99,8 +105,7 @@ def shfl_down(values: np.ndarray, delta: int, lane_size: int, warp_size: int = 3
 
 def shfl_up(values: np.ndarray, delta: int, lane_size: int, warp_size: int = 32) -> np.ndarray:
     """``__shfl_up(var, delta, width)`` — read from lane - delta in group."""
-    if lane_size <= 0 or lane_size > warp_size or (lane_size & (lane_size - 1)):
-        raise IntrinsicError(f"__shfl_up width must be a power of two <= {warp_size}")
+    _check_width("__shfl_up", lane_size, warp_size)
     lanes = np.arange(warp_size)
     group = lanes // lane_size
     pos = lanes % lane_size - int(delta)

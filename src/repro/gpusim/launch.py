@@ -5,6 +5,16 @@ global buffers for array arguments, runs every thread block through the SIMT
 interpreter (optionally sampling blocks for very large grids), and combines
 the collected statistics with the occupancy calculator and the Hong–Kim
 timing model into a :class:`LaunchResult`.
+
+Error model (CUDA-style).  A faulting launch behaves like a sticky per-launch
+device error: with ``on_error="raise"`` (the default) the enriched
+:class:`~repro.gpusim.errors.SimError` — carrying a located
+:class:`~repro.gpusim.diagnostics.FaultContext` — propagates to the caller;
+with ``on_error="status"`` the launch *returns* and the result's
+:attr:`LaunchResult.error` holds a :class:`~repro.gpusim.diagnostics.FaultReport`
+the way ``cudaGetLastError`` + ``compute-sanitizer`` would describe it.
+``faults`` accepts a :class:`~repro.gpusim.faults.FaultInjector` consulted at
+every interpreter hook point.
 """
 
 from __future__ import annotations
@@ -18,7 +28,8 @@ import numpy as np
 from ..minicuda.nodes import Kernel, PointerType
 from ..minicuda.parser import parse_kernel
 from .device import DeviceSpec, GTX680
-from .errors import LaunchError
+from .diagnostics import FaultContext, FaultReport
+from .errors import LaunchError, SimError
 from .interp import WARP_SIZE, BlockExecutor
 from .memory import ConstArray, GlobalMemory, dtype_for
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy
@@ -31,7 +42,12 @@ Dim = Union[int, tuple[int, ...]]
 def _as_dim3(value: Dim) -> tuple[int, int, int]:
     if isinstance(value, int):
         value = (value,)
-    dims = tuple(int(v) for v in value) + (1, 1, 1)
+    given = tuple(int(v) for v in value)
+    if len(given) > 3:
+        raise LaunchError(
+            f"dimensions are at most 3-D, got {len(given)} components: {value!r}"
+        )
+    dims = given + (1, 1, 1)
     if any(v <= 0 for v in dims[:3]):
         raise LaunchError(f"dimensions must be positive, got {value!r}")
     return dims[:3]
@@ -39,22 +55,48 @@ def _as_dim3(value: Dim) -> tuple[int, int, int]:
 
 @dataclass
 class LaunchResult:
-    """Everything a host program learns from one simulated launch."""
+    """Everything a host program learns from one simulated launch.
+
+    A *failed* launch (``on_error="status"``) still returns a result:
+    :attr:`error` carries the located :class:`FaultReport`, :attr:`ok` is
+    False, and the model outputs (:attr:`occupancy`, :attr:`timing`,
+    :attr:`usage`) are ``None`` — like device memory after a sticky CUDA
+    error, the partial statistics are retained for post-mortem only.
+    """
 
     kernel_name: str
     grid: tuple[int, int, int]
     block: tuple[int, int, int]
     device: DeviceSpec
     stats: KernelStats
-    occupancy: Occupancy
-    timing: TimingResult
-    usage: ResourceUsage
+    occupancy: Optional[Occupancy]
+    timing: Optional[TimingResult]
+    usage: Optional[ResourceUsage]
     gmem: GlobalMemory
     trace: AccessTrace = field(default_factory=AccessTrace)
     sampled_blocks: Optional[int] = None
+    error: Optional[FaultReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the launch ran to completion without a fault."""
+        return self.error is None
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the captured fault (no-op on a successful launch)."""
+        if self.error is not None:
+            raise SimError(self.error.message, ctx=self.error.ctx)
 
     def buffer(self, name: str) -> np.ndarray:
         """Final contents of the global buffer bound to parameter ``name``."""
+        if name not in self.gmem:
+            if self.error is not None:
+                raise SimError(
+                    f"buffer {name!r} unavailable: launch failed with "
+                    f"{self.error.summary()}",
+                    ctx=self.error.ctx,
+                )
+            raise KeyError(name)
         return self.gmem[name].data
 
     @property
@@ -73,6 +115,8 @@ class LaunchResult:
 
     @property
     def milliseconds(self) -> float:
+        self.raise_if_failed()
+        assert self.timing is not None
         return self.timing.milliseconds
 
 
@@ -86,6 +130,9 @@ def launch(
     usage: Optional[ResourceUsage] = None,
     sample_blocks: Optional[int] = None,
     trace: bool = False,
+    on_error: str = "raise",
+    faults=None,
+    synccheck: bool = False,
 ) -> LaunchResult:
     """Simulate one kernel launch.
 
@@ -95,71 +142,126 @@ def launch(
     name inside the kernel.  ``sample_blocks`` runs only that many evenly
     spaced blocks and extrapolates the statistics — functional output is then
     partial, so use it for timing-only studies.
+
+    ``on_error="raise"`` (default) propagates simulator faults as located
+    exceptions; ``on_error="status"`` contains them and returns a
+    :class:`LaunchResult` whose :attr:`LaunchResult.error` describes the
+    fault.  ``faults`` is an optional
+    :class:`~repro.gpusim.faults.FaultInjector`.
+
+    ``synccheck=True`` enables strict barrier validation (the analogue of
+    ``compute-sanitizer --tool synccheck``): every non-exited lane must be
+    active at each ``__syncthreads``, and all warps must wait at the same
+    textual barrier.  The default matches pre-Volta hardware, where a
+    warp's arrival at any barrier counts — behaviour the paper's generated
+    master/slave kernels (barriers under divergent ``if``) depend on.
     """
-    grid3 = _as_dim3(grid)
-    block3 = _as_dim3(block)
-    threads_per_block = block3[0] * block3[1] * block3[2]
-    if threads_per_block > device.max_threads_per_block:
-        raise LaunchError(
-            f"block {block3} has {threads_per_block} threads; device limit is "
-            f"{device.max_threads_per_block}"
-        )
+    if on_error not in ("raise", "status"):
+        raise ValueError(f"on_error must be 'raise' or 'status', got {on_error!r}")
 
-    # --- bind arguments ----------------------------------------------------
-    gmem = GlobalMemory()
-    base_env: dict = {}
-    param_names = {p.name for p in kernel.params}
-    missing = param_names - set(args)
-    if missing:
-        raise LaunchError(f"missing kernel arguments: {sorted(missing)}")
-    extra = set(args) - param_names
-    if extra:
-        raise LaunchError(f"unknown kernel arguments: {sorted(extra)}")
-    for param in kernel.params:
-        value = args[param.name]
-        if isinstance(param.type, PointerType):
-            if not isinstance(value, np.ndarray):
-                raise LaunchError(f"parameter {param.name!r} expects an array")
-            expected = dtype_for(param.type.elem.name)
-            buf = gmem.alloc(param.name, np.asarray(value, dtype=expected))
-            base_env[param.name] = buf
-        else:
-            if isinstance(value, np.ndarray):
-                raise LaunchError(f"parameter {param.name!r} expects a scalar")
-            base_env[param.name] = (
-                float(value) if param.type.name == "float" else int(value)
-            )
-    for cname, cdata in (const_arrays or {}).items():
-        base_env[cname] = ConstArray(cname, np.asarray(cdata))
-
-    # --- execute blocks -----------------------------------------------------
     stats = KernelStats()
     access_trace = AccessTrace(enabled=trace)
-    gx, gy, gz = grid3
-    total_blocks = gx * gy * gz
-    if sample_blocks is not None and sample_blocks < total_blocks:
-        step = total_blocks / sample_blocks
-        block_ids = sorted({int(i * step) for i in range(sample_blocks)})
-    else:
-        block_ids = list(range(total_blocks))
-
+    gmem = GlobalMemory()
+    grid3: tuple[int, int, int] = (1, 1, 1)
+    block3: tuple[int, int, int] = (1, 1, 1)
+    executed = 0
+    total_blocks = 1
     shared_bytes = 0
-    for linear in block_ids:
-        bz_i, rem = divmod(linear, gx * gy)
-        by_i, bx_i = divmod(rem, gx)
-        executor = BlockExecutor(
-            kernel,
-            block_idx=(bx_i, by_i, bz_i),
-            block_dim=block3,
-            grid_dim=grid3,
-            base_env=base_env,
-            stats=stats,
-            trace=access_trace,
-        )
-        shared_bytes = executor.shared_bytes
-        executor.run()
+    try:
+        grid3 = _as_dim3(grid)
+        block3 = _as_dim3(block)
+        threads_per_block = block3[0] * block3[1] * block3[2]
+        if threads_per_block > device.max_threads_per_block:
+            raise LaunchError(
+                f"block {block3} has {threads_per_block} threads; device limit is "
+                f"{device.max_threads_per_block}"
+            )
 
-    executed = len(block_ids)
+        # --- bind arguments ------------------------------------------------
+        base_env: dict = {}
+        param_names = {p.name for p in kernel.params}
+        missing = param_names - set(args)
+        if missing:
+            raise LaunchError(f"missing kernel arguments: {sorted(missing)}")
+        extra = set(args) - param_names
+        if extra:
+            raise LaunchError(f"unknown kernel arguments: {sorted(extra)}")
+        for param in kernel.params:
+            value = args[param.name]
+            if isinstance(param.type, PointerType):
+                if not isinstance(value, np.ndarray):
+                    raise LaunchError(f"parameter {param.name!r} expects an array")
+                expected = dtype_for(param.type.elem.name)
+                buf = gmem.alloc(param.name, np.asarray(value, dtype=expected))
+                base_env[param.name] = buf
+            else:
+                if isinstance(value, np.ndarray):
+                    raise LaunchError(f"parameter {param.name!r} expects a scalar")
+                base_env[param.name] = (
+                    float(value) if param.type.name == "float" else int(value)
+                )
+        for cname, cdata in (const_arrays or {}).items():
+            base_env[cname] = ConstArray(cname, np.asarray(cdata))
+
+        # --- fault injection: the launch itself may be dropped --------------
+        if faults is not None:
+            faults.begin_launch(kernel.name, grid3, block3)
+
+        # --- execute blocks --------------------------------------------------
+        gx, gy, gz = grid3
+        total_blocks = gx * gy * gz
+        if sample_blocks is not None and sample_blocks < total_blocks:
+            step = total_blocks / sample_blocks
+            block_ids = sorted({int(i * step) for i in range(sample_blocks)})
+        else:
+            block_ids = list(range(total_blocks))
+
+        for linear in block_ids:
+            bz_i, rem = divmod(linear, gx * gy)
+            by_i, bx_i = divmod(rem, gx)
+            executor = BlockExecutor(
+                kernel,
+                block_idx=(bx_i, by_i, bz_i),
+                block_dim=block3,
+                grid_dim=grid3,
+                base_env=base_env,
+                stats=stats,
+                trace=access_trace,
+                injector=faults,
+                linear_block=linear,
+                synccheck=synccheck,
+            )
+            shared_bytes = executor.shared_bytes
+            executor.run()
+            executed += 1
+    except SimError as exc:
+        if exc.ctx is None:
+            exc.attach(
+                FaultContext(
+                    kernel=kernel.name,
+                    grid=grid3,
+                    block_dim=block3,
+                    provenance=getattr(kernel, "provenance", None),
+                )
+            )
+        if on_error == "raise":
+            raise
+        report = FaultReport.from_exception(exc, kernel=kernel.name)
+        return LaunchResult(
+            kernel_name=kernel.name,
+            grid=grid3,
+            block=block3,
+            device=device,
+            stats=stats,
+            occupancy=None,
+            timing=None,
+            usage=None,
+            gmem=gmem,
+            trace=access_trace,
+            sampled_blocks=executed or None,
+            error=report,
+        )
+
     timing_stats = stats
     if executed < total_blocks:
         timing_stats = stats.scaled(total_blocks / executed)

@@ -64,12 +64,19 @@ class GlobalBuffer:
         return self.base_addr + elem_offsets.astype(np.int64) * self.itemsize
 
     def _check(self, offsets: np.ndarray, mask: np.ndarray) -> None:
-        active = offsets[mask]
-        if active.size and (active.min() < 0 or active.max() >= self.size):
-            bad = int(active[(active < 0) | (active >= self.size)][0])
+        bad = mask & ((offsets < 0) | (offsets >= self.size))
+        if bad.any():
+            lanes = np.nonzero(bad)[0]
+            idx = int(offsets[lanes[0]])
             raise MemoryFault(
-                f"global buffer {self.name!r}: index {bad} out of range "
-                f"[0, {self.size})"
+                f"global buffer {self.name!r}: index {idx} out of range "
+                f"[0, {self.size})",
+                space="global",
+                buffer=self.name,
+                index=idx,
+                limit=self.size,
+                address=self.base_addr + idx * self.itemsize,
+                lanes=lanes.tolist(),
             )
 
     def load(self, offsets: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -155,11 +162,19 @@ class SharedArray:
         return self.base_offset + flat * self.itemsize
 
     def _check(self, flat: np.ndarray, mask: np.ndarray) -> None:
-        active = flat[mask]
-        if active.size and (active.min() < 0 or active.max() >= self.numel):
+        bad = mask & ((flat < 0) | (flat >= self.numel))
+        if bad.any():
+            lanes = np.nonzero(bad)[0]
+            idx = int(flat[lanes[0]])
             raise MemoryFault(
                 f"shared array {self.name!r}: flat index out of range "
-                f"(size {self.numel})"
+                f"(size {self.numel})",
+                space="shared",
+                buffer=self.name,
+                index=idx,
+                limit=self.numel,
+                address=self.base_offset + idx * self.itemsize,
+                lanes=lanes.tolist(),
             )
 
     def load(self, flat: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -211,10 +226,17 @@ class LocalArray:
         ) * self.itemsize
 
     def _check(self, idx: np.ndarray, mask: np.ndarray) -> None:
-        active = idx[mask]
-        if active.size and (active.min() < 0 or active.max() >= self.numel):
+        bad = mask & ((idx < 0) | (idx >= self.numel))
+        if bad.any():
+            lanes = np.nonzero(bad)[0]
+            first = int(idx[lanes[0]])
             raise MemoryFault(
-                f"local array {self.name!r}: index out of range (size {self.numel})"
+                f"local array {self.name!r}: index out of range (size {self.numel})",
+                space="local",
+                buffer=self.name,
+                index=first,
+                limit=self.numel,
+                lanes=lanes.tolist(),
             )
 
     def load(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -248,9 +270,17 @@ class ConstArray:
         return idx.astype(np.int64) * self.itemsize
 
     def load(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        active = idx[mask]
-        if active.size and (active.min() < 0 or active.max() >= self.numel):
-            raise MemoryFault(f"constant array {self.name!r}: index out of range")
+        bad = mask & ((idx < 0) | (idx >= self.numel))
+        if bad.any():
+            lanes = np.nonzero(bad)[0]
+            raise MemoryFault(
+                f"constant array {self.name!r}: index out of range",
+                space="constant",
+                buffer=self.name,
+                index=int(idx[lanes[0]]),
+                limit=self.numel,
+                lanes=lanes.tolist(),
+            )
         return self.data[np.where(mask, idx, 0)]
 
 

@@ -299,6 +299,11 @@ class Kernel(Node):
     #: generated variants — the paper emits ``template<int slave_size>``; we
     #: bind the instantiated value here instead).
     const_env: dict[str, int] = field(default_factory=dict)
+    #: For compiler-generated kernels: which source kernel and transform
+    #: produced this one (surfaced by fault diagnostics so a crash in
+    #: generated code points back at its origin).  None for hand-written
+    #: kernels.
+    provenance: Optional[str] = None
 
     def param_names(self) -> list[str]:
         return [p.name for p in self.params]

@@ -16,6 +16,8 @@ from typing import Callable, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..gpusim.device import DeviceSpec, GTX680
+from ..gpusim.diagnostics import FaultReport
+from ..gpusim.errors import SimError
 from ..gpusim.launch import Dim, LaunchResult, launch, _as_dim3
 from ..minicuda.errors import MiniCudaError
 from ..minicuda.nodes import Kernel
@@ -49,22 +51,52 @@ def launch_variant(
 
 @dataclass
 class TunePoint:
-    """One explored variant and its measured (modeled) performance."""
+    """One explored variant and its measured (modeled) performance.
+
+    A variant can fail three ways, all of which disqualify it without
+    aborting the tuning run: the compiler rejects the configuration
+    (``error`` set, ``result`` None), the simulated launch faults
+    (``fault`` carries the located :class:`FaultReport`), or the output
+    check rejects it (``output_ok`` False).
+    """
 
     variant: CompiledVariant
     result: Optional[LaunchResult]
     error: Optional[str] = None
     output_ok: Optional[bool] = None
+    #: Located runtime fault, when the variant's launch failed.
+    fault: Optional[FaultReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when this variant ran to completion and passed its check."""
+        return (
+            self.result is not None
+            and self.result.ok
+            and self.fault is None
+            and self.output_ok is not False
+        )
 
     @property
     def seconds(self) -> float:
-        if self.result is None or self.output_ok is False:
+        if not self.ok:
             return float("inf")
         return self.result.timing.seconds
 
     @property
     def label(self) -> str:
         return self.variant.config.describe()
+
+    @property
+    def failure(self) -> Optional[str]:
+        """One-line failure description (None for a valid point)."""
+        if self.fault is not None:
+            return self.fault.summary()
+        if self.error is not None:
+            return self.error
+        if self.output_ok is False:
+            return "functional output check failed"
+        return None
 
 
 @dataclass
@@ -77,12 +109,23 @@ class AutotuneReport:
 
     @property
     def valid_points(self) -> list[TunePoint]:
-        return [p for p in self.points if p.result is not None and p.output_ok is not False]
+        return [p for p in self.points if p.ok]
+
+    @property
+    def failed_points(self) -> list[TunePoint]:
+        """Variants disqualified by compile errors, runtime faults, or checks."""
+        return [p for p in self.points if not p.ok]
 
     @property
     def best(self) -> TunePoint:
         if not self.valid_points:
-            raise RuntimeError(f"no valid CUDA-NP variant for {self.kernel_name}")
+            failures = "; ".join(
+                f"{p.label}: {p.failure}" for p in self.failed_points
+            )
+            raise RuntimeError(
+                f"no valid CUDA-NP variant for {self.kernel_name}"
+                + (f" ({failures})" if failures else "")
+            )
         return min(self.valid_points, key=lambda p: p.seconds)
 
     @property
@@ -115,6 +158,7 @@ def autotune(
     const_arrays: Optional[Mapping[str, np.ndarray]] = None,
     sample_blocks: Optional[int] = None,
     recombine_unrolled: bool = False,
+    faults=None,
 ) -> AutotuneReport:
     """Exhaustively explore the CUDA-NP variant space for one kernel.
 
@@ -122,6 +166,15 @@ def autotune(
     do not see each other's outputs.  ``check_output`` receives each launch
     result and returns False to disqualify a variant (used by the test suite
     to assert functional equivalence with the baseline).
+
+    Fault containment: every variant runs to completion of the search — a
+    variant whose launch faults (or that an injected fault corrupts) is
+    recorded as a disqualified :class:`TunePoint` with a located
+    :class:`~repro.gpusim.diagnostics.FaultReport`, never as an aborted
+    run.  The baseline is the exception: a faulting baseline raises,
+    because nothing downstream is meaningful without it.  ``faults`` is an
+    optional :class:`~repro.gpusim.faults.FaultInjector` threaded through
+    every launch.
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
@@ -136,6 +189,7 @@ def autotune(
         device=device,
         const_arrays=const_arrays,
         sample_blocks=sample_blocks,
+        faults=faults,
     )
     if check_output is not None and not check_output(baseline):
         raise RuntimeError(f"baseline output check failed for {kernel.name}")
@@ -162,14 +216,40 @@ def autotune(
                 )
             )
             continue
-        result = launch_variant(
-            variant,
-            grid,
-            make_args(),
-            device=device,
-            const_arrays=const_arrays,
-            sample_blocks=sample_blocks,
-        )
+        try:
+            result = launch_variant(
+                variant,
+                grid,
+                make_args(),
+                device=device,
+                const_arrays=const_arrays,
+                sample_blocks=sample_blocks,
+                on_error="status",
+                faults=faults,
+            )
+        except SimError as exc:
+            # Host-side plumbing (argument binding, scratch allocation) can
+            # still raise before the launch is containable; capture it as a
+            # disqualified point instead of aborting the whole tuning run.
+            report.points.append(
+                TunePoint(
+                    variant=variant,
+                    result=None,
+                    error=str(exc),
+                    fault=FaultReport.from_exception(exc, kernel=variant.kernel.name),
+                )
+            )
+            continue
+        if result.error is not None:
+            report.points.append(
+                TunePoint(
+                    variant=variant,
+                    result=result,
+                    error=result.error.summary(),
+                    fault=result.error,
+                )
+            )
+            continue
         ok = check_output(result) if check_output is not None else None
         report.points.append(TunePoint(variant=variant, result=result, output_ok=ok))
     return report

@@ -194,6 +194,7 @@ def compile_np(
             prelude(config) + list(result.buffers.shared_decls()) + result.body.stmts
         ),
         const_env=kernel.const_env,
+        provenance=f"CUDA-NP variant of {kernel.name!r} ({config.describe()})",
     )
     block = (master_size, S) if config.np_type == "inter" else (S, master_size)
     return CompiledVariant(

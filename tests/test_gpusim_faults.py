@@ -1,0 +1,283 @@
+"""Fault injection: every planted fault class is caught, located, contained.
+
+For each of the seven fault kinds in ``repro.gpusim.faults`` we assert the
+three hardened-runtime properties:
+
+- **caught** — the fault surfaces as a typed exception / status error, or
+  (for silent corruption) as a functional output mismatch;
+- **located** — the injection log and/or the exception context name the
+  kernel, block, warp, lane, and source position;
+- **contained** — with ``on_error="status"``, autotuning, and the
+  experiment harness, one faulting launch never aborts its surrounding run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import InjectedFault, MemoryFault, SimError, SyncError
+from repro.gpusim.faults import FAULT_KINDS, FaultInjector, FaultSpec
+from repro.gpusim.launch import run_kernel
+from repro.npc.autotune import autotune
+
+COPY = """
+__global__ void copy(float *src, float *dst, int n) {
+    int i = threadIdx.x + blockIdx.x * blockDim.x;
+    if (i < n) dst[i] = src[i];
+}
+"""
+
+SHMEM = """
+__global__ void smem(float *o) {
+    __shared__ float tile[32];
+    tile[threadIdx.x] = threadIdx.x * 1.0f;
+    __syncthreads();
+    o[threadIdx.x] = tile[31 - threadIdx.x];
+}
+"""
+
+SHFL = """
+__global__ void bcast(float *o) {
+    float v = threadIdx.x * 1.0f;
+    float w = __shfl(v, 0, 32);
+    o[threadIdx.x] = w;
+}
+"""
+
+NP_KERNEL = """
+__global__ void scale(float *a, float *b, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        #pragma np parallel for
+        for (int j = 0; j < 8; j++) {
+            b[i * 8 + j] = a[i * 8 + j] * 2.0f;
+        }
+    }
+}
+"""
+
+
+def copy_args(n=64):
+    return {
+        "src": np.arange(n, dtype=np.float32),
+        "dst": np.zeros(n, np.float32),
+        "n": n,
+    }
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meltdown")
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultInjector.single(kind)
+
+
+class TestDropLaunch:
+    def test_raise_mode(self):
+        inj = FaultInjector.single("drop_launch")
+        with pytest.raises(InjectedFault, match="dropped") as ei:
+            run_kernel(COPY, 2, 32, copy_args(), faults=inj)
+        assert ei.value.ctx.injected
+        assert ei.value.ctx.kernel == "copy"
+        assert inj.fired("drop_launch") == 1
+
+    def test_status_mode_contained(self):
+        inj = FaultInjector.single("drop_launch")
+        res = run_kernel(COPY, 2, 32, copy_args(), faults=inj, on_error="status")
+        assert not res.ok
+        assert res.error.kind == "InjectedFault"
+        assert res.error.injected
+
+    def test_launch_index_targets_one_launch(self):
+        inj = FaultInjector.single("drop_launch", launch_index=1)
+        first = run_kernel(COPY, 2, 32, copy_args(), faults=inj, on_error="status")
+        assert first.ok
+        second = run_kernel(COPY, 2, 32, copy_args(), faults=inj, on_error="status")
+        assert not second.ok and second.error.injected
+
+
+class TestGlobalOob:
+    def test_caught_located_attributed(self):
+        inj = FaultInjector.single("global_oob", target="src", lane=3)
+        with pytest.raises(MemoryFault, match="out of range") as ei:
+            run_kernel(COPY, 2, 32, copy_args(), faults=inj)
+        ctx = ei.value.ctx
+        assert ctx.space == "global"
+        assert ctx.buffer == "src"
+        assert ctx.injected  # attributed to the injector, not a real bug
+        assert 3 in ctx.lanes
+        assert inj.fired("global_oob") == 1
+        rec = inj.records[0]
+        assert rec.ctx.kernel == "copy"
+        assert rec.ctx.line and rec.ctx.line > 0
+
+    def test_status_mode_contained(self):
+        inj = FaultInjector.single("global_oob", target="dst")
+        res = run_kernel(COPY, 2, 32, copy_args(), faults=inj, on_error="status")
+        assert not res.ok
+        assert res.error.ctx.space == "global"
+        assert res.error.injected
+        assert "planted by gpusim.faults" in res.error.render()
+
+
+class TestSharedOob:
+    def test_caught_and_located(self):
+        inj = FaultInjector.single("shared_oob", target="tile")
+        with pytest.raises(MemoryFault, match="out of range") as ei:
+            run_kernel(SHMEM, 1, 32, {"o": np.zeros(32, np.float32)}, faults=inj)
+        ctx = ei.value.ctx
+        assert ctx.space == "shared"
+        assert ctx.buffer == "tile"
+        assert ctx.injected
+        assert inj.fired("shared_oob") == 1
+
+
+class TestBitFlip:
+    def test_silent_corruption_is_logged_and_visible(self):
+        clean = run_kernel(COPY, 2, 32, copy_args())
+        inj = FaultInjector.single("bit_flip", target="src", lane=5, bit=20)
+        res = run_kernel(COPY, 2, 32, copy_args(), faults=inj)
+        assert res.ok  # silent: no exception, launch succeeds
+        assert inj.fired("bit_flip") == 1
+        got, want = res.buffer("dst"), clean.buffer("dst")
+        assert not np.array_equal(got, want)
+        assert int(np.sum(got != want)) == 1  # exactly one lane corrupted
+        rec = inj.records[0]
+        assert rec.kind == "bit_flip"
+        assert rec.ctx.kernel == "copy"
+        assert rec.ctx.lanes == (5,)
+        assert "bit 20" in rec.detail
+
+    def test_determinism_same_seed_same_fault(self):
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector.single("bit_flip", target="src", seed=42)
+            res = run_kernel(COPY, 2, 32, copy_args(), faults=inj)
+            outs.append((res.buffer("dst").copy(), inj.records[0].detail))
+        assert np.array_equal(outs[0][0], outs[1][0])
+        assert outs[0][1] == outs[1][1]
+
+
+class TestShflLane:
+    def test_corrupted_warp_communication(self):
+        clean = run_kernel(SHFL, 1, 32, {"o": np.zeros(32, np.float32)})
+        assert np.all(clean.buffer("o") == 0.0)  # broadcast from lane 0
+        inj = FaultInjector.single("shfl_lane", lane=7)
+        res = run_kernel(SHFL, 1, 32, {"o": np.zeros(32, np.float32)}, faults=inj)
+        assert res.ok
+        out = res.buffer("o")
+        assert out[7] != 0.0  # lane 7 read from a redirected source
+        assert np.all(np.delete(out, 7) == 0.0)
+        rec = inj.records[0]
+        assert rec.kind == "shfl_lane"
+        assert rec.ctx.lanes == (7,)
+
+
+class TestSkipSync:
+    def test_partial_barrier_detected_and_attributed(self):
+        inj = FaultInjector.single("skip_sync", lane=11)
+        with pytest.raises(SyncError, match="missed the barrier") as ei:
+            run_kernel(SHMEM, 1, 32, {"o": np.zeros(32, np.float32)}, faults=inj)
+        ctx = ei.value.ctx
+        assert ctx.lanes == (11,)
+        assert ctx.injected  # withheld lane matches the injection log
+        assert inj.fired("skip_sync") == 1
+
+    def test_clean_kernel_syncs_fine(self):
+        res = run_kernel(SHMEM, 1, 32, {"o": np.zeros(32, np.float32)})
+        assert np.array_equal(
+            res.buffer("o"), np.arange(31, -1, -1, dtype=np.float32)
+        )
+
+
+class TestMiscoalesce:
+    def test_transactions_inflate_output_intact(self):
+        clean = run_kernel(COPY, 2, 32, copy_args())
+        inj = FaultInjector.single("miscoalesce", target="src")
+        res = run_kernel(COPY, 2, 32, copy_args(), faults=inj)
+        assert res.ok
+        # Functional output unaffected: only the modeled addresses scatter.
+        assert np.array_equal(res.buffer("dst"), clean.buffer("dst"))
+        assert res.stats.global_transactions > clean.stats.global_transactions
+        assert inj.fired("miscoalesce") == 1
+        assert inj.records[0].ctx.buffer == "src"
+
+
+class TestAutotuneContainment:
+    """Acceptance: a faulting variant never aborts the search."""
+
+    N = 64
+
+    def make_args(self):
+        rng = np.random.default_rng(0)
+        return {
+            "a": rng.standard_normal(self.N * 8).astype(np.float32),
+            "b": np.zeros(self.N * 8, np.float32),
+            "n": self.N,
+        }
+
+    def test_injected_variant_fault_is_disqualified(self):
+        inj = FaultInjector.single("drop_launch", launch_index=1)
+        report = autotune(NP_KERNEL, 64, 1, self.make_args, faults=inj)
+        assert len(report.failed_points) == 1
+        failed = report.failed_points[0]
+        assert failed.fault is not None and failed.fault.injected
+        assert "dropped" in failed.failure
+        # The search still completes and picks a valid variant.
+        assert report.valid_points
+        best = report.best
+        assert best.ok and best.seconds < float("inf")
+
+    def test_runtime_memory_fault_in_variant_contained(self):
+        inj = FaultInjector.single("global_oob", target="a", launch_index=2)
+        report = autotune(NP_KERNEL, 64, 1, self.make_args, faults=inj)
+        assert len(report.failed_points) == 1
+        failed = report.failed_points[0]
+        assert failed.fault.kind == "MemoryFault"
+        assert failed.fault.ctx.space == "global"
+        assert report.best.ok
+
+
+class TestExperimentContainment:
+    """Acceptance: one faulting benchmark degrades one row, not the run."""
+
+    def test_sec6_emits_other_rows_with_failure_inline(self, monkeypatch):
+        from repro.experiments import sec6_dynpar_slowdown
+        from repro.kernels import BENCHMARKS
+
+        cls = BENCHMARKS["TMV"]
+
+        def boom(self, **kwargs):
+            raise SimError("synthetic device fault")
+
+        monkeypatch.setattr(cls, "run_baseline", boom)
+        result = sec6_dynpar_slowdown.run(fast=True)
+        names = [row[0] for row in result.rows]
+        for name in ("NN", "LE", "LIB", "CFD"):
+            assert name in names
+        failed = [row for row in result.rows if "FAILED" in str(row[1])]
+        assert len(failed) == 1 and failed[0][0] == "TMV"
+        assert any("TMV" in f for f in result.failures)
+        assert "FAILED" in result.format()
+
+    def test_run_all_survives_a_crashing_experiment(self, monkeypatch):
+        import repro.experiments as experiments
+        from repro.experiments.util import ExperimentResult
+
+        def crashes(fast=False):
+            raise SimError("experiment-level fault")
+
+        def works(fast=False):
+            ok = ExperimentResult(exp_id="okay", title="t", headers=["h"])
+            ok.rows.append(["fine"])
+            return ok
+
+        monkeypatch.setattr(
+            experiments, "EXPERIMENTS", {"crash": crashes, "okay": works}
+        )
+        results = experiments.run_all()
+        assert [r.exp_id for r in results] == ["crash", "okay"]
+        assert results[0].failures and "experiment-level fault" in results[0].failures[0]
+        assert results[1].rows == [["fine"]]
