@@ -14,6 +14,7 @@ The substrate that stands in for the paper's GTX 680 / K20c hardware:
 - :mod:`~repro.gpusim.report` — nvprof-style kernel profiles
 - :mod:`~repro.gpusim.diagnostics` — located faults, sanitizer reports
 - :mod:`~repro.gpusim.faults` — deterministic fault injection
+- :mod:`~repro.gpusim.racecheck` — racecheck/initcheck sanitizer tools
 """
 
 from .device import FERMI, GTX680, K20C, DeviceSpec
@@ -30,6 +31,7 @@ from .errors import (
 )
 from .faults import FaultInjector, FaultSpec, InjectionRecord
 from .launch import LaunchResult, launch, run_kernel
+from .racecheck import Sanitizer, SanitizerFinding, SanitizerReport
 from .report import compare_report, profile_report
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy
 from .stats import KernelStats, PerWarpStats

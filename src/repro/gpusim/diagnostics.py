@@ -117,6 +117,9 @@ _KIND_TITLES = {
     "IntrinsicError": "Invalid intrinsic use",
     "DivergenceError": "Unsupported divergence",
     "InjectedFault": "Injected fault",
+    # Sanitizer findings (repro.gpusim.racecheck) share the report pipeline.
+    "RaceHazard": "Shared memory race hazard",
+    "UninitRead": "Uninitialized memory read",
 }
 
 
@@ -126,7 +129,9 @@ def render_report(report: FaultReport) -> str:
     p = "========="  # sanitizer gutter
     lines = [f"{p} GPUSIM SANITIZER"]
     title = _KIND_TITLES.get(report.kind, report.kind)
-    if ctx.space is not None:
+    if ctx.space is not None and report.kind == "MemoryFault":
+        # Only genuine access faults get the space-specific headline;
+        # sanitizer findings carry a space too but keep their own titles.
         title = f"Invalid {ctx.space} access"
     lines.append(f"{p} {title} ({report.kind})")
     lines.append(f"{p}     {report.message}")

@@ -123,6 +123,7 @@ class WarpContext:
         injector=None,
         provenance: Optional[str] = None,
         synccheck: bool = False,
+        sanitizer=None,
     ):
         self.env = env
         self.init_mask = init_mask
@@ -140,6 +141,9 @@ class WarpContext:
         self.injector = injector
         self.provenance = provenance
         self.synccheck = synccheck
+        #: Optional :class:`~repro.gpusim.racecheck.Sanitizer` consulted at
+        #: the shared/local memory hook points.
+        self.sanitizer = sanitizer
         #: Source location of the statement currently executing.
         self.current_loc = None
         #: Active mask the current statement runs under.
@@ -439,6 +443,8 @@ def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.nda
         stats.shared_bank_replays += replays
         ctx.trace.record_shared(root.name, replays)
         value = root.load(flat, mask)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.shared_load(ctx, root, flat, mask)
         if inj is not None:
             value = inj.flip_bits(ctx, "shared", root.name, value, mask)
         return value
@@ -453,7 +459,10 @@ def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.nda
             addrs = root.byte_addrs(idx)
             stats.local_transactions += coalescing.transactions_for(addrs, mask)
             stats.local_bytes += int(mask.sum()) * root.itemsize
-        return root.load(idx, mask)
+        value = root.load(idx, mask)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.local_load(ctx, root, idx, mask)
+        return value
     if isinstance(root, ConstArray):
         if len(indices) != 1:
             raise MemoryFault("constant arrays are 1-D")
@@ -499,6 +508,8 @@ def _store_object(
         stats.shared_bank_replays += replays
         ctx.trace.record_shared(root.name, replays)
         root.store(flat, mask, values)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.shared_store(ctx, root, flat, mask)
         return
     if isinstance(root, LocalArray):
         if len(indices) != 1:
@@ -512,6 +523,8 @@ def _store_object(
             stats.local_transactions += coalescing.transactions_for(addrs, mask)
             stats.local_bytes += int(mask.sum()) * root.itemsize
         root.store(idx, mask, values)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.local_store(ctx, root, idx, mask)
         return
     if isinstance(root, ConstArray):
         raise MemoryFault(f"constant array {root.name!r} is read-only")
@@ -549,7 +562,7 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
         indices = [eval_expr(ctx, ie, mask).astype(np.int64) for ie in index_exprs]
         delta = eval_expr(ctx, expr.args[1], mask)
         stats.atomic_insts += 1
-        return _atomic_add(root, indices, mask, delta)
+        return _atomic_add(ctx, root, indices, mask, delta)
     if func == "tex1Dfetch":
         if len(expr.args) != 2 or not isinstance(expr.args[0], Name):
             raise IntrinsicError("tex1Dfetch expects (texture_name, index)")
@@ -577,7 +590,7 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
     raise IntrinsicError(f"unknown device function {func!r}")
 
 
-def _atomic_add(root, indices, mask, delta):
+def _atomic_add(ctx: WarpContext, root, indices, mask, delta):
     if isinstance(root, PointerValue):
         offsets = (root.offsets + indices[0])[mask]
         old = root.buffer.data[offsets].copy()
@@ -586,9 +599,12 @@ def _atomic_add(root, indices, mask, delta):
         out[mask] = old
         return out
     if isinstance(root, SharedArray):
-        flat = root.flat_index(indices)[mask]
+        flat_full = root.flat_index(indices)
+        flat = flat_full[mask]
         old = root.data[flat].copy()
         np.add.at(root.data, flat, delta[mask].astype(root.data.dtype))
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.shared_atomic(ctx, root, flat_full, mask)
         out = np.zeros(WARP_SIZE, dtype=root.data.dtype)
         out[mask] = old
         return out
@@ -707,6 +723,7 @@ def _exec_decl(ctx: WarpContext, stmt: VarDecl, mask: np.ndarray) -> None:
         existing = ctx.env.get(stmt.name)
         if isinstance(existing, LocalArray) and existing.numel == type_.numel:
             existing.data[...] = 0
+            existing.shadow = None  # re-declared: sanitizer state starts over
         else:
             base = ctx.env.get("__local_base__", 1 << 32)
             arr = LocalArray(
@@ -857,6 +874,7 @@ class BlockExecutor:
         injector=None,
         linear_block: Optional[int] = None,
         synccheck: bool = False,
+        sanitizer=None,
     ):
         self.kernel = kernel
         self.block_idx = block_idx
@@ -864,10 +882,13 @@ class BlockExecutor:
         self.grid_dim = grid_dim
         self.base_env = base_env
         self.stats = stats
-        self.trace = trace or AccessTrace()
+        # `is not None` (not truthiness): a caller-provided trace must be
+        # kept even when it is empty or compares falsy.
+        self.trace = trace if trace is not None else AccessTrace()
         self.injector = injector
         self.linear_block = linear_block
         self.synccheck = synccheck
+        self.sanitizer = sanitizer
         self.shared: dict[str, SharedArray] = {}
         self._alloc_shared()
 
@@ -937,8 +958,11 @@ class BlockExecutor:
                 linear_block=self.linear_block,
                 injector=self.injector,
                 synccheck=self.synccheck,
+                sanitizer=self.sanitizer,
             )
             warps.append((ctx, exec_block(ctx, self.kernel.body, mask)))
+        if self.sanitizer is not None:
+            self.sanitizer.begin_block(self.linear_block)
         self.stats.blocks_executed += 1
         self.stats.warps_executed += num_warps
         self.stats.threads_launched += total
@@ -976,4 +1000,8 @@ class BlockExecutor:
                         f"(source lines {lines})",
                         ctx=wctx.make_context(),
                     )
+            # Every running warp arrived: that round *is* the block-wide
+            # barrier — accesses across it are ordered.
+            if arrivals and self.sanitizer is not None:
+                self.sanitizer.barrier()
             alive = still_alive

@@ -33,6 +33,7 @@ from .errors import LaunchError, SimError
 from .interp import WARP_SIZE, BlockExecutor
 from .memory import ConstArray, GlobalMemory, dtype_for
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy
+from .racecheck import Sanitizer, SanitizerReport
 from .stats import AccessTrace, KernelStats
 from .timing import TimingResult, estimate_kernel_time
 
@@ -76,6 +77,10 @@ class LaunchResult:
     trace: AccessTrace = field(default_factory=AccessTrace)
     sampled_blocks: Optional[int] = None
     error: Optional[FaultReport] = None
+    #: Racecheck/initcheck findings, when the launch ran under
+    #: ``racecheck=True`` / ``initcheck=True`` (None otherwise).  Present
+    #: even on a failed launch: findings before the fault are retained.
+    sanitizer: Optional[SanitizerReport] = None
 
     @property
     def ok(self) -> bool:
@@ -133,6 +138,8 @@ def launch(
     on_error: str = "raise",
     faults=None,
     synccheck: bool = False,
+    racecheck: bool = False,
+    initcheck: bool = False,
 ) -> LaunchResult:
     """Simulate one kernel launch.
 
@@ -155,12 +162,24 @@ def launch(
     textual barrier.  The default matches pre-Volta hardware, where a
     warp's arrival at any barrier counts — behaviour the paper's generated
     master/slave kernels (barriers under divergent ``if``) depend on.
+
+    ``racecheck=True`` / ``initcheck=True`` run the launch under the
+    :mod:`~repro.gpusim.racecheck` sanitizer (the analogues of
+    ``compute-sanitizer --tool racecheck`` / ``--tool initcheck``): shared
+    write/read hazards between warps not ordered by a barrier, and reads of
+    never-written shared or local elements, are collected — without aborting
+    the launch — into :attr:`LaunchResult.sanitizer`.
     """
     if on_error not in ("raise", "status"):
         raise ValueError(f"on_error must be 'raise' or 'status', got {on_error!r}")
 
     stats = KernelStats()
     access_trace = AccessTrace(enabled=trace)
+    sanitizer = (
+        Sanitizer(racecheck=racecheck, initcheck=initcheck)
+        if (racecheck or initcheck)
+        else None
+    )
     gmem = GlobalMemory()
     grid3: tuple[int, int, int] = (1, 1, 1)
     block3: tuple[int, int, int] = (1, 1, 1)
@@ -230,6 +249,7 @@ def launch(
                 injector=faults,
                 linear_block=linear,
                 synccheck=synccheck,
+                sanitizer=sanitizer,
             )
             shared_bytes = executor.shared_bytes
             executor.run()
@@ -260,6 +280,7 @@ def launch(
             trace=access_trace,
             sampled_blocks=executed or None,
             error=report,
+            sanitizer=sanitizer.report() if sanitizer is not None else None,
         )
 
     timing_stats = stats
@@ -294,6 +315,7 @@ def launch(
         gmem=gmem,
         trace=access_trace,
         sampled_blocks=executed if executed < total_blocks else None,
+        sanitizer=sanitizer.report() if sanitizer is not None else None,
     )
 
 

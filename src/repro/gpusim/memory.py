@@ -133,6 +133,10 @@ class SharedArray:
         self.dims = dims
         self.data = np.zeros(dims, dtype=dtype_for(type_name)).reshape(-1)
         self.base_offset = base_offset  # byte offset within the block's smem
+        #: Per-element access shadow, lazily attached by
+        #: :class:`repro.gpusim.racecheck.Sanitizer`.  Lives on the array so
+        #: it resets with the array (shared arrays are recreated per block).
+        self.shadow = None
 
     @property
     def numel(self) -> int:
@@ -210,6 +214,9 @@ class LocalArray:
         self.base_addr = base_addr
         #: True for register-promoted partitions (no local-memory traffic).
         self.in_registers = in_registers
+        #: Written-bitmap shadow, lazily attached by
+        #: :class:`repro.gpusim.racecheck.Sanitizer`.
+        self.shadow = None
 
     @property
     def itemsize(self) -> int:

@@ -159,3 +159,8 @@ class AccessTrace:
     def record_shared(self, array_name: str, replays: int) -> None:
         if self.enabled:
             self.shared_accesses.append((array_name, replays))
+
+    def __len__(self) -> int:
+        """Recorded access count — an *empty* trace is falsy, so consumers
+        must test ``trace is not None``, never truthiness."""
+        return len(self.global_accesses) + len(self.shared_accesses)

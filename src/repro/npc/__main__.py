@@ -6,6 +6,12 @@ Mirrors how the paper's Cetus-based tool is used — feed in a kernel with
     python -m repro.npc kernel.cu --block 64 --slave-size 8
     python -m repro.npc kernel.cu --block 64 --np-type intra --no-shfl
     python -m repro.npc kernel.cu --block 64 --list     # enumerate variants
+
+Verify mode runs the differential transformation oracle instead of printing
+source: every variant is compiled, executed on the simulator under the
+racecheck/initcheck sanitizer, and compared against the baseline kernel:
+
+    python -m repro.npc kernel.cu --block 64 --verify --grid 4 --arg n=4096
 """
 
 from __future__ import annotations
@@ -45,7 +51,69 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the auto-tuner's variant space and exit")
     parser.add_argument("--notes", action="store_true",
                         help="print the transformation log as comments")
+    verify = parser.add_argument_group("verify mode (differential oracle)")
+    verify.add_argument("--verify", action="store_true",
+                        help="run every variant under the sanitizer and "
+                             "compare outputs against the baseline kernel")
+    verify.add_argument("--grid", type=int, default=1,
+                        help="grid blocks for verification runs (default 1)")
+    verify.add_argument("--elems", type=int, default=4096,
+                        help="elements per synthesized array argument")
+    verify.add_argument("--arg", action="append", default=[], metavar="NAME=VALUE",
+                        help="scalar kernel argument (repeatable); required "
+                             "for every non-pointer parameter")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for synthesized array inputs")
     return parser
+
+
+def _run_verify(source: str, args) -> int:
+    """Synthesize inputs and run the differential oracle over all variants."""
+    import numpy as np
+
+    from ..minicuda.nodes import PointerType
+    from ..minicuda.parser import parse_kernel
+    from .pipeline import verify_np
+
+    kernel = parse_kernel(source)
+    scalars: dict[str, str] = {}
+    for item in args.arg:
+        name, sep, value = item.partition("=")
+        if not sep:
+            raise MiniCudaError(f"--arg expects NAME=VALUE, got {item!r}")
+        scalars[name] = value
+
+    pointer_params = []
+    scalar_values: dict[str, object] = {}
+    for param in kernel.params:
+        if isinstance(param.type, PointerType):
+            pointer_params.append(param)
+        elif param.name in scalars:
+            text = scalars[param.name]
+            scalar_values[param.name] = (
+                float(text) if param.type.name == "float" else int(text)
+            )
+        else:
+            raise MiniCudaError(
+                f"scalar parameter {param.name!r} needs a value: "
+                f"pass --arg {param.name}=VALUE"
+            )
+
+    def make_args():
+        rng = np.random.default_rng(args.seed)
+        values: dict = dict(scalar_values)
+        for param in pointer_params:
+            if param.type.elem.name == "float":
+                values[param.name] = rng.uniform(-1, 1, args.elems).astype(np.float32)
+            else:
+                values[param.name] = rng.integers(
+                    0, args.elems, args.elems
+                ).astype(np.int32)
+        return values
+
+    report = verify_np(kernel, args.block, args.grid, make_args)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,6 +125,8 @@ def main(argv: list[str] | None = None) -> int:
             for config in enumerate_configs(source, args.block):
                 print(config.describe())
             return 0
+        if args.verify:
+            return _run_verify(source, args)
         config = NpConfig(
             slave_size=args.slave_size,
             np_type=args.np_type,

@@ -49,6 +49,7 @@ from ..minicuda.nodes import (
     ExprStmt,
     For,
     If,
+    Index,
     IntLit,
     Kernel,
     Member,
@@ -204,6 +205,29 @@ class MasterSlaveTransformer:
         type_ = info.type
         return isinstance(type_, ScalarType) and type_.name == "float"
 
+    def _stores_shared(self, stmt: Stmt) -> bool:
+        """True when ``stmt`` writes through an index into a __shared__ array."""
+        for node in walk(stmt):
+            target = None
+            if isinstance(node, Assign) and isinstance(node.target, Index):
+                target = node.target
+            elif (
+                isinstance(node, Call)
+                and node.func.startswith("atomic")
+                and node.args
+                and isinstance(node.args[0], Index)
+            ):
+                target = node.args[0]
+            if target is None:
+                continue
+            while isinstance(target, Index):
+                target = target.base
+            if isinstance(target, Name):
+                info = self.symtab.get(target.id)
+                if info is not None and info.space is Space.SHARED:
+                    return True
+        return False
+
     def _private_scalars(self, names: set[str]) -> list[str]:
         out = []
         for n in sorted(names):
@@ -259,8 +283,16 @@ class MasterSlaveTransformer:
 
         def flush() -> None:
             if guard_run:
+                wrote_shared = any(self._stores_shared(s) for s in guard_run)
                 out.append(if_(eq("slave_id", 0), list(guard_run)))
                 guard_run.clear()
+                if wrote_shared and self.config.np_type == "inter":
+                    # A master-only store to shared memory is unordered with
+                    # reads from slave *warps* until a block barrier; intra-warp
+                    # slaves are lockstep with their master and need none.
+                    out.append(sync_stmt())
+                    if "barrier after master-only shared stores" not in self.notes:
+                        self.notes.append("barrier after master-only shared stores")
 
         for idx, stmt in enumerate(stmts):
             if is_parallel_loop(stmt):

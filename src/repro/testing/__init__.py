@@ -1,0 +1,29 @@
+"""Verification harnesses for the CUDA-NP reproduction.
+
+:mod:`repro.testing.oracle` is the differential transformation oracle: it
+compiles a kernel through every :class:`~repro.npc.config.NpConfig` variant,
+runs baseline and variants under the :mod:`~repro.gpusim.racecheck`
+sanitizer, and asserts output equality plus zero findings — then closes the
+loop against :mod:`~repro.gpusim.faults` by checking that injected faults
+*are* detected.
+"""
+
+from .oracle import (
+    EXPECTED_DETECTION,
+    FaultProbe,
+    OracleReport,
+    VariantVerdict,
+    cross_validate_faults,
+    verify_benchmark,
+    verify_transformations,
+)
+
+__all__ = [
+    "EXPECTED_DETECTION",
+    "FaultProbe",
+    "OracleReport",
+    "VariantVerdict",
+    "cross_validate_faults",
+    "verify_benchmark",
+    "verify_transformations",
+]

@@ -132,3 +132,56 @@ def test_random_elementwise_kernels(expr, n, config, seed):
         res.buffer("o"), base.buffer("o"), rtol=1e-4, atol=1e-5,
         err_msg=f"{config.describe()} n={n} expr={expr}",
     )
+
+
+@given(
+    expr=expr_strings(depth=1),
+    op=st.sampled_from(["+", "max"]),
+    n=st.integers(min_value=1, max_value=16),
+    config=configs,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_sanitizer_no_false_positives(expr, op, n, config, seed):
+    """Correct generated code must be sanitizer-silent (false-positive guard).
+
+    Every random kernel here passes the differential check (the two tests
+    above fuzz that property), so any racecheck/initcheck finding on its
+    variants would be a false alarm — the barriers the rewrite emits around
+    shared comm buffers must be *seen* as ordering the accesses they order.
+    """
+    apply = {"+": "s += {e};", "max": "s = fmaxf(s, {e});"}[op].format(e=expr)
+    init = {"+": "0", "max": "-3.4e38f"}[op]
+    src = f"""
+    __global__ void fuzz(float *a, float *q_in, float *o, int n) {{
+        int tid = threadIdx.x + blockIdx.x * blockDim.x;
+        float q = q_in[tid];
+        float s = {init};
+        #pragma np parallel for reduction({op}:s)
+        for (int i = 0; i < n; i++) {{
+            {apply}
+        }}
+        o[tid] = s;
+    }}
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-2, 2, 64 * 24).astype(np.float32)
+    qv = rng.uniform(-2, 2, 64).astype(np.float32)
+
+    def args():
+        return dict(
+            a=data.copy(), q_in=qv.copy(), o=np.zeros(64, np.float32), n=n
+        )
+
+    base = run_kernel(src, 2, 32, args(), racecheck=True, initcheck=True)
+    assert base.sanitizer.ok, base.sanitizer.render()
+    variant = compile_np(src, 32, config)
+    res = launch_variant(variant, 2, args(), racecheck=True, initcheck=True)
+    assert res.sanitizer.ok, (
+        f"{config.describe()} n={n} op={op} expr={expr}\n"
+        + res.sanitizer.render()
+    )
+    np.testing.assert_allclose(
+        res.buffer("o"), base.buffer("o"), rtol=1e-3, atol=1e-3,
+        err_msg=f"{config.describe()} n={n} op={op} expr={expr}",
+    )

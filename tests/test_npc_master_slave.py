@@ -159,6 +159,57 @@ class TestSyncHandling:
         ]
         assert len(syncs) >= 2  # before and after the parallel section
 
+    SEQ_SHARED = """
+    __global__ void t(float *a, float *o, int n) {
+        __shared__ float tile[32];
+        int tid = threadIdx.x;
+        tile[tid] = a[tid];
+        float s = 0;
+        #pragma np parallel for reduction(+:s)
+        for (int i = 0; i < n; i++)
+            s += tile[i];
+        o[tid] = s;
+    }
+    """
+
+    @staticmethod
+    def _guard_followed_by_sync(stmts):
+        """(guard_idx, has_sync_after) for the first slave_id guard found."""
+        for i, s in enumerate(stmts):
+            if isinstance(s, If):
+                nxt = stmts[i + 1] if i + 1 < len(stmts) else None
+                has_sync = (
+                    isinstance(nxt, ExprStmt)
+                    and isinstance(nxt.expr, Call)
+                    and nxt.expr.func == "__syncthreads"
+                )
+                return i, has_sync
+        raise AssertionError("no slave guard emitted")
+
+    def test_master_only_shared_store_gets_barrier_inter(self):
+        # Regression: the sanitizer caught the LU inter-warp variants racing
+        # on exactly this shape — a guarded sequential store to shared memory
+        # with slave *warps* reading it in the next parallel section.
+        kernel, result, _ = transform(self.SEQ_SHARED)
+        _, has_sync = self._guard_followed_by_sync(kernel.body.stmts)
+        assert has_sync
+        assert "barrier after master-only shared stores" in result.notes
+
+    def test_no_barrier_for_intra_warp_shared_store(self):
+        # Intra-warp slaves are lockstep with their master: same-warp shared
+        # accesses are already ordered, so no barrier is emitted.
+        config = NpConfig(slave_size=4, np_type="intra", use_shfl=True, padded=True)
+        kernel, result, _ = transform(self.SEQ_SHARED, config=config)
+        _, has_sync = self._guard_followed_by_sync(kernel.body.stmts)
+        assert not has_sync
+        assert "barrier after master-only shared stores" not in result.notes
+
+    def test_no_barrier_when_guard_stores_no_shared(self):
+        kernel, result, _ = transform(BASIC)
+        _, has_sync = self._guard_followed_by_sync(kernel.body.stmts)
+        assert not has_sync
+        assert "barrier after master-only shared stores" not in result.notes
+
 
 class TestDistributionModes:
     def test_cyclic_default(self):
