@@ -1,0 +1,181 @@
+"""Wall-clock benchmark harness for the two execution backends.
+
+The simulator has a *modeled* clock (:mod:`repro.gpusim.timing`) that both
+backends report identically; this harness measures the other axis — how long
+the simulator itself takes to run a kernel — so the closure-compiled engine's
+speedup over the tree-walking interpreter has a recorded trajectory.
+
+``python -m repro.bench`` times each selected paper benchmark on the
+interpreter and on the compiled backend (compile cache warmed first, so the
+once-per-source lowering cost is excluded), optionally with the parallel
+block scheduler, and writes ``BENCH_gpusim.json``.  Timings are
+best-of-``repeats`` wall-clock; speedups are interp/compiled per kernel plus
+a geometric mean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..gpusim import scheduler
+from ..kernels import BENCHMARKS
+
+#: Kernels timed by default: the full paper suite.
+DEFAULT_KERNELS = tuple(BENCHMARKS)
+#: Subset used by ``--quick`` (CI smoke): one cheap and one loop-heavy kernel.
+QUICK_KERNELS = ("CFD", "MC")
+
+
+def _time_launch(bench, repeats: int, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock seconds for one launch configuration."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = bench.run_baseline(**kwargs)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_kernel(
+    name: str,
+    repeats: int = 3,
+    parallel: Optional[int] = None,
+) -> dict:
+    """Time one benchmark on both backends; returns a JSON-ready record."""
+    bench = BENCHMARKS[name]()
+    # Warm the kernel compile cache so lowering cost is excluded (it is a
+    # once-per-source cost shared by every later launch).
+    bench.run_baseline(backend="compiled", sample_blocks=1)
+
+    interp_s, _ = _time_launch(bench, repeats, backend="interp")
+    compiled_s, compiled_result = _time_launch(bench, repeats, backend="compiled")
+    record = {
+        "grid": compiled_result.grid,
+        "block": compiled_result.block,
+        "interp_ms": round(interp_s * 1e3, 3),
+        "compiled_ms": round(compiled_s * 1e3, 3),
+        "speedup_compiled": round(interp_s / compiled_s, 3),
+        "parallel_ms": None,
+        "parallel_workers": None,
+        "speedup_parallel": None,
+    }
+    if parallel:
+        par_s, par_result = _time_launch(
+            bench, repeats, backend="compiled", parallel=parallel
+        )
+        record["parallel_ms"] = round(par_s * 1e3, 3)
+        record["parallel_workers"] = par_result.parallel_workers
+        record["speedup_parallel"] = round(interp_s / par_s, 3)
+    best_s = min(s for s in (compiled_s, locals().get("par_s")) if s is not None)
+    record["best_ms"] = round(best_s * 1e3, 3)
+    record["speedup_best"] = round(interp_s / best_s, 3)
+    return record
+
+
+def run_bench(
+    kernels: Sequence[str] = DEFAULT_KERNELS,
+    repeats: int = 3,
+    parallel: Optional[int] = None,
+) -> dict:
+    """Benchmark ``kernels`` and return the full report dict."""
+    if parallel is None:
+        # Engage the parallel scheduler only where it can help.
+        workers = scheduler.resolve_workers("auto") if scheduler.available() else 0
+        parallel = workers if workers >= 2 else None
+    records = {}
+    for name in kernels:
+        records[name] = bench_kernel(name, repeats=repeats, parallel=parallel)
+    speedups = [r["speedup_best"] for r in records.values()]
+    report = {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "kernels": list(kernels),
+            "repeats": repeats,
+            "parallel": parallel,
+        },
+        "kernels": records,
+        "geomean_speedup": round(float(np.exp(np.mean(np.log(speedups)))), 3),
+        "max_speedup": round(max(speedups), 3),
+    }
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"{'kernel':6s} {'interp ms':>10s} {'compiled ms':>12s} "
+        f"{'parallel ms':>12s} {'speedup':>8s}"
+    ]
+    for name, rec in report["kernels"].items():
+        par = "-" if rec["parallel_ms"] is None else f"{rec['parallel_ms']:.1f}"
+        lines.append(
+            f"{name:6s} {rec['interp_ms']:10.1f} {rec['compiled_ms']:12.1f} "
+            f"{par:>12s} {rec['speedup_best']:7.2f}x"
+        )
+    lines.append(
+        f"geomean {report['geomean_speedup']:.2f}x   "
+        f"max {report['max_speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Wall-clock benchmark of the simulator's two backends.",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_gpusim.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="worker processes for the parallel scheduler pass "
+        "(default: auto, skipped on single-CPU hosts)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: kernels {', '.join(QUICK_KERNELS)}, one repeat",
+    )
+    parser.add_argument(
+        "--kernels",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help=f"subset of {', '.join(DEFAULT_KERNELS)}",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = args.kernels or (QUICK_KERNELS if args.quick else DEFAULT_KERNELS)
+    unknown = [k for k in kernels if k not in BENCHMARKS]
+    if unknown:
+        parser.error(f"unknown kernels: {unknown}")
+    repeats = 1 if args.quick and args.repeats == 3 else args.repeats
+
+    report = run_bench(kernels, repeats=repeats, parallel=args.parallel)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    return 0

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.bench``."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,6 +7,8 @@ The substrate that stands in for the paper's GTX 680 / K20c hardware:
 - :mod:`~repro.gpusim.coalescing` — transaction + bank-conflict models
 - :mod:`~repro.gpusim.cache` — functional L1 + analytical capacity model
 - :mod:`~repro.gpusim.interp` — warp-level interpreter (divergence masks)
+- :mod:`~repro.gpusim.compile` — closure-compiled execution engine + cache
+- :mod:`~repro.gpusim.scheduler` — parallel block scheduler (fork workers)
 - :mod:`~repro.gpusim.occupancy` — CUDA occupancy calculator
 - :mod:`~repro.gpusim.timing` — Hong–Kim MWP/CWP kernel-time model
 - :mod:`~repro.gpusim.launch` — host-side launch API
@@ -17,6 +19,14 @@ The substrate that stands in for the paper's GTX 680 / K20c hardware:
 - :mod:`~repro.gpusim.racecheck` — racecheck/initcheck sanitizer tools
 """
 
+from .compile import (
+    CompiledKernel,
+    CompileCacheStats,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_kernel,
+    kernel_digest,
+)
 from .device import FERMI, GTX680, K20C, DeviceSpec
 from .diagnostics import FaultContext, FaultReport, render_report
 from .errors import (

@@ -128,6 +128,16 @@ class WarpContext:
         self.env = env
         self.init_mask = init_mask
         self.inactive = np.zeros(WARP_SIZE, dtype=bool)
+        #: Fast-path flag kept by the closure-compiled backend: True whenever
+        #: ``inactive`` may have set lanes, letting barrier-free straight-line
+        #: code skip the per-statement ``mask & ~inactive`` recomputation.
+        self.has_inactive = False
+        #: The warp's entry mask *object* and whether it covers all 32 lanes.
+        #: The compiled backend's assignment closures use the identity test
+        #: ``mask is entry_mask and entry_full and not has_inactive`` to skip
+        #: the per-lane ``np.where`` merge when every lane is active.
+        self.entry_mask = init_mask
+        self.entry_full = bool(init_mask.all())
         self.returned = np.zeros(WARP_SIZE, dtype=bool)
         self.loop_stack: list[_LoopFrame] = []
         self.stats = stats
@@ -244,51 +254,75 @@ def _is_float(arr: np.ndarray) -> bool:
     return np.issubdtype(arr.dtype, np.floating)
 
 
-def _numeric_binop(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    if op in ("&&", "||"):
-        av, bv = a.astype(bool), b.astype(bool)
-        return (av & bv) if op == "&&" else (av | bv)
-    if op in ("==", "!=", "<", ">", "<=", ">="):
-        fn = {
-            "==": np.equal,
-            "!=": np.not_equal,
-            "<": np.less,
-            ">": np.greater,
-            "<=": np.less_equal,
-            ">=": np.greater_equal,
-        }[op]
-        return fn(a, b)
-    if op in ("&", "|", "^", "<<", ">>"):
-        ai, bi = a.astype(np.int64), b.astype(np.int64)
-        fn = {
-            "&": np.bitwise_and,
-            "|": np.bitwise_or,
-            "^": np.bitwise_xor,
-            "<<": np.left_shift,
-            ">>": np.right_shift,
-        }[op]
-        return fn(ai, bi).astype(np.int32)
-    # Arithmetic with C-like promotion: any float operand -> float32.
-    if _is_float(a) or _is_float(b):
-        af, bf = a.astype(np.float32), b.astype(np.float32)
+def _make_bitwise_impl(fn):
+    def impl(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return fn(a.astype(np.int64), b.astype(np.int64)).astype(np.int32)
+
+    return impl
+
+
+def _make_arith_impl(fop, iop):
+    """Arithmetic with C-like promotion: any float operand -> float32."""
+
+    def impl(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if _is_float(a) or _is_float(b):
+            with np.errstate(all="ignore"):
+                return fop(a.astype(np.float32), b.astype(np.float32)).astype(
+                    np.float32
+                )
+        ai = a.astype(np.int32) if a.dtype == np.bool_ else a
+        bi = b.astype(np.int32) if b.dtype == np.bool_ else b
         with np.errstate(all="ignore"):
-            fn = {
-                "+": np.add,
-                "-": np.subtract,
-                "*": np.multiply,
-                "/": np.divide,
-                "%": np.fmod,
-            }[op]
-            return fn(af, bf).astype(np.float32)
-    ai = a.astype(np.int32) if a.dtype == np.bool_ else a
-    bi = b.astype(np.int32) if b.dtype == np.bool_ else b
-    if op == "/":
-        return _c_int_div(ai, bi)
-    if op == "%":
-        return _c_int_mod(ai, bi)
-    with np.errstate(all="ignore"):
-        fn = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
-        return fn(ai, bi).astype(np.result_type(ai, bi))
+            return iop(ai, bi).astype(np.result_type(ai, bi))
+
+    return impl
+
+
+def _make_int_special_impl(fop, ifn):
+    """Like :func:`_make_arith_impl`, but the integer path has its own C
+    semantics helper (truncating division / remainder)."""
+
+    def impl(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if _is_float(a) or _is_float(b):
+            with np.errstate(all="ignore"):
+                return fop(a.astype(np.float32), b.astype(np.float32)).astype(
+                    np.float32
+                )
+        ai = a.astype(np.int32) if a.dtype == np.bool_ else a
+        bi = b.astype(np.int32) if b.dtype == np.bool_ else b
+        return ifn(ai, bi)
+
+    return impl
+
+
+#: One implementation function per binary operator.  Both execution backends
+#: (the tree-walking interpreter below and :mod:`repro.gpusim.compile`'s
+#: closure compiler) dispatch through this table, so numeric semantics are
+#: defined exactly once.
+BINARY_IMPLS: dict = {
+    "&&": lambda a, b: a.astype(bool) & b.astype(bool),
+    "||": lambda a, b: a.astype(bool) | b.astype(bool),
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    ">": np.greater,
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+    "&": _make_bitwise_impl(np.bitwise_and),
+    "|": _make_bitwise_impl(np.bitwise_or),
+    "^": _make_bitwise_impl(np.bitwise_xor),
+    "<<": _make_bitwise_impl(np.left_shift),
+    ">>": _make_bitwise_impl(np.right_shift),
+    "+": _make_arith_impl(np.add, np.add),
+    "-": _make_arith_impl(np.subtract, np.subtract),
+    "*": _make_arith_impl(np.multiply, np.multiply),
+    "/": _make_int_special_impl(np.divide, _c_int_div),
+    "%": _make_int_special_impl(np.fmod, _c_int_mod),
+}
+
+
+def _numeric_binop(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return BINARY_IMPLS[op](a, b)
 
 
 def _resolve_index_chain(expr: Index) -> tuple[Expr, list[Expr]]:
@@ -859,8 +893,63 @@ def shared_decls(kernel: Kernel) -> list[VarDecl]:
     ]
 
 
+class WarpScaffold:
+    """Launch-wide cache of block-invariant warp-environment scaffolding.
+
+    ``shared_decls`` and the per-warp builtin arrays (``threadIdx.*`` lane
+    vectors, ``blockDim``/``gridDim`` broadcasts) depend only on the kernel
+    and the launch shape, so they are computed once per launch and shared by
+    every :class:`BlockExecutor` instead of being rebuilt per block per warp.
+    Nothing in the interpreter mutates these arrays in place, which makes
+    sharing them across blocks safe.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        block_dim: tuple[int, int, int],
+        grid_dim: tuple[int, int, int],
+    ):
+        self.kernel = kernel
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.shared_decls = shared_decls(kernel)
+        bx, by, bz = block_dim
+        gx, gy, gz = grid_dim
+        total = bx * by * bz
+        self.total_threads = total
+        self.num_warps = (total + WARP_SIZE - 1) // WARP_SIZE
+        dims = {
+            "blockDim.x": _broadcast(bx),
+            "blockDim.y": _broadcast(by),
+            "blockDim.z": _broadcast(bz),
+            "gridDim.x": _broadcast(gx),
+            "gridDim.y": _broadcast(gy),
+            "gridDim.z": _broadcast(gz),
+        }
+        self._warps: list[tuple[np.ndarray, dict]] = []
+        for w in range(self.num_warps):
+            linear = w * WARP_SIZE + np.arange(WARP_SIZE)
+            mask = linear < total
+            linear = np.minimum(linear, total - 1)
+            builtins = dict(dims)
+            builtins["threadIdx.x"] = (linear % bx).astype(np.int32)
+            builtins["threadIdx.y"] = ((linear // bx) % by).astype(np.int32)
+            builtins["threadIdx.z"] = (linear // (bx * by)).astype(np.int32)
+            self._warps.append((mask, builtins))
+
+    def warp_builtins(self, warp_idx: int) -> tuple[np.ndarray, dict]:
+        return self._warps[warp_idx]
+
+
 class BlockExecutor:
-    """Runs all warps of one thread block, honouring ``__syncthreads``."""
+    """Runs all warps of one thread block, honouring ``__syncthreads``.
+
+    ``scaffold`` caches launch-invariant warp scaffolding (built on demand
+    when omitted, so direct construction keeps working); ``program`` is an
+    optional :class:`repro.gpusim.compile.CompiledKernel` — when given, warps
+    run the closure-compiled body instead of the tree-walking interpreter.
+    """
 
     def __init__(
         self,
@@ -875,6 +964,8 @@ class BlockExecutor:
         linear_block: Optional[int] = None,
         synccheck: bool = False,
         sanitizer=None,
+        scaffold: Optional[WarpScaffold] = None,
+        program=None,
     ):
         self.kernel = kernel
         self.block_idx = block_idx
@@ -889,12 +980,29 @@ class BlockExecutor:
         self.linear_block = linear_block
         self.synccheck = synccheck
         self.sanitizer = sanitizer
+        if scaffold is None:
+            scaffold = WarpScaffold(kernel, block_dim, grid_dim)
+        else:
+            assert scaffold.kernel is kernel and scaffold.block_dim == block_dim
+        self.scaffold = scaffold
+        self.program = program
+        cx, cy, cz = block_idx
+        self._block_builtins = {
+            "blockIdx.x": _broadcast(cx),
+            "blockIdx.y": _broadcast(cy),
+            "blockIdx.z": _broadcast(cz),
+        }
+        self._pointer_keys = [
+            key
+            for key, value in base_env.items()
+            if isinstance(value, (GlobalBuffer, PointerValue))
+        ]
         self.shared: dict[str, SharedArray] = {}
         self._alloc_shared()
 
     def _alloc_shared(self) -> None:
         offset = 0
-        for decl in shared_decls(self.kernel):
+        for decl in self.scaffold.shared_decls:
             assert isinstance(decl.type, ArrayType)
             arr = SharedArray(
                 decl.name, decl.type.dims, decl.type.elem.name, base_offset=offset
@@ -907,30 +1015,15 @@ class BlockExecutor:
         return sum(arr.nbytes for arr in self.shared.values())
 
     def _warp_env(self, warp_idx: int) -> tuple[dict, np.ndarray]:
-        bx, by, bz = self.block_dim
-        total = bx * by * bz
-        linear = warp_idx * WARP_SIZE + np.arange(WARP_SIZE)
-        mask = linear < total
-        linear = np.minimum(linear, total - 1)
+        mask, builtins = self.scaffold.warp_builtins(warp_idx)
         env = dict(self.base_env)
         env.update(self.shared)
         env.update(self.kernel.const_env)
-        env["threadIdx.x"] = (linear % bx).astype(np.int32)
-        env["threadIdx.y"] = ((linear // bx) % by).astype(np.int32)
-        env["threadIdx.z"] = (linear // (bx * by)).astype(np.int32)
-        gx, gy, gz = self.grid_dim
-        cx, cy, cz = self.block_idx
-        env["blockIdx.x"] = _broadcast(cx)
-        env["blockIdx.y"] = _broadcast(cy)
-        env["blockIdx.z"] = _broadcast(cz)
-        env["blockDim.x"] = _broadcast(bx)
-        env["blockDim.y"] = _broadcast(by)
-        env["blockDim.z"] = _broadcast(bz)
-        env["gridDim.x"] = _broadcast(gx)
-        env["gridDim.y"] = _broadcast(gy)
-        env["gridDim.z"] = _broadcast(gz)
+        env.update(builtins)
+        env.update(self._block_builtins)
         # Pointer params get per-warp offset arrays (no aliasing across warps).
-        for key, value in list(env.items()):
+        for key in self._pointer_keys:
+            value = env[key]
             if isinstance(value, GlobalBuffer):
                 env[key] = PointerValue(value, np.zeros(WARP_SIZE, dtype=np.int64))
             elif isinstance(value, PointerValue):
@@ -938,9 +1031,16 @@ class BlockExecutor:
         return env, mask
 
     def run(self) -> None:
-        bx, by, bz = self.block_dim
-        total = bx * by * bz
-        num_warps = (total + WARP_SIZE - 1) // WARP_SIZE
+        # One errstate guard covers the whole block: the compiled backend's
+        # fast binary impls omit the interpreter's per-op guards and rely on
+        # this one instead.  For the interpreter itself the per-op guards
+        # become inner duplicates, so its behavior is unchanged.
+        with np.errstate(all="ignore"):
+            self._run_block()
+
+    def _run_block(self) -> None:
+        total = self.scaffold.total_threads
+        num_warps = self.scaffold.num_warps
         warps: list[tuple[WarpContext, Iterator]] = []
         for w in range(num_warps):
             env, mask = self._warp_env(w)
@@ -960,7 +1060,11 @@ class BlockExecutor:
                 synccheck=self.synccheck,
                 sanitizer=self.sanitizer,
             )
-            warps.append((ctx, exec_block(ctx, self.kernel.body, mask)))
+            if self.program is not None:
+                gen = self.program.warp_iterator(ctx, mask)
+            else:
+                gen = exec_block(ctx, self.kernel.body, mask)
+            warps.append((ctx, gen))
         if self.sanitizer is not None:
             self.sanitizer.begin_block(self.linear_block)
         self.stats.blocks_executed += 1

@@ -20,6 +20,7 @@ every interpreter hook point.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
@@ -27,10 +28,12 @@ import numpy as np
 
 from ..minicuda.nodes import Kernel, PointerType
 from ..minicuda.parser import parse_kernel
+from . import scheduler
+from .compile import compile_kernel, kernel_uses_atomics
 from .device import DeviceSpec, GTX680
 from .diagnostics import FaultContext, FaultReport
 from .errors import LaunchError, SimError
-from .interp import WARP_SIZE, BlockExecutor
+from .interp import WARP_SIZE, BlockExecutor, WarpScaffold
 from .memory import ConstArray, GlobalMemory, dtype_for
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy
 from .racecheck import Sanitizer, SanitizerReport
@@ -76,6 +79,14 @@ class LaunchResult:
     gmem: GlobalMemory
     trace: AccessTrace = field(default_factory=AccessTrace)
     sampled_blocks: Optional[int] = None
+    #: The exact (ascending, deduplicated) linear block IDs executed when
+    #: ``sample_blocks`` sampled the grid; None for a full-grid launch.
+    sampled_block_ids: Optional[tuple[int, ...]] = None
+    #: Execution backend that ran the launch: "interp" or "compiled".
+    backend: str = "interp"
+    #: Worker-process count when the parallel block scheduler ran this
+    #: launch; None when blocks executed sequentially.
+    parallel_workers: Optional[int] = None
     error: Optional[FaultReport] = None
     #: Racecheck/initcheck findings, when the launch ran under
     #: ``racecheck=True`` / ``initcheck=True`` (None otherwise).  Present
@@ -140,6 +151,8 @@ def launch(
     synccheck: bool = False,
     racecheck: bool = False,
     initcheck: bool = False,
+    backend: Optional[str] = None,
+    parallel: Optional[Union[int, bool, str]] = None,
 ) -> LaunchResult:
     """Simulate one kernel launch.
 
@@ -169,9 +182,31 @@ def launch(
     write/read hazards between warps not ordered by a barrier, and reads of
     never-written shared or local elements, are collected — without aborting
     the launch — into :attr:`LaunchResult.sanitizer`.
+
+    ``backend`` selects the execution engine: ``"interp"`` (the reference
+    tree-walking interpreter) or ``"compiled"`` (the closure-compiled engine
+    of :mod:`repro.gpusim.compile`, cached across launches).  ``None`` defers
+    to the ``GPUSIM_BACKEND`` environment variable, defaulting to
+    ``"interp"``.  Both backends produce bit-identical results.
+
+    ``parallel`` enables the block scheduler: an int worker count, ``True``
+    or ``"auto"`` for one worker per CPU (``None`` defers to
+    ``GPUSIM_PARALLEL``).  Blocks fan out across forked worker processes
+    only when no feature needs the exact sequential interleaving — tracing,
+    fault injection, the sanitizers, and kernels using ``atomicAdd``
+    (cross-block accumulation) all fall back to sequential execution, as
+    does any worker fault (the launch reruns sequentially for exact fault
+    semantics).  :attr:`LaunchResult.parallel_workers` reports what ran.
     """
     if on_error not in ("raise", "status"):
         raise ValueError(f"on_error must be 'raise' or 'status', got {on_error!r}")
+    backend_name = (
+        backend if backend is not None else os.environ.get("GPUSIM_BACKEND") or "interp"
+    )
+    if backend_name not in ("interp", "compiled"):
+        raise ValueError(
+            f"backend must be 'interp' or 'compiled', got {backend_name!r}"
+        )
 
     stats = KernelStats()
     access_trace = AccessTrace(enabled=trace)
@@ -186,6 +221,8 @@ def launch(
     executed = 0
     total_blocks = 1
     shared_bytes = 0
+    sampled_ids: Optional[tuple[int, ...]] = None
+    parallel_workers: Optional[int] = None
     try:
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)
@@ -226,16 +263,30 @@ def launch(
         if faults is not None:
             faults.begin_launch(kernel.name, grid3, block3)
 
+        # --- compile / scaffold ---------------------------------------------
+        # Both are launch-invariant: the closure program is cached across
+        # launches by source digest, the warp scaffolding is shared by every
+        # block of this launch.
+        program = compile_kernel(kernel) if backend_name == "compiled" else None
+        scaffold = WarpScaffold(kernel, block3, grid3)
+
         # --- execute blocks --------------------------------------------------
         gx, gy, gz = grid3
         total_blocks = gx * gy * gz
         if sample_blocks is not None and sample_blocks < total_blocks:
             step = total_blocks / sample_blocks
-            block_ids = sorted({int(i * step) for i in range(sample_blocks)})
+            # Evenly spaced IDs collide after int() truncation when
+            # sample_blocks doesn't divide the grid; dedupe preserving the
+            # ascending generation order (dict keeps insertion order) so the
+            # executed set is deterministic and documented on the result.
+            block_ids = list(
+                dict.fromkeys(int(i * step) for i in range(sample_blocks))
+            )
+            sampled_ids = tuple(block_ids)
         else:
             block_ids = list(range(total_blocks))
 
-        for linear in block_ids:
+        def run_block(linear: int, stats_obj: KernelStats) -> int:
             bz_i, rem = divmod(linear, gx * gy)
             by_i, bx_i = divmod(rem, gx)
             executor = BlockExecutor(
@@ -244,16 +295,44 @@ def launch(
                 block_dim=block3,
                 grid_dim=grid3,
                 base_env=base_env,
-                stats=stats,
+                stats=stats_obj,
                 trace=access_trace,
                 injector=faults,
                 linear_block=linear,
                 synccheck=synccheck,
                 sanitizer=sanitizer,
+                scaffold=scaffold,
+                program=program,
             )
-            shared_bytes = executor.shared_bytes
             executor.run()
-            executed += 1
+            return executor.shared_bytes
+
+        workers = scheduler.resolve_workers(parallel)
+        uses_atomics = (
+            program.uses_atomics if program is not None else kernel_uses_atomics(kernel)
+        )
+        can_parallel = (
+            workers >= 2
+            and len(block_ids) >= 2
+            and not trace
+            and faults is None
+            and sanitizer is None
+            and not uses_atomics
+            and scheduler.available()
+        )
+        ran_parallel = False
+        if can_parallel:
+            outcome = scheduler.execute_blocks(run_block, block_ids, gmem, workers)
+            if outcome is not None:
+                stats.merge(outcome.stats)
+                executed = outcome.executed
+                shared_bytes = outcome.shared_bytes
+                parallel_workers = outcome.workers
+                ran_parallel = True
+        if not ran_parallel:
+            for linear in block_ids:
+                shared_bytes = run_block(linear, stats)
+                executed += 1
     except SimError as exc:
         if exc.ctx is None:
             exc.attach(
@@ -279,6 +358,9 @@ def launch(
             gmem=gmem,
             trace=access_trace,
             sampled_blocks=executed or None,
+            sampled_block_ids=sampled_ids,
+            backend=backend_name,
+            parallel_workers=parallel_workers,
             error=report,
             sanitizer=sanitizer.report() if sanitizer is not None else None,
         )
@@ -315,6 +397,9 @@ def launch(
         gmem=gmem,
         trace=access_trace,
         sampled_blocks=executed if executed < total_blocks else None,
+        sampled_block_ids=sampled_ids,
+        backend=backend_name,
+        parallel_workers=parallel_workers,
         sanitizer=sanitizer.report() if sanitizer is not None else None,
     )
 

@@ -1,0 +1,177 @@
+"""Parallel block scheduler: fan independent thread blocks across processes.
+
+CUDA gives no ordering or visibility guarantees between thread blocks of one
+launch, so when no diagnostic feature needs the exact sequential interleaving
+(tracing, fault injection, sanitizers, atomics that accumulate across
+blocks), blocks can execute in worker processes concurrently.  The design
+keeps results bit-identical to the sequential path:
+
+* Block IDs are split into **contiguous ascending chunks**; each worker runs
+  its chunk against a pristine copy-on-write snapshot of global memory
+  (``fork`` semantics — compiled closures and numpy buffers are inherited,
+  nothing needs to pickle).
+* Each worker diffs its buffers against the pre-launch contents and returns
+  only the changed elements plus its :class:`KernelStats`.  (``data !=
+  before`` over-approximates for a value rewritten in place — merging an
+  identical value is harmless — and NaN compares unequal to itself, so NaN
+  writes are always treated as changed.)
+* The parent applies the write-sets and merges the stats **in ascending
+  chunk order**, which reproduces the sequential last-writer-wins order for
+  any overlapping writes.  Integer statistics merge exactly; float stat
+  accumulation order differs across chunk boundaries, so weighted ALU
+  counters can differ from the sequential path by float rounding (ULPs).
+
+A worker that hits a simulator fault makes the whole scheduler return
+``None``: the caller reruns the launch sequentially against the untouched
+parent memory, so fault semantics (partial stats, located context) are
+exactly those of the sequential path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .errors import LaunchError, SimError
+from .memory import GlobalMemory
+from .stats import KernelStats
+
+#: ``run_block(linear_block, stats) -> shared_bytes`` — supplied by launch().
+RunBlock = Callable[[int, KernelStats], int]
+
+#: Work shared with forked workers (set in the parent just before the pool
+#: forks; workers inherit it through copy-on-write memory).
+_WORK: Optional[tuple[RunBlock, GlobalMemory]] = None
+
+
+def available() -> bool:
+    """Fork-based scheduling needs a POSIX fork start method."""
+    if os.name != "posix":
+        return False
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+def resolve_workers(parallel) -> int:
+    """Normalize the ``parallel=`` knob (falling back to the
+    ``GPUSIM_PARALLEL`` environment variable) to a worker count; 0 or 1
+    means sequential."""
+    if parallel is None:
+        parallel = os.environ.get("GPUSIM_PARALLEL")
+    if parallel is None or parallel is False or parallel == "":
+        return 0
+    if parallel is True:
+        return os.cpu_count() or 1
+    if isinstance(parallel, str):
+        if parallel.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            return max(int(parallel), 0)
+        except ValueError:
+            raise LaunchError(f"invalid parallel setting {parallel!r}") from None
+    return max(int(parallel), 0)
+
+
+def chunk_blocks(block_ids: Sequence[int], workers: int) -> list[list[int]]:
+    """Split into at most ``4 * workers`` contiguous runs of near-equal size
+    (a few chunks per worker smooths load imbalance between blocks)."""
+    n = len(block_ids)
+    count = min(n, max(1, workers * 4))
+    out: list[list[int]] = []
+    base, extra = divmod(n, count)
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        out.append(list(block_ids[start : start + size]))
+        start += size
+    return out
+
+
+@dataclass
+class ParallelOutcome:
+    """Successful parallel execution, already merged into the parent state."""
+
+    stats: KernelStats
+    executed: int
+    shared_bytes: int
+    workers: int
+
+
+def _run_chunk(item):
+    index, chunk = item
+    assert _WORK is not None
+    run_block, gmem = _WORK
+    buffers = gmem.buffers()
+    before = {name: buf.data.copy() for name, buf in buffers.items()}
+    stats = KernelStats()
+    shared_bytes = 0
+    try:
+        for linear in chunk:
+            shared_bytes = run_block(linear, stats)
+    except SimError:
+        # Caller reruns sequentially for exact fault semantics.
+        return {"index": index, "error": True}
+    writes = {}
+    for name, buf in buffers.items():
+        with np.errstate(invalid="ignore"):
+            changed = buf.data != before[name]
+        if changed.any():
+            idx = np.nonzero(changed)[0]
+            writes[name] = (idx, buf.data[idx])
+    return {
+        "index": index,
+        "error": False,
+        "stats": stats,
+        "writes": writes,
+        "shared_bytes": shared_bytes,
+        "executed": len(chunk),
+    }
+
+
+def execute_blocks(
+    run_block: RunBlock,
+    block_ids: Sequence[int],
+    gmem: GlobalMemory,
+    workers: int,
+) -> Optional[ParallelOutcome]:
+    """Run ``block_ids`` across ``workers`` forked processes.
+
+    Returns ``None`` when any worker faulted — parent memory is then still
+    pristine and the caller must rerun sequentially.  On success the write
+    sets and stats are already merged (ascending chunk order) into ``gmem``
+    and the returned stats object.
+    """
+    global _WORK
+    chunks = chunk_blocks(block_ids, workers)
+    ctx = multiprocessing.get_context("fork")
+    _WORK = (run_block, gmem)
+    try:
+        with ctx.Pool(processes=min(workers, len(chunks))) as pool:
+            results = pool.map(_run_chunk, list(enumerate(chunks)))
+    finally:
+        _WORK = None
+    if any(r["error"] for r in results):
+        return None
+    results.sort(key=lambda r: r["index"])
+    stats = KernelStats()
+    shared_bytes = 0
+    executed = 0
+    for r in results:
+        stats.merge(r["stats"])
+        executed += r["executed"]
+        shared_bytes = r["shared_bytes"]
+        for name, (idx, values) in r["writes"].items():
+            gmem[name].data[idx] = values
+    return ParallelOutcome(
+        stats=stats,
+        executed=executed,
+        shared_bytes=shared_bytes,
+        workers=min(workers, len(chunks)),
+    )

@@ -159,6 +159,8 @@ def autotune(
     sample_blocks: Optional[int] = None,
     recombine_unrolled: bool = False,
     faults=None,
+    backend: Optional[str] = None,
+    parallel: Optional[Union[int, bool, str]] = None,
 ) -> AutotuneReport:
     """Exhaustively explore the CUDA-NP variant space for one kernel.
 
@@ -175,6 +177,11 @@ def autotune(
     because nothing downstream is meaningful without it.  ``faults`` is an
     optional :class:`~repro.gpusim.faults.FaultInjector` threaded through
     every launch.
+
+    ``backend``/``parallel`` are forwarded to every launch (baseline and
+    variants), so the whole search can run on the closure-compiled engine
+    and the parallel block scheduler; repeated searches share the variant
+    compile cache (see :func:`repro.npc.pipeline.variant_cache_stats`).
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
@@ -190,6 +197,8 @@ def autotune(
         const_arrays=const_arrays,
         sample_blocks=sample_blocks,
         faults=faults,
+        backend=backend,
+        parallel=parallel,
     )
     if check_output is not None and not check_output(baseline):
         raise RuntimeError(f"baseline output check failed for {kernel.name}")
@@ -226,6 +235,8 @@ def autotune(
                 sample_blocks=sample_blocks,
                 on_error="status",
                 faults=faults,
+                backend=backend,
+                parallel=parallel,
             )
         except SimError as exc:
             # Host-side plumbing (argument binding, scratch allocation) can

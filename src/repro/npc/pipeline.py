@@ -19,6 +19,9 @@ developer put in the pragma (§3.6).
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -38,6 +41,7 @@ from ..minicuda.nodes import (
     walk,
 )
 from ..minicuda.parser import parse_kernel
+from ..minicuda.pretty import emit_kernel
 from .config import CompiledVariant, NpConfig, INTRA_WARP_SLAVE_SIZES
 from .local_arrays import (
     LocalArrayPlan,
@@ -84,6 +88,66 @@ def _replace_decls(body: Block, plans: dict[str, LocalArrayPlan], master_size: i
     return process(body)
 
 
+@dataclass
+class VariantCacheStats:
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+
+_VARIANT_CACHE: "OrderedDict[tuple, CompiledVariant]" = OrderedDict()
+_VARIANT_CACHE_CAPACITY = 256
+_VARIANT_CACHE_STATS = VariantCacheStats()
+
+
+def _variant_cache_key(
+    kernel: Kernel,
+    block_size: Union[int, tuple[int, ...]],
+    config: NpConfig,
+    device: DeviceSpec,
+    recombine_unrolled: bool,
+) -> Optional[tuple]:
+    """Cache key: source digest × block shape × NpConfig × device × options.
+
+    The pretty-printed source includes ``#define`` constants and pragmas, so
+    any change to the input kernel changes the digest.  ``None`` (uncached)
+    when the AST cannot be printed.
+    """
+    try:
+        source = emit_kernel(kernel)
+    except Exception:
+        return None
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    block = block_size if isinstance(block_size, tuple) else (int(block_size),)
+    return (digest, tuple(int(b) for b in block), config, device, recombine_unrolled)
+
+
+def _share_variant(variant: CompiledVariant) -> CompiledVariant:
+    """A per-caller view of a cached variant: the (never mutated) kernel AST
+    is shared, the mutable containers are shallow-copied."""
+    return replace(
+        variant,
+        extra_buffers=list(variant.extra_buffers),
+        const_arrays=dict(variant.const_arrays),
+        notes=list(variant.notes),
+    )
+
+
+def variant_cache_stats() -> VariantCacheStats:
+    return VariantCacheStats(
+        hits=_VARIANT_CACHE_STATS.hits,
+        misses=_VARIANT_CACHE_STATS.misses,
+        size=len(_VARIANT_CACHE),
+    )
+
+
+def clear_variant_cache() -> None:
+    _VARIANT_CACHE.clear()
+    _VARIANT_CACHE_STATS.hits = 0
+    _VARIANT_CACHE_STATS.misses = 0
+    _VARIANT_CACHE_STATS.size = 0
+
+
 def compile_np(
     kernel: Union[str, Kernel],
     block_size: Union[int, tuple[int, ...]],
@@ -95,9 +159,23 @@ def compile_np(
 
     ``block_size`` is the *input* kernel's thread-block shape; the variant's
     launch block grows by ``config.slave_size`` along a new dimension.
+
+    Successful compilations are memoized in a digest-keyed cache shared by
+    the autotuner, the oracle and direct callers (see
+    :func:`variant_cache_stats` / :func:`clear_variant_cache`).
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
+    cache_key = _variant_cache_key(
+        kernel, block_size, config, device, recombine_unrolled
+    )
+    if cache_key is not None:
+        cached = _VARIANT_CACHE.get(cache_key)
+        if cached is not None:
+            _VARIANT_CACHE_STATS.hits += 1
+            _VARIANT_CACHE.move_to_end(cache_key)
+            return _share_variant(cached)
+        _VARIANT_CACHE_STATS.misses += 1
     kernel = clone(kernel)
     notes: list[str] = []
     const_arrays: dict[str, np.ndarray] = {}
@@ -197,7 +275,7 @@ def compile_np(
         provenance=f"CUDA-NP variant of {kernel.name!r} ({config.describe()})",
     )
     block = (master_size, S) if config.np_type == "inter" else (S, master_size)
-    return CompiledVariant(
+    variant = CompiledVariant(
         kernel=out,
         config=config,
         master_size=master_size,
@@ -206,6 +284,13 @@ def compile_np(
         const_arrays=const_arrays,
         notes=notes,
     )
+    if cache_key is not None:
+        # Cache a private view so caller-side mutation of the returned
+        # containers cannot leak into later cache hits.
+        _VARIANT_CACHE[cache_key] = _share_variant(variant)
+        while len(_VARIANT_CACHE) > _VARIANT_CACHE_CAPACITY:
+            _VARIANT_CACHE.popitem(last=False)
+    return variant
 
 
 def verify_np(

@@ -162,6 +162,7 @@ def verify_transformations(
     racecheck: bool = True,
     initcheck: bool = True,
     recombine_unrolled: bool = False,
+    backend: Optional[str] = None,
 ) -> OracleReport:
     """Differentially verify every NPC variant of ``kernel``.
 
@@ -172,6 +173,10 @@ def verify_transformations(
     fails to compile, faults at launch, diverges from the baseline, or
     triggers any racecheck/initcheck finding fails its verdict (the run
     continues — the report collects every verdict).
+
+    ``backend`` selects the gpusim execution engine for every launch; both
+    backends are bit-identical, so verdicts do not depend on it.  Repeated
+    verifications share the variant compile cache with the autotuner.
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
@@ -193,6 +198,7 @@ def verify_transformations(
         const_arrays=const_arrays,
         racecheck=racecheck,
         initcheck=initcheck,
+        backend=backend,
     )
     params = _output_params(kernel)
     report = OracleReport(kernel_name=kernel.name, baseline=baseline)
@@ -225,6 +231,7 @@ def verify_transformations(
                 on_error="status",
                 racecheck=racecheck,
                 initcheck=initcheck,
+                backend=backend,
             )
         except SimError as exc:
             verdict.launch_ok = False

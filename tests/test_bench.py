@@ -1,0 +1,32 @@
+"""Wall-clock benchmark harness smoke tests (``python -m repro.bench``)."""
+
+import json
+
+from repro.bench import QUICK_KERNELS, bench_kernel, main
+
+
+def test_bench_kernel_record():
+    rec = bench_kernel("CFD", repeats=1)
+    assert rec["interp_ms"] > 0 and rec["compiled_ms"] > 0
+    assert rec["speedup_compiled"] > 0
+    assert rec["best_ms"] <= rec["compiled_ms"]
+    assert rec["parallel_ms"] is None  # not requested
+
+
+def test_main_quick_writes_json(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["--quick", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert set(report["kernels"]) == set(QUICK_KERNELS)
+    assert report["config"]["repeats"] == 1
+    assert report["geomean_speedup"] > 0
+    assert report["host"]["cpu_count"] >= 1
+    printed = capsys.readouterr().out
+    assert "geomean" in printed
+
+
+def test_main_kernel_subset(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["--kernels", "CFD", "--repeats", "1", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert list(report["kernels"]) == ["CFD"]
