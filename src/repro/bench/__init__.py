@@ -49,12 +49,30 @@ def bench_kernel(
     name: str,
     repeats: int = 3,
     parallel: Optional[int] = None,
+    profile: bool = False,
 ) -> dict:
-    """Time one benchmark on both backends; returns a JSON-ready record."""
+    """Time one benchmark on both backends; returns a JSON-ready record.
+
+    ``profile=True`` additionally runs one *untimed* profiled launch per
+    backend (profiling hooks would distort the wall-clock comparison) and
+    records the profiles in the :mod:`repro.prof` registry as
+    ``"bench/<name>/interp"`` / ``"bench/<name>/compiled"``.
+    """
     bench = BENCHMARKS[name]()
     # Warm the kernel compile cache so lowering cost is excluded (it is a
     # once-per-source cost shared by every later launch).
     bench.run_baseline(backend="compiled", sample_blocks=1)
+
+    if profile:
+        from ..prof import record_profile
+
+        for backend in ("interp", "compiled"):
+            profiled = bench.run_baseline(backend=backend, profile=True)
+            record_profile(
+                f"bench/{name}/{backend}",
+                profiled.profile,
+                backend=backend,
+            )
 
     interp_s, _ = _time_launch(bench, repeats, backend="interp")
     compiled_s, compiled_result = _time_launch(bench, repeats, backend="compiled")
@@ -85,6 +103,7 @@ def run_bench(
     kernels: Sequence[str] = DEFAULT_KERNELS,
     repeats: int = 3,
     parallel: Optional[int] = None,
+    profile: bool = False,
 ) -> dict:
     """Benchmark ``kernels`` and return the full report dict."""
     if parallel is None:
@@ -93,7 +112,9 @@ def run_bench(
         parallel = workers if workers >= 2 else None
     records = {}
     for name in kernels:
-        records[name] = bench_kernel(name, repeats=repeats, parallel=parallel)
+        records[name] = bench_kernel(
+            name, repeats=repeats, parallel=parallel, profile=profile
+        )
     speedups = [r["speedup_best"] for r in records.values()]
     report = {
         "host": {
@@ -111,6 +132,10 @@ def run_bench(
         "geomean_speedup": round(float(np.exp(np.mean(np.log(speedups)))), 3),
         "max_speedup": round(max(speedups), 3),
     }
+    if profile:
+        from ..prof import registry_to_json
+
+        report["profiles"] = registry_to_json()
     return report
 
 
@@ -158,6 +183,12 @@ def main(argv: Optional[list] = None) -> int:
         help=f"CI smoke mode: kernels {', '.join(QUICK_KERNELS)}, one repeat",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-line profiles (untimed extra launches) and embed "
+        "them in the output JSON",
+    )
+    parser.add_argument(
         "--kernels",
         nargs="+",
         metavar="NAME",
@@ -172,7 +203,9 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"unknown kernels: {unknown}")
     repeats = 1 if args.quick and args.repeats == 3 else args.repeats
 
-    report = run_bench(kernels, repeats=repeats, parallel=args.parallel)
+    report = run_bench(
+        kernels, repeats=repeats, parallel=args.parallel, profile=args.profile
+    )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

@@ -1,4 +1,5 @@
-"""CLI: ``python -m repro.experiments [--fast] [--chart] [--json PATH] [ids...]``."""
+"""CLI: ``python -m repro.experiments [--fast] [--chart] [--profile]
+[--json PATH] [ids...]``."""
 
 import sys
 
@@ -8,6 +9,11 @@ from . import EXPERIMENTS, run_all
 def main(argv: list[str]) -> int:
     fast = "--fast" in argv
     chart = "--chart" in argv
+    profiling = "--profile" in argv
+    if profiling:
+        from . import util
+
+        util.PROFILE_LAUNCHES = True
     json_path = None
     if "--json" in argv:
         i = argv.index("--json")
@@ -29,6 +35,15 @@ def main(argv: list[str]) -> int:
         print(f"wrote {json_path}")
     for result in results:
         print(result.format())
+        if profiling:
+            from ..prof import profile_names
+
+            attached = [
+                n for n in profile_names()
+                if n.startswith(result.exp_id + "/")
+            ]
+            if attached:
+                print(f"profiles attached: {', '.join(attached)}")
         if chart and result.exp_id in ("fig10", "fig12", "fig15", "fig16"):
             from .charts import chart_fig10
 

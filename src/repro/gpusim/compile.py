@@ -38,6 +38,7 @@ once-per-source cost shared by ``launch()``, the autotuner and the oracle.
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
@@ -385,6 +386,8 @@ def _fast_load_object(
             stats.uncoalesced_accesses += 1
         if ctx.trace.enabled:
             ctx.trace.record_global(buf.name, txns, int(mask.sum()))
+        if ctx.profile is not None:
+            ctx.profile.global_access(ctx.current_loc, txns, not coalesced, False)
         value = _fast_global_load(buf, offsets, mask)
         if inj is not None:
             value = inj.flip_bits(ctx, "global", buf.name, value, mask)
@@ -400,6 +403,8 @@ def _fast_load_object(
         stats.shared_bank_replays += replays
         if ctx.trace.enabled:
             ctx.trace.record_shared(root.name, replays)
+        if ctx.profile is not None:
+            ctx.profile.shared_access(ctx.current_loc, replays, False)
         value = _fast_shared_load(root, flat, mask)
         if ctx.sanitizer is not None:
             ctx.sanitizer.shared_load(ctx, root, flat, mask)
@@ -414,10 +419,11 @@ def _fast_load_object(
             pass  # register operand: free (the template unrolls the index)
         else:
             stats.local_load_insts += 1
-            stats.local_transactions += _fast_txns(
-                _fast_local_byte_addrs(root, idx), mask
-            )
+            ltx = _fast_txns(_fast_local_byte_addrs(root, idx), mask)
+            stats.local_transactions += ltx
             stats.local_bytes += int(mask.sum()) * root.itemsize
+            if ctx.profile is not None:
+                ctx.profile.local_access(ctx.current_loc, ltx)
         value = _fast_local_load(root, idx, mask)
         if ctx.sanitizer is not None:
             ctx.sanitizer.local_load(ctx, root, idx, mask)
@@ -427,8 +433,11 @@ def _fast_load_object(
             raise MemoryFault("constant arrays are 1-D")
         idx = indices[0]
         stats.const_load_insts += 1
-        if not coalescing.broadcast_segments(root.byte_addrs(idx), mask):
+        serialized = not coalescing.broadcast_segments(root.byte_addrs(idx), mask)
+        if serialized:
             stats.const_serialized += 1
+        if ctx.profile is not None:
+            ctx.profile.const_access(ctx.current_loc, serialized)
         return root.load(idx, mask)
     raise MemoryFault(f"cannot index into {type(root).__name__}")
 
@@ -459,6 +468,8 @@ def _fast_store_object(
             stats.uncoalesced_accesses += 1
         if ctx.trace.enabled:
             ctx.trace.record_global(buf.name, txns, int(mask.sum()))
+        if ctx.profile is not None:
+            ctx.profile.global_access(ctx.current_loc, txns, not coalesced, True)
         _fast_global_store(buf, offsets, mask, values)
         return
     if isinstance(root, SharedArray):
@@ -472,6 +483,8 @@ def _fast_store_object(
         stats.shared_bank_replays += replays
         if ctx.trace.enabled:
             ctx.trace.record_shared(root.name, replays)
+        if ctx.profile is not None:
+            ctx.profile.shared_access(ctx.current_loc, replays, True)
         _fast_shared_store(root, flat, mask, values)
         if ctx.sanitizer is not None:
             ctx.sanitizer.shared_store(ctx, root, flat, mask)
@@ -484,10 +497,11 @@ def _fast_store_object(
             pass  # register operand: free (the template unrolls the index)
         else:
             stats.local_store_insts += 1
-            stats.local_transactions += _fast_txns(
-                _fast_local_byte_addrs(root, idx), mask
-            )
+            ltx = _fast_txns(_fast_local_byte_addrs(root, idx), mask)
+            stats.local_transactions += ltx
             stats.local_bytes += int(mask.sum()) * root.itemsize
+            if ctx.profile is not None:
+                ctx.profile.local_access(ctx.current_loc, ltx)
         _fast_local_store(root, idx, mask, values)
         if ctx.sanitizer is not None:
             ctx.sanitizer.local_store(ctx, root, idx, mask)
@@ -682,6 +696,8 @@ def _compile_call(expr: Call) -> ExprFn:
                 lane = lane_fn(ctx, mask)
                 width = int(width_fn(ctx, mask)[0])
                 ctx.stats.shfl_insts += 1
+                if ctx.profile is not None:
+                    ctx.profile.shfl(ctx.current_loc)
                 if ctx.injector is not None:
                     lane = ctx.injector.corrupt_shfl_lane(
                         ctx, _broadcast(lane), width
@@ -698,6 +714,8 @@ def _compile_call(expr: Call) -> ExprFn:
             lane = lane_fn(ctx, mask)
             width = int(width_fn(ctx, mask)[0])
             ctx.stats.shfl_insts += 1
+            if ctx.profile is not None:
+                ctx.profile.shfl(ctx.current_loc)
             return shift_fn(var, int(lane[0]), width)
 
         return do_shift
@@ -718,6 +736,8 @@ def _compile_call(expr: Call) -> ExprFn:
             ]
             delta = delta_fn(ctx, mask)
             ctx.stats.atomic_insts += 1
+            if ctx.profile is not None:
+                ctx.profile.atomic(ctx.current_loc)
             return _atomic_add(ctx, root, indices, mask, delta)
 
         return do_atomic
@@ -738,9 +758,10 @@ def _compile_call(expr: Call) -> ExprFn:
                 # Texture-cache amortization: see interp._eval_call.
                 ctx.stats.global_load_insts += 1
                 active = int(mask.sum())
-                ctx.stats.global_transactions += max(
-                    1, (active * tex.itemsize + 127) // 128
-                )
+                txns = max(1, (active * tex.itemsize + 127) // 128)
+                ctx.stats.global_transactions += txns
+                if ctx.profile is not None:
+                    ctx.profile.global_access(ctx.current_loc, txns, False, False)
                 return tex.load(idx, mask)
             raise IntrinsicError(f"texture {tex_name!r} not bound")
 
@@ -1036,6 +1057,8 @@ def _compile_sync(stmt: ExprStmt) -> StmtFn:
             ctx.current_loc = loc
         ctx.current_mask = mask
         ctx.stats.syncthreads += 1
+        if ctx.profile is not None:
+            ctx.profile.sync(line)
         sync_mask = mask
         if ctx.injector is not None:
             skip = ctx.injector.sync_skip_lanes(ctx, sync_mask)
@@ -1070,6 +1093,7 @@ def _compile_sync(stmt: ExprStmt) -> StmtFn:
 
 def _compile_if(stmt: If) -> tuple[StmtFn, bool]:
     loc = _stmt_loc(stmt)
+    line = loc.line if loc is not None else None
     cond_fn = compile_expr(stmt.cond)
     then_fn, then_gen = compile_block(stmt.then)
     has_else = stmt.els is not None and bool(stmt.els.stmts)
@@ -1092,6 +1116,8 @@ def _compile_if(stmt: If) -> tuple[StmtFn, bool]:
                 else_any = _mask_any(m_else)
                 if then_any and else_any:
                     ctx.stats.divergent_branches += 1
+                    if ctx.profile is not None and line is not None:
+                        ctx.profile.divergent(line)
                 if then_any:
                     then_fn(ctx, m_then)
                 if else_any:
@@ -1114,6 +1140,8 @@ def _compile_if(stmt: If) -> tuple[StmtFn, bool]:
             else_any = _mask_any(m_else)
             if then_any and else_any:
                 ctx.stats.divergent_branches += 1
+                if ctx.profile is not None and line is not None:
+                    ctx.profile.divergent(line)
             if then_any:
                 if then_gen:
                     yield from then_fn(ctx, m_then)
@@ -1333,8 +1361,55 @@ def _compile_while(stmt: While) -> tuple[StmtFn, bool]:
     return gen_while, True
 
 
+#: True while :func:`compile_kernel` lowers a kernel in profile mode: every
+#: located statement closure is then wrapped with the per-line issue hook
+#: (the compiled analogue of the hook at the top of ``interp.exec_stmt``).
+#: Lowering is synchronous and single-threaded, so a module flag is safe and
+#: avoids threading a parameter through the whole recursive lowerer.
+_PROFILE_LOWERING = False
+
+
+def _wrap_profiled(fn: StmtFn, is_gen: bool, line: int) -> StmtFn:
+    """Fire ``profile.stmt`` when the statement executes.
+
+    Mirrors the interpreter exactly: ``exec_stmt`` is a generator whose
+    hook runs on first advance, and ``yield from`` advances immediately
+    after creation, so a generator wrapper keeps both the firing point and
+    the per-execution count identical.
+    """
+    if is_gen:
+
+        def gen_hook(ctx: WarpContext, mask: np.ndarray):
+            if ctx.profile is not None:
+                ctx.profile.stmt(line, int(mask.sum()))
+            yield from fn(ctx, mask)
+
+        return gen_hook
+
+    def hook(ctx: WarpContext, mask: np.ndarray):
+        if ctx.profile is not None:
+            ctx.profile.stmt(line, int(mask.sum()))
+        fn(ctx, mask)
+
+    return hook
+
+
 def compile_stmt(stmt: Stmt) -> tuple[StmtFn, bool]:
-    """Lower one statement; returns ``(fn, is_generator)``."""
+    """Lower one statement; returns ``(fn, is_generator)``.
+
+    In profile-lowering mode every statement with a source location gets
+    the per-line issue hook — the same condition (``loc is not None and
+    loc.line``, i.e. :func:`_stmt_loc`) the interpreter's hook uses.
+    """
+    fn, is_gen = _compile_stmt_dispatch(stmt)
+    if _PROFILE_LOWERING:
+        loc = _stmt_loc(stmt)
+        if loc is not None:
+            return _wrap_profiled(fn, is_gen, loc.line), is_gen
+    return fn, is_gen
+
+
+def _compile_stmt_dispatch(stmt: Stmt) -> tuple[StmtFn, bool]:
     loc = _stmt_loc(stmt)
     if isinstance(stmt, VarDecl):
         return _compile_decl(stmt), False
@@ -1493,6 +1568,10 @@ class CompiledKernel:
     body_fn: StmtFn
     body_is_gen: bool
     uses_atomics: bool
+    #: Whether statement closures carry the per-line profile issue hook
+    #: (compiled via ``compile_kernel(..., profile=True)``; cached under a
+    #: separate key so the non-profiled hot path stays wrapper-free).
+    profiled: bool = False
 
     @property
     def has_barriers(self) -> bool:
@@ -1531,14 +1610,23 @@ def kernel_digest(kernel: Kernel) -> Optional[str]:
     return hashlib.sha256(source.encode()).hexdigest()
 
 
-def _lower(kernel: Kernel, digest: Optional[str]) -> CompiledKernel:
-    body_fn, body_is_gen = compile_block(kernel.body)
+def _lower(
+    kernel: Kernel, digest: Optional[str], profile: bool = False
+) -> CompiledKernel:
+    global _PROFILE_LOWERING
+    prev = _PROFILE_LOWERING
+    _PROFILE_LOWERING = profile
+    try:
+        body_fn, body_is_gen = compile_block(kernel.body)
+    finally:
+        _PROFILE_LOWERING = prev
     return CompiledKernel(
         kernel=kernel,
         digest=digest,
         body_fn=body_fn,
         body_is_gen=body_is_gen,
         uses_atomics=kernel_uses_atomics(kernel),
+        profiled=profile,
     )
 
 
@@ -1547,32 +1635,58 @@ class CompileCacheStats:
     hits: int = 0
     misses: int = 0
     size: int = 0
+    #: Process the counters belong to.  Forked scheduler workers inherit the
+    #: parent's cache through copy-on-write but must not inherit its
+    #: hit/miss history as their own — see :func:`_check_fork`.
+    pid: int = 0
 
 
 _CACHE: "OrderedDict[str, CompiledKernel]" = OrderedDict()
 _CACHE_CAPACITY = 128
-_CACHE_STATS = CompileCacheStats()
+_CACHE_STATS = CompileCacheStats(pid=os.getpid())
 
 
-def compile_kernel(kernel: Kernel, cache: bool = True) -> CompiledKernel:
+def _check_fork() -> None:
+    """Keep cache accounting honest across ``fork``.
+
+    A forked worker inherits the parent's cache *contents* (copy-on-write
+    artifacts genuinely serve hits in the child, so they stay) and also the
+    parent's ``_CACHE_STATS`` counters — which would silently report the
+    parent's compile history as the child's own.  On first cache use in a
+    new process the counters restart at zero under the child's pid.
+    """
+    pid = os.getpid()
+    if pid != _CACHE_STATS.pid:
+        _CACHE_STATS.pid = pid
+        _CACHE_STATS.hits = 0
+        _CACHE_STATS.misses = 0
+
+
+def compile_kernel(
+    kernel: Kernel, cache: bool = True, profile: bool = False
+) -> CompiledKernel:
     """Lower ``kernel`` to closures, reusing the digest-keyed LRU cache.
 
     Two structurally identical kernels (same pretty-printed source, including
     ``#define`` constants) share one compiled artifact; injector, sanitizer
     and synccheck plumbing is resolved from the runtime context, so a single
-    artifact serves every launch mode.
+    artifact serves every launch mode.  ``profile=True`` lowers with the
+    per-line issue hooks; profiled artifacts live under their own cache key
+    so they never slow down non-profiled launches.
     """
+    _check_fork()
     digest = kernel_digest(kernel) if cache else None
     if digest is None:
-        return _lower(kernel, None)
-    cached = _CACHE.get(digest)
+        return _lower(kernel, None, profile)
+    key = digest + "#prof" if profile else digest
+    cached = _CACHE.get(key)
     if cached is not None:
         _CACHE_STATS.hits += 1
-        _CACHE.move_to_end(digest)
+        _CACHE.move_to_end(key)
         return cached
     _CACHE_STATS.misses += 1
-    compiled = _lower(kernel, digest)
-    _CACHE[digest] = compiled
+    compiled = _lower(kernel, digest, profile)
+    _CACHE[key] = compiled
     while len(_CACHE) > _CACHE_CAPACITY:
         _CACHE.popitem(last=False)
     _CACHE_STATS.size = len(_CACHE)
@@ -1580,15 +1694,20 @@ def compile_kernel(kernel: Kernel, cache: bool = True) -> CompiledKernel:
 
 
 def compile_cache_stats() -> CompileCacheStats:
+    """Per-process cache counters (honest under forked workers: a child's
+    counters restart at zero, its ``pid`` field says whose they are)."""
+    _check_fork()
     _CACHE_STATS.size = len(_CACHE)
     return CompileCacheStats(
         hits=_CACHE_STATS.hits,
         misses=_CACHE_STATS.misses,
         size=len(_CACHE),
+        pid=_CACHE_STATS.pid,
     )
 
 
 def clear_compile_cache() -> None:
+    _check_fork()
     _CACHE.clear()
     _CACHE_STATS.hits = 0
     _CACHE_STATS.misses = 0

@@ -124,6 +124,7 @@ class WarpContext:
         provenance: Optional[str] = None,
         synccheck: bool = False,
         sanitizer=None,
+        profile=None,
     ):
         self.env = env
         self.init_mask = init_mask
@@ -154,6 +155,11 @@ class WarpContext:
         #: Optional :class:`~repro.gpusim.racecheck.Sanitizer` consulted at
         #: the shared/local memory hook points.
         self.sanitizer = sanitizer
+        #: Optional :class:`~repro.prof.counters.KernelProfile` fed at the
+        #: per-line hook points (statement issue, memory access, intrinsics).
+        #: Both backends call the hooks at mirrored sites keyed off the same
+        #: ``current_loc`` bookkeeping, so profiles are bit-identical.
+        self.profile = profile
         #: Source location of the statement currently executing.
         self.current_loc = None
         #: Active mask the current statement runs under.
@@ -461,9 +467,14 @@ def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.nda
         txns = coalescing.transactions_for(addrs, mask)
         stats.global_load_insts += 1
         stats.global_transactions += txns
-        if not coalescing.is_fully_coalesced(addrs, mask, root.buffer.itemsize):
+        uncoalesced = not coalescing.is_fully_coalesced(
+            addrs, mask, root.buffer.itemsize
+        )
+        if uncoalesced:
             stats.uncoalesced_accesses += 1
         ctx.trace.record_global(root.buffer.name, txns, int(mask.sum()))
+        if ctx.profile is not None:
+            ctx.profile.global_access(ctx.current_loc, txns, uncoalesced, False)
         value = root.buffer.load(offsets, mask)
         if inj is not None:
             value = inj.flip_bits(ctx, "global", root.buffer.name, value, mask)
@@ -476,6 +487,8 @@ def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.nda
         replays = coalescing.bank_conflict_replays(root.byte_addrs(flat), mask)
         stats.shared_bank_replays += replays
         ctx.trace.record_shared(root.name, replays)
+        if ctx.profile is not None:
+            ctx.profile.shared_access(ctx.current_loc, replays, False)
         value = root.load(flat, mask)
         if ctx.sanitizer is not None:
             ctx.sanitizer.shared_load(ctx, root, flat, mask)
@@ -491,8 +504,11 @@ def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.nda
         else:
             stats.local_load_insts += 1
             addrs = root.byte_addrs(idx)
-            stats.local_transactions += coalescing.transactions_for(addrs, mask)
+            ltx = coalescing.transactions_for(addrs, mask)
+            stats.local_transactions += ltx
             stats.local_bytes += int(mask.sum()) * root.itemsize
+            if ctx.profile is not None:
+                ctx.profile.local_access(ctx.current_loc, ltx)
         value = root.load(idx, mask)
         if ctx.sanitizer is not None:
             ctx.sanitizer.local_load(ctx, root, idx, mask)
@@ -502,8 +518,11 @@ def _load_object(ctx: WarpContext, root, indices: list[np.ndarray], mask: np.nda
             raise MemoryFault("constant arrays are 1-D")
         idx = indices[0]
         stats.const_load_insts += 1
-        if not coalescing.broadcast_segments(root.byte_addrs(idx), mask):
+        serialized = not coalescing.broadcast_segments(root.byte_addrs(idx), mask)
+        if serialized:
             stats.const_serialized += 1
+        if ctx.profile is not None:
+            ctx.profile.const_access(ctx.current_loc, serialized)
         return root.load(idx, mask)
     raise MemoryFault(f"cannot index into {type(root).__name__}")
 
@@ -528,9 +547,14 @@ def _store_object(
         txns = coalescing.transactions_for(addrs, mask)
         stats.global_store_insts += 1
         stats.global_transactions += txns
-        if not coalescing.is_fully_coalesced(addrs, mask, root.buffer.itemsize):
+        uncoalesced = not coalescing.is_fully_coalesced(
+            addrs, mask, root.buffer.itemsize
+        )
+        if uncoalesced:
             stats.uncoalesced_accesses += 1
         ctx.trace.record_global(root.buffer.name, txns, int(mask.sum()))
+        if ctx.profile is not None:
+            ctx.profile.global_access(ctx.current_loc, txns, uncoalesced, True)
         root.buffer.store(offsets, mask, values)
         return
     if isinstance(root, SharedArray):
@@ -541,6 +565,8 @@ def _store_object(
         replays = coalescing.bank_conflict_replays(root.byte_addrs(flat), mask)
         stats.shared_bank_replays += replays
         ctx.trace.record_shared(root.name, replays)
+        if ctx.profile is not None:
+            ctx.profile.shared_access(ctx.current_loc, replays, True)
         root.store(flat, mask, values)
         if ctx.sanitizer is not None:
             ctx.sanitizer.shared_store(ctx, root, flat, mask)
@@ -554,8 +580,11 @@ def _store_object(
         else:
             stats.local_store_insts += 1
             addrs = root.byte_addrs(idx)
-            stats.local_transactions += coalescing.transactions_for(addrs, mask)
+            ltx = coalescing.transactions_for(addrs, mask)
+            stats.local_transactions += ltx
             stats.local_bytes += int(mask.sum()) * root.itemsize
+            if ctx.profile is not None:
+                ctx.profile.local_access(ctx.current_loc, ltx)
         root.store(idx, mask, values)
         if ctx.sanitizer is not None:
             ctx.sanitizer.local_store(ctx, root, idx, mask)
@@ -580,6 +609,8 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
         width_arr = eval_expr(ctx, expr.args[2], mask)
         width = int(width_arr[0])
         stats.shfl_insts += 1
+        if ctx.profile is not None:
+            ctx.profile.shfl(ctx.current_loc)
         if func == "__shfl":
             if ctx.injector is not None:
                 lane = ctx.injector.corrupt_shfl_lane(ctx, _broadcast(lane), width)
@@ -596,6 +627,8 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
         indices = [eval_expr(ctx, ie, mask).astype(np.int64) for ie in index_exprs]
         delta = eval_expr(ctx, expr.args[1], mask)
         stats.atomic_insts += 1
+        if ctx.profile is not None:
+            ctx.profile.atomic(ctx.current_loc)
         return _atomic_add(ctx, root, indices, mask, delta)
     if func == "tex1Dfetch":
         if len(expr.args) != 2 or not isinstance(expr.args[0], Name):
@@ -609,7 +642,10 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
             # nearby fetches), unlike an uncached gather.
             stats.global_load_insts += 1
             active = int(mask.sum())
-            stats.global_transactions += max(1, (active * tex.itemsize + 127) // 128)
+            txns = max(1, (active * tex.itemsize + 127) // 128)
+            stats.global_transactions += txns
+            if ctx.profile is not None:
+                ctx.profile.global_access(ctx.current_loc, txns, False, False)
             return tex.load(idx, mask)
         raise IntrinsicError(f"texture {expr.args[0].id!r} not bound")
     intrinsic = MATH_INTRINSICS.get(func)
@@ -662,6 +698,8 @@ def exec_stmt(ctx: WarpContext, stmt: Stmt, mask: np.ndarray) -> Iterator:
     stats = ctx.stats
     if stmt.loc is not None and stmt.loc.line:
         ctx.current_loc = stmt.loc
+        if ctx.profile is not None:
+            ctx.profile.stmt(stmt.loc.line, int(mask.sum()))
     ctx.current_mask = mask
     if isinstance(stmt, VarDecl):
         _exec_decl(ctx, stmt, mask)
@@ -670,6 +708,8 @@ def exec_stmt(ctx: WarpContext, stmt: Stmt, mask: np.ndarray) -> Iterator:
     elif isinstance(stmt, ExprStmt):
         if isinstance(stmt.expr, Call) and stmt.expr.func == "__syncthreads":
             stats.syncthreads += 1
+            if ctx.profile is not None:
+                ctx.profile.sync(stmt.loc.line if stmt.loc is not None else 0)
             sync_mask = mask
             if ctx.injector is not None:
                 skip = ctx.injector.sync_skip_lanes(ctx, sync_mask)
@@ -715,6 +755,8 @@ def exec_stmt(ctx: WarpContext, stmt: Stmt, mask: np.ndarray) -> Iterator:
         has_else = stmt.els is not None and stmt.els.stmts
         if m_then.any() and (m_else.any() and has_else):
             stats.divergent_branches += 1
+            if ctx.profile is not None and stmt.loc is not None and stmt.loc.line:
+                ctx.profile.divergent(stmt.loc.line)
         if m_then.any():
             yield from exec_block(ctx, stmt.then, m_then)
         if has_else and m_else.any():
@@ -966,6 +1008,7 @@ class BlockExecutor:
         sanitizer=None,
         scaffold: Optional[WarpScaffold] = None,
         program=None,
+        profile=None,
     ):
         self.kernel = kernel
         self.block_idx = block_idx
@@ -980,6 +1023,7 @@ class BlockExecutor:
         self.linear_block = linear_block
         self.synccheck = synccheck
         self.sanitizer = sanitizer
+        self.profile = profile
         if scaffold is None:
             scaffold = WarpScaffold(kernel, block_dim, grid_dim)
         else:
@@ -1059,6 +1103,7 @@ class BlockExecutor:
                 injector=self.injector,
                 synccheck=self.synccheck,
                 sanitizer=self.sanitizer,
+                profile=self.profile,
             )
             if self.program is not None:
                 gen = self.program.warp_iterator(ctx, mask)
@@ -1067,6 +1112,11 @@ class BlockExecutor:
             warps.append((ctx, gen))
         if self.sanitizer is not None:
             self.sanitizer.begin_block(self.linear_block)
+        if self.profile is not None:
+            # Single shared collection point for both backends: per-block
+            # cost records start here, before any warp issues a statement.
+            linear = self.linear_block if self.linear_block is not None else 0
+            self.profile.begin_block(linear, num_warps, total)
         self.stats.blocks_executed += 1
         self.stats.warps_executed += num_warps
         self.stats.threads_launched += total

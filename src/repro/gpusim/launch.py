@@ -28,6 +28,7 @@ import numpy as np
 
 from ..minicuda.nodes import Kernel, PointerType
 from ..minicuda.parser import parse_kernel
+from ..prof.counters import KernelProfile
 from . import scheduler
 from .compile import compile_kernel, kernel_uses_atomics
 from .device import DeviceSpec, GTX680
@@ -87,6 +88,16 @@ class LaunchResult:
     #: Worker-process count when the parallel block scheduler ran this
     #: launch; None when blocks executed sequentially.
     parallel_workers: Optional[int] = None
+    #: Why a *requested* parallel launch (>= 2 resolved workers) ran
+    #: sequentially instead; None when it ran parallel or was never
+    #: requested.  One of: "single-block", "trace", "faults", "sanitizer",
+    #: "atomics", "unavailable", "worker-fault".
+    parallel_fallback: Optional[str] = None
+    #: Per-line/per-block hotspot counters, when the launch ran with
+    #: ``profile=True`` (None otherwise).  Bit-identical between the
+    #: interp and compiled backends and between sequential and parallel
+    #: scheduling.
+    profile: Optional[KernelProfile] = None
     error: Optional[FaultReport] = None
     #: Racecheck/initcheck findings, when the launch ran under
     #: ``racecheck=True`` / ``initcheck=True`` (None otherwise).  Present
@@ -153,6 +164,7 @@ def launch(
     initcheck: bool = False,
     backend: Optional[str] = None,
     parallel: Optional[Union[int, bool, str]] = None,
+    profile: bool = False,
 ) -> LaunchResult:
     """Simulate one kernel launch.
 
@@ -196,7 +208,16 @@ def launch(
     fault injection, the sanitizers, and kernels using ``atomicAdd``
     (cross-block accumulation) all fall back to sequential execution, as
     does any worker fault (the launch reruns sequentially for exact fault
-    semantics).  :attr:`LaunchResult.parallel_workers` reports what ran.
+    semantics).  :attr:`LaunchResult.parallel_workers` reports what ran,
+    and :attr:`LaunchResult.parallel_fallback` names the reason whenever a
+    requested parallel launch ran sequentially.
+
+    ``profile=True`` collects per-source-line hotspot counters and
+    per-block cost records into :attr:`LaunchResult.profile` (a
+    :class:`~repro.prof.counters.KernelProfile`); see :mod:`repro.prof`
+    for the Chrome-trace exporter and terminal reports.  Profiles are
+    bit-identical across backends and across sequential/parallel
+    scheduling.
     """
     if on_error not in ("raise", "status"):
         raise ValueError(f"on_error must be 'raise' or 'status', got {on_error!r}")
@@ -223,6 +244,8 @@ def launch(
     shared_bytes = 0
     sampled_ids: Optional[tuple[int, ...]] = None
     parallel_workers: Optional[int] = None
+    parallel_fallback: Optional[str] = None
+    prof_obj = KernelProfile(kernel=kernel.name) if profile else None
     try:
         grid3 = _as_dim3(grid)
         block3 = _as_dim3(block)
@@ -267,12 +290,23 @@ def launch(
         # Both are launch-invariant: the closure program is cached across
         # launches by source digest, the warp scaffolding is shared by every
         # block of this launch.
-        program = compile_kernel(kernel) if backend_name == "compiled" else None
+        program = (
+            compile_kernel(kernel, profile=profile)
+            if backend_name == "compiled"
+            else None
+        )
         scaffold = WarpScaffold(kernel, block3, grid3)
 
         # --- execute blocks --------------------------------------------------
         gx, gy, gz = grid3
         total_blocks = gx * gy * gz
+        if sample_blocks is not None and sample_blocks < 1:
+            # Guard the two divisions downstream (step spacing, stats
+            # extrapolation): 0 or negative sampling is a caller bug and
+            # must surface as a launch error, not a ZeroDivisionError.
+            raise LaunchError(
+                f"sample_blocks must be >= 1, got {sample_blocks}"
+            )
         if sample_blocks is not None and sample_blocks < total_blocks:
             step = total_blocks / sample_blocks
             # Evenly spaced IDs collide after int() truncation when
@@ -286,7 +320,11 @@ def launch(
         else:
             block_ids = list(range(total_blocks))
 
-        def run_block(linear: int, stats_obj: KernelStats) -> int:
+        def run_block(
+            linear: int,
+            stats_obj: KernelStats,
+            profile_obj: Optional[KernelProfile],
+        ) -> int:
             bz_i, rem = divmod(linear, gx * gy)
             by_i, bx_i = divmod(rem, gx)
             executor = BlockExecutor(
@@ -303,6 +341,7 @@ def launch(
                 sanitizer=sanitizer,
                 scaffold=scaffold,
                 program=program,
+                profile=profile_obj,
             )
             executor.run()
             return executor.shared_bytes
@@ -311,27 +350,40 @@ def launch(
         uses_atomics = (
             program.uses_atomics if program is not None else kernel_uses_atomics(kernel)
         )
-        can_parallel = (
-            workers >= 2
-            and len(block_ids) >= 2
-            and not trace
-            and faults is None
-            and sanitizer is None
-            and not uses_atomics
-            and scheduler.available()
-        )
+        # Record *why* a requested parallel launch degrades to sequential
+        # execution — only when parallelism was actually requested (>= 2
+        # resolved workers), so plain sequential launches stay None.
+        if workers >= 2:
+            if len(block_ids) < 2:
+                parallel_fallback = "single-block"
+            elif trace:
+                parallel_fallback = "trace"
+            elif faults is not None:
+                parallel_fallback = "faults"
+            elif sanitizer is not None:
+                parallel_fallback = "sanitizer"
+            elif uses_atomics:
+                parallel_fallback = "atomics"
+            elif not scheduler.available():
+                parallel_fallback = "unavailable"
         ran_parallel = False
-        if can_parallel:
-            outcome = scheduler.execute_blocks(run_block, block_ids, gmem, workers)
+        if workers >= 2 and parallel_fallback is None:
+            outcome = scheduler.execute_blocks(
+                run_block, block_ids, gmem, workers, profile=prof_obj
+            )
             if outcome is not None:
                 stats.merge(outcome.stats)
                 executed = outcome.executed
                 shared_bytes = outcome.shared_bytes
                 parallel_workers = outcome.workers
                 ran_parallel = True
+            else:
+                # Set before the rerun: if the sequential rerun faults too,
+                # the error-path result still explains the degradation.
+                parallel_fallback = "worker-fault"
         if not ran_parallel:
             for linear in block_ids:
-                shared_bytes = run_block(linear, stats)
+                shared_bytes = run_block(linear, stats, prof_obj)
                 executed += 1
     except SimError as exc:
         if exc.ctx is None:
@@ -361,6 +413,8 @@ def launch(
             sampled_block_ids=sampled_ids,
             backend=backend_name,
             parallel_workers=parallel_workers,
+            parallel_fallback=parallel_fallback,
+            profile=prof_obj,
             error=report,
             sanitizer=sanitizer.report() if sanitizer is not None else None,
         )
@@ -400,6 +454,8 @@ def launch(
         sampled_block_ids=sampled_ids,
         backend=backend_name,
         parallel_workers=parallel_workers,
+        parallel_fallback=parallel_fallback,
+        profile=prof_obj,
         sanitizer=sanitizer.report() if sanitizer is not None else None,
     )
 

@@ -36,16 +36,19 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..prof.counters import KernelProfile
 from .errors import LaunchError, SimError
 from .memory import GlobalMemory
 from .stats import KernelStats
 
-#: ``run_block(linear_block, stats) -> shared_bytes`` — supplied by launch().
-RunBlock = Callable[[int, KernelStats], int]
+#: ``run_block(linear_block, stats, profile) -> shared_bytes`` — supplied by
+#: launch().  ``profile`` is a :class:`KernelProfile` or None.
+RunBlock = Callable[[int, KernelStats, Optional[KernelProfile]], int]
 
 #: Work shared with forked workers (set in the parent just before the pool
-#: forks; workers inherit it through copy-on-write memory).
-_WORK: Optional[tuple[RunBlock, GlobalMemory]] = None
+#: forks; workers inherit it through copy-on-write memory).  The third slot
+#: is the profiled kernel's name, or None when the launch is not profiling.
+_WORK: Optional[tuple[RunBlock, GlobalMemory, Optional[str]]] = None
 
 
 def available() -> bool:
@@ -107,14 +110,17 @@ class ParallelOutcome:
 def _run_chunk(item):
     index, chunk = item
     assert _WORK is not None
-    run_block, gmem = _WORK
+    run_block, gmem, profile_kernel = _WORK
     buffers = gmem.buffers()
     before = {name: buf.data.copy() for name, buf in buffers.items()}
     stats = KernelStats()
+    profile = (
+        KernelProfile(kernel=profile_kernel) if profile_kernel is not None else None
+    )
     shared_bytes = 0
     try:
         for linear in chunk:
-            shared_bytes = run_block(linear, stats)
+            shared_bytes = run_block(linear, stats, profile)
     except SimError:
         # Caller reruns sequentially for exact fault semantics.
         return {"index": index, "error": True}
@@ -129,6 +135,7 @@ def _run_chunk(item):
         "index": index,
         "error": False,
         "stats": stats,
+        "profile": profile,
         "writes": writes,
         "shared_bytes": shared_bytes,
         "executed": len(chunk),
@@ -140,18 +147,21 @@ def execute_blocks(
     block_ids: Sequence[int],
     gmem: GlobalMemory,
     workers: int,
+    profile: Optional[KernelProfile] = None,
 ) -> Optional[ParallelOutcome]:
     """Run ``block_ids`` across ``workers`` forked processes.
 
     Returns ``None`` when any worker faulted — parent memory is then still
     pristine and the caller must rerun sequentially.  On success the write
     sets and stats are already merged (ascending chunk order) into ``gmem``
-    and the returned stats object.
+    and the returned stats object; when ``profile`` is given, each worker
+    collects a chunk-local :class:`KernelProfile` and those merge (integer
+    sums, so exactly) into ``profile`` in the same ascending order.
     """
     global _WORK
     chunks = chunk_blocks(block_ids, workers)
     ctx = multiprocessing.get_context("fork")
-    _WORK = (run_block, gmem)
+    _WORK = (run_block, gmem, profile.kernel if profile is not None else None)
     try:
         with ctx.Pool(processes=min(workers, len(chunks))) as pool:
             results = pool.map(_run_chunk, list(enumerate(chunks)))
@@ -165,6 +175,8 @@ def execute_blocks(
     executed = 0
     for r in results:
         stats.merge(r["stats"])
+        if profile is not None and r["profile"] is not None:
+            profile.merge(r["profile"])
         executed += r["executed"]
         shared_bytes = r["shared_bytes"]
         for name, (idx, values) in r["writes"].items():

@@ -85,7 +85,13 @@ class KernelStats:
         return self.global_transactions * 128
 
     def merge(self, other: "KernelStats") -> None:
-        """Accumulate another stats object into this one (in place)."""
+        """Accumulate another stats object into this one (in place).
+
+        Every field is a plain sum.  The parallel scheduler relies on this:
+        chunk-local stats merged in ascending chunk order must equal a
+        sequential run exactly, the same invariant the per-line profiler's
+        :meth:`repro.prof.counters.KernelProfile.merge` upholds.
+        """
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 

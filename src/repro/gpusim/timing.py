@@ -110,6 +110,17 @@ def estimate_kernel_time(
     # saturating wave would (the idle slots are wasted, not reclaimed).
     n_issue = max(n, device.issue_saturation_warps)
 
+    # DRAM traffic is defined by the recorded transactions, independent of
+    # which latency regime the kernel lands in — a kernel can reach the
+    # zero-memory-instruction branch below with nonzero transactions (e.g.
+    # texture fetches), and must still report its bytes honestly.
+    dram_bytes = (
+        stats.global_transactions + stats.local_transactions * (1.0 - hit_rate)
+    ) * device.transaction_bytes
+    # Rescale to the modeled total if stats cover fewer warps than total.
+    if stats.warps_executed and total_warps != stats.warps_executed:
+        dram_bytes *= total_warps / stats.warps_executed
+
     if mem_insts <= 0.0:
         # Pure compute kernel: SMX issue pipelines saturate.
         rep = max(1.0, total_warps / (n * device.num_smx))
@@ -126,8 +137,10 @@ def estimate_kernel_time(
             comp_cycles_per_warp=comp_cycles,
             mem_cycles_per_warp=0.0,
             l1_hit_rate=hit_rate,
-            dram_bytes=0.0,
-            achieved_bandwidth_gbs=0.0,
+            dram_bytes=dram_bytes,
+            achieved_bandwidth_gbs=(
+                dram_bytes / seconds / 1e9 if seconds > 0 else 0.0
+            ),
         )
 
     mem_cycles = device.mem_latency_cycles * mem_insts
@@ -173,13 +186,6 @@ def estimate_kernel_time(
 
     cycles = period * rep
     seconds = device.cycles_to_seconds(cycles)
-
-    dram_bytes = (
-        stats.global_transactions + stats.local_transactions * (1.0 - hit_rate)
-    ) * device.transaction_bytes
-    # Rescale to the modeled total if stats cover fewer warps than total.
-    if stats.warps_executed and total_warps != stats.warps_executed:
-        dram_bytes *= total_warps / stats.warps_executed
     achieved_bw = dram_bytes / seconds / 1e9 if seconds > 0 else 0.0
 
     return TimingResult(

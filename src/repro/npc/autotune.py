@@ -161,6 +161,7 @@ def autotune(
     faults=None,
     backend: Optional[str] = None,
     parallel: Optional[Union[int, bool, str]] = None,
+    profile: bool = False,
 ) -> AutotuneReport:
     """Exhaustively explore the CUDA-NP variant space for one kernel.
 
@@ -182,6 +183,11 @@ def autotune(
     variants), so the whole search can run on the closure-compiled engine
     and the parallel block scheduler; repeated searches share the variant
     compile cache (see :func:`repro.npc.pipeline.variant_cache_stats`).
+
+    ``profile=True`` runs every launch with per-line profiling and records
+    each profile in the :mod:`repro.prof` registry under
+    ``"autotune/<kernel>/baseline"`` and ``"autotune/<kernel>/<variant>"``
+    names, so a tuning table's rows can be drilled into line-by-line.
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
@@ -199,9 +205,18 @@ def autotune(
         faults=faults,
         backend=backend,
         parallel=parallel,
+        profile=profile,
     )
     if check_output is not None and not check_output(baseline):
         raise RuntimeError(f"baseline output check failed for {kernel.name}")
+    if profile:
+        from ..prof import record_profile
+
+        record_profile(
+            f"autotune/{kernel.name}/baseline",
+            baseline.profile,
+            kernel=kernel.name,
+        )
 
     report = AutotuneReport(kernel_name=kernel.name, baseline=baseline)
     for config in configs:
@@ -237,6 +252,7 @@ def autotune(
                 faults=faults,
                 backend=backend,
                 parallel=parallel,
+                profile=profile,
             )
         except SimError as exc:
             # Host-side plumbing (argument binding, scratch allocation) can
@@ -262,5 +278,13 @@ def autotune(
             )
             continue
         ok = check_output(result) if check_output is not None else None
+        if profile:
+            from ..prof import record_profile
+
+            record_profile(
+                f"autotune/{kernel.name}/{config.describe()}",
+                result.profile,
+                kernel=kernel.name,
+            )
         report.points.append(TunePoint(variant=variant, result=result, output_ok=ok))
     return report

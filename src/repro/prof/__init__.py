@@ -1,0 +1,47 @@
+"""``repro.prof`` — Nsight/nvprof-style profiling for the simulator.
+
+The paper's evaluation is profile-driven: Table 1 characterizes the
+benchmarks and Figs. 11-16 attribute CUDA-NP's speedups to occupancy,
+latency hiding and memory behaviour.  This package is the measurement
+substrate for those attributions:
+
+- :mod:`~repro.prof.counters` — per-source-line hotspot counters and
+  per-block cost records, collected by both execution backends behind
+  ``launch(..., profile=True)`` and bit-identical between them;
+- :mod:`~repro.prof.timeline` — a launch-timeline recorder that assigns
+  each block/warp an interval from the timing model and exports Chrome
+  ``trace_event`` JSON (loadable in ``chrome://tracing`` / Perfetto);
+- :mod:`~repro.prof.report` — terminal flame/top-lines hotspot report;
+- :mod:`~repro.prof.registry` — a named-profile registry so the
+  autotuner, ``repro.bench`` and the experiment scripts can attach
+  profiles to their outputs;
+- ``python -m repro.prof`` — CLI: ``trace out.json``, ``top``, ``diff``.
+"""
+
+from .counters import BlockCost, KernelProfile, LineCounters
+from .registry import (
+    ProfileEntry,
+    clear_registry,
+    get_profile,
+    profile_names,
+    record_profile,
+    registry_to_json,
+)
+from .report import top_lines_report
+from .timeline import build_timeline, chrome_trace, save_trace
+
+__all__ = [
+    "BlockCost",
+    "KernelProfile",
+    "LineCounters",
+    "ProfileEntry",
+    "build_timeline",
+    "chrome_trace",
+    "clear_registry",
+    "get_profile",
+    "profile_names",
+    "record_profile",
+    "registry_to_json",
+    "save_trace",
+    "top_lines_report",
+]

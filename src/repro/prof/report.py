@@ -1,0 +1,79 @@
+"""Terminal flame/top-lines report for a profiled launch.
+
+``top_lines_report`` renders the hottest source lines of a profiled
+kernel as a fixed-width table with a proportional flame bar — the
+terminal complement to the Chrome trace of :mod:`~repro.prof.timeline`.
+Pass the original kernel source text to annotate each line; without it
+only line numbers are shown (generated NP variants, for instance, have
+no single source string).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .counters import KernelProfile
+
+_BAR_WIDTH = 24
+
+
+def _flame_bar(cost: int, peak: int) -> str:
+    if peak <= 0:
+        return ""
+    filled = max(1, round(_BAR_WIDTH * cost / peak)) if cost > 0 else 0
+    return "█" * filled
+
+
+def _source_lines(source: Optional[str]) -> dict:
+    if not source:
+        return {}
+    return {i + 1: text.strip() for i, text in enumerate(source.splitlines())}
+
+
+def top_lines_report(
+    profile: KernelProfile,
+    source: Optional[str] = None,
+    limit: int = 10,
+) -> str:
+    """Render the hottest ``limit`` lines of ``profile`` as a table."""
+    ranked = profile.top_lines(limit)
+    total = sum(lc.cost for lc in profile.lines.values())
+    peak = ranked[0][1].cost if ranked else 0
+    src = _source_lines(source)
+
+    title = f"profile: {profile.kernel or '<kernel>'}"
+    header = (
+        f"{'line':>5}  {'cost%':>6}  {'issues':>8}  {'simd%':>5}  "
+        f"{'gld':>6}  {'gst':>6}  {'gtxn':>7}  {'shld':>5}  {'shst':>5}  "
+        f"{'bkrep':>5}  {'div':>4}  flame"
+    )
+    out: List[str] = [title, "=" * len(title), header, "-" * len(header)]
+    for line, lc in ranked:
+        share = 100.0 * lc.cost / total if total else 0.0
+        simd = (
+            100.0 * lc.thread_issues / (lc.inst_issues * 32)
+            if lc.inst_issues
+            else 0.0
+        )
+        row = (
+            f"{line:>5}  {share:>5.1f}%  {lc.inst_issues:>8}  {simd:>4.0f}%  "
+            f"{lc.global_load_insts:>6}  {lc.global_store_insts:>6}  "
+            f"{lc.global_transactions:>7}  {lc.shared_load_insts:>5}  "
+            f"{lc.shared_store_insts:>5}  {lc.shared_bank_replays:>5}  "
+            f"{lc.divergent_branches:>4}  {_flame_bar(lc.cost, peak)}"
+        )
+        out.append(row)
+        text = src.get(line)
+        if text:
+            out.append(f"{'':>5}  | {text[:70]}")
+    if not ranked:
+        out.append("(no attributed lines — was the launch profiled?)")
+    else:
+        covered = sum(lc.cost for _, lc in ranked)
+        rest = total - covered
+        if rest > 0:
+            out.append(
+                f"... {len(profile.lines) - len(ranked)} more lines, "
+                f"{100.0 * rest / total:.1f}% of cost"
+            )
+    return "\n".join(out)

@@ -8,9 +8,12 @@ full :class:`~repro.gpusim.stats.KernelStats` record, so a fast-path that
 drifted by a ULP or double-counted a transaction fails loudly.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.gpusim import scheduler
 from repro.gpusim.launch import run_kernel
 from repro.kernels import BENCHMARKS
 
@@ -68,6 +71,41 @@ def test_np_variant_bit_identical(benches, name):
     ref = bench.run_variant(config, backend="interp")
     got = bench.run_variant(config, backend="compiled")
     assert_identical(ref, got, f"{name} {config.describe()}")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_profile_bit_identical_across_backends(benches, name):
+    """Per-line profiles must match exactly: the counters are attributed at
+    mirrored hook points in both engines, so any drift means a hook moved."""
+    bench = benches[name]
+    ref = bench.run_baseline(backend="interp", profile=True)
+    got = bench.run_baseline(backend="compiled", profile=True)
+    assert ref.profile is not None and got.profile is not None
+    mismatches = ref.profile.diff_lines(got.profile)
+    assert not mismatches, f"{name}: " + "; ".join(mismatches[:10])
+    assert ref.profile.blocks == got.profile.blocks, f"{name}: block costs"
+    assert ref.profile.total_issues > 0
+
+
+@pytest.mark.skipif(not scheduler.available(), reason="needs POSIX fork")
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_stats_and_profile_sequential_vs_parallel(benches, name):
+    """Chunk merging in the parallel scheduler must reproduce the sequential
+    stats exactly (every KernelStats field merges by summation — nothing is
+    max- or last-writer-merged) and the per-line profiles likewise."""
+    bench = benches[name]
+    seq = bench.run_baseline(backend="compiled", profile=True)
+    par = bench.run_baseline(backend="compiled", profile=True, parallel=2)
+    for f in dataclasses.fields(seq.stats):
+        assert getattr(seq.stats, f.name) == getattr(par.stats, f.name), (
+            f"{name}: stats field {f.name} diverged under parallel scheduling"
+        )
+    assert seq.profile == par.profile, (
+        f"{name}: " + "; ".join(seq.profile.diff_lines(par.profile)[:10])
+    )
+    # Kernels that refuse to parallelize must say why.
+    if par.parallel_workers is None:
+        assert par.parallel_fallback is not None
 
 
 def test_trace_records_identical():

@@ -50,6 +50,29 @@ class TestReadme:
         assert "sanitizer:" in pyproject
         assert "-m 'not sanitizer'" in pyproject
 
+    def test_profiling_section_documents_real_api(self):
+        """The Profiling section's flag, field, and CLI subcommands must
+        all exist."""
+        import inspect
+
+        from repro.gpusim.launch import LaunchResult, launch
+
+        readme = (ROOT / "README.md").read_text()
+        assert "## Profiling" in readme
+        assert "launch(..., profile=True)" in readme
+        assert "profile" in inspect.signature(launch).parameters
+        fields = {f.name for f in LaunchResult.__dataclass_fields__.values()}
+        assert {"profile", "parallel_fallback"} <= fields
+        # Every documented fallback reason is one the launcher can emit.
+        for reason in ("single-block", "trace", "faults", "sanitizer",
+                       "atomics", "unavailable", "worker-fault"):
+            assert f'"{reason}"' in readme, reason
+        # Every `repro.prof` subcommand shown in the README parses.
+        from repro.prof.__main__ import main  # noqa: F401  (import works)
+
+        for sub in re.findall(r"python -m repro\.prof (\w+)", readme):
+            assert sub in ("trace", "top", "diff"), sub
+
     def test_verify_cli_flags_exist(self):
         """Every --flag in the README's `repro.npc` lines parses."""
         from repro.npc.__main__ import build_parser
@@ -87,6 +110,14 @@ class TestDesign:
         design = (ROOT / "DESIGN.md").read_text()
         assert "Paper check" in design
         assert "CUDA-NP" in design
+
+    def test_profiler_collection_points_documented(self):
+        """DESIGN.md must explain where counters are collected and name the
+        real anchor points."""
+        design = (ROOT / "DESIGN.md").read_text()
+        assert "## Profiler collection points" in design
+        for anchor in ("exec_stmt", "current_loc", "_run_block", "#prof"):
+            assert anchor in design, anchor
 
     def test_sanitizer_analogue_documented(self):
         design = (ROOT / "DESIGN.md").read_text()

@@ -131,6 +131,31 @@ class TestSampling:
             full.timing.seconds, rel=0.25
         )
 
+    def test_sample_blocks_zero_is_a_launch_error(self):
+        args = {
+            "src": np.zeros(64, np.float32),
+            "dst": np.zeros(64, np.float32),
+            "n": 64,
+        }
+        with pytest.raises(LaunchError, match="sample_blocks"):
+            run_kernel(COPY, 2, 32, dict(args), sample_blocks=0)
+        with pytest.raises(LaunchError, match="sample_blocks"):
+            run_kernel(COPY, 2, 32, dict(args), sample_blocks=-1)
+
+    def test_sample_blocks_zero_contained_by_status_mode(self):
+        """The guard behaves like any launch error: on_error="status"
+        contains it in the result instead of raising."""
+        args = {
+            "src": np.zeros(64, np.float32),
+            "dst": np.zeros(64, np.float32),
+            "n": 64,
+        }
+        res = run_kernel(
+            COPY, 2, 32, dict(args), sample_blocks=0, on_error="status"
+        )
+        assert res.error is not None
+        assert "sample_blocks" in res.error.message
+
     def test_sampling_none_for_full_run(self):
         res = run_kernel(
             COPY,

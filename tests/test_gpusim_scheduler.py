@@ -75,7 +75,11 @@ class TestParallelExecution:
         seq = launch(backend="compiled")
         par = launch(backend="compiled", parallel=2)
         assert par.parallel_workers == 2
+        assert par.parallel_fallback is None
         assert seq.parallel_workers is None
+        # No parallelism was requested, so there was nothing to fall back
+        # from — the reason stays unset.
+        assert seq.parallel_fallback is None
         assert (
             seq.buffer("out").tobytes() == par.buffer("out").tobytes()
         )
@@ -101,20 +105,24 @@ class TestParallelExecution:
             SRC, 1, 32, make_args(), backend="compiled", parallel=2
         )
         assert res.parallel_workers is None
+        assert res.parallel_fallback == "single-block"
 
     def test_trace_falls_back(self):
         res = launch(backend="compiled", parallel=2, trace=True)
         assert res.parallel_workers is None
+        assert res.parallel_fallback == "trace"
         assert res.trace.global_accesses  # trace actually recorded
 
     def test_racecheck_falls_back(self):
         res = launch(backend="compiled", parallel=2, racecheck=True)
         assert res.parallel_workers is None
+        assert res.parallel_fallback == "sanitizer"
 
     def test_faults_fall_back(self):
         inj = FaultInjector()
         res = launch(backend="compiled", parallel=2, faults=inj)
         assert res.parallel_workers is None
+        assert res.parallel_fallback == "faults"
 
     def test_atomics_fall_back(self):
         res = run_kernel(
@@ -123,7 +131,14 @@ class TestParallelExecution:
             backend="compiled", parallel=2,
         )
         assert res.parallel_workers is None
+        assert res.parallel_fallback == "atomics"
         assert res.buffer("c")[0] == 8 * 32
+
+    def test_unavailable_falls_back(self, monkeypatch):
+        monkeypatch.setattr(scheduler, "available", lambda: False)
+        res = launch(backend="compiled", parallel=2)
+        assert res.parallel_workers is None
+        assert res.parallel_fallback == "unavailable"
 
     def test_worker_fault_reruns_sequentially(self):
         """A faulting block makes the scheduler bail; the sequential rerun
@@ -141,6 +156,10 @@ class TestParallelExecution:
         assert seq.error is not None and par.error is not None
         assert seq.error.summary() == par.error.summary()
         assert par.parallel_workers is None  # the parallel attempt was discarded
+        # The reason survives on the error-path result: the parallel attempt
+        # was made, failed, and the rerun hit the same fault.
+        assert par.parallel_fallback == "worker-fault"
+        assert seq.parallel_fallback is None
 
     def test_env_knob_engages(self, monkeypatch):
         monkeypatch.setenv("GPUSIM_PARALLEL", "2")

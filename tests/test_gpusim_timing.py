@@ -134,3 +134,60 @@ class TestDerived:
         t1 = estimate_kernel_time(GTX680, stats, o, u, total_warps=64)
         t4 = estimate_kernel_time(GTX680, stats, o, u, total_warps=64 * 16)
         assert t4.seconds > 2 * t1.seconds
+
+
+class TestEdgeCases:
+    """Degenerate launches must yield well-defined (finite, non-negative)
+    TimingResults — no hidden divisions by zero, no hardcoded zeros that
+    contradict the recorded statistics."""
+
+    @staticmethod
+    def assert_well_defined(t):
+        import dataclasses
+        import math
+
+        for f in dataclasses.fields(t):
+            v = getattr(t, f.name)
+            if isinstance(v, (int, float)):
+                assert math.isfinite(v), f"{f.name} is {v}"
+                assert v >= 0, f"{f.name} is negative: {v}"
+
+    def test_zero_warp_launch_is_idle_and_finite(self):
+        o, u = occ()
+        t = estimate_kernel_time(GTX680, KernelStats(), o, u, total_warps=0)
+        assert t.bound == "idle" and t.cycles == 0 and t.seconds == 0
+        self.assert_well_defined(t)
+
+    def test_zero_memory_kernel_is_finite(self):
+        o, u = occ()
+        t = estimate_kernel_time(GTX680, make_stats(gmem_per_warp=0), o, u)
+        assert t.bound == "compute"
+        assert t.dram_bytes == 0 and t.achieved_bandwidth_gbs == 0
+        self.assert_well_defined(t)
+
+    def test_transactions_without_mem_insts_report_bytes(self):
+        """Texture fetches count transactions but no load/store instructions;
+        the pure-compute branch must still report the DRAM traffic instead
+        of hardcoding zero."""
+        o, u = occ()
+        s = make_stats(gmem_per_warp=0)
+        s.global_transactions = 640
+        t = estimate_kernel_time(GTX680, s, o, u)
+        assert t.bound == "compute"
+        assert t.dram_bytes == 640 * GTX680.transaction_bytes
+        assert t.achieved_bandwidth_gbs > 0
+        self.assert_well_defined(t)
+
+    def test_sampled_rescale_keeps_bytes_consistent(self):
+        """total_warps > warps_executed rescales dram_bytes in both the
+        memory path and the pure-compute path."""
+        o, u = occ()
+        s = make_stats(warps=64, gmem_per_warp=10)
+        t1 = estimate_kernel_time(GTX680, s, o, u, total_warps=64)
+        t2 = estimate_kernel_time(GTX680, s, o, u, total_warps=128)
+        assert t2.dram_bytes == pytest.approx(2 * t1.dram_bytes)
+        s0 = make_stats(gmem_per_warp=0)
+        s0.global_transactions = 100
+        c1 = estimate_kernel_time(GTX680, s0, o, u, total_warps=64)
+        c2 = estimate_kernel_time(GTX680, s0, o, u, total_warps=128)
+        assert c2.dram_bytes == pytest.approx(2 * c1.dram_bytes)
