@@ -139,6 +139,84 @@ def run_bench(
     return report
 
 
+def pool_compare_kernel(name: str, repeats: int, parallel: int) -> dict:
+    """Time one benchmark's parallel launch on both pool substrates.
+
+    Compares the supervised persistent pool (workers and their compile
+    caches stay warm across launches) against the legacy per-launch fork
+    (``pool_mode="fork"``).  The first persistent launch pays the pool
+    spawn cost, so each mode gets one untimed warm-up launch first.
+    """
+    from ..gpusim.resilience import ResilienceConfig
+
+    bench = BENCHMARKS[name]()
+    bench.run_baseline(backend="compiled", sample_blocks=1)
+    record: dict = {"parallel_workers": parallel}
+    times = {}
+    for mode in ("persistent", "fork"):
+        cfg = ResilienceConfig(pool_mode=mode)
+        bench.run_baseline(backend="compiled", parallel=parallel, resilience=cfg)
+        seconds, result = _time_launch(
+            bench, repeats, backend="compiled", parallel=parallel, resilience=cfg
+        )
+        times[mode] = seconds
+        record[f"{mode}_ms"] = round(seconds * 1e3, 3)
+        record[f"{mode}_fallback"] = result.parallel_fallback
+    record["fork_over_persistent"] = round(times["fork"] / times["persistent"], 3)
+    return record
+
+
+def run_pool_compare(
+    kernels: Sequence[str] = QUICK_KERNELS,
+    repeats: int = 3,
+    parallel: Optional[int] = None,
+) -> dict:
+    """Persistent-pool vs per-launch-fork comparison report.
+
+    ``fork_over_persistent > 1`` means the persistent pool is faster; the
+    CI smoke job asserts the geomean does not fall below parity (within
+    noise), i.e. keeping workers alive never costs throughput.
+    """
+    if parallel is None:
+        parallel = scheduler.resolve_workers("auto") if scheduler.available() else 0
+    if parallel < 2:
+        raise RuntimeError(
+            "--pool-compare needs a multi-CPU POSIX host (got "
+            f"{parallel} workers)"
+        )
+    records = {
+        name: pool_compare_kernel(name, repeats=repeats, parallel=parallel)
+        for name in kernels
+    }
+    ratios = [r["fork_over_persistent"] for r in records.values()]
+    return {
+        "config": {
+            "kernels": list(kernels),
+            "repeats": repeats,
+            "parallel": parallel,
+        },
+        "kernels": records,
+        "geomean_fork_over_persistent": round(
+            float(np.exp(np.mean(np.log(ratios)))), 3
+        ),
+    }
+
+
+def format_pool_compare(report: dict) -> str:
+    lines = [
+        f"{'kernel':6s} {'persistent ms':>14s} {'fork ms':>10s} {'fork/persist':>13s}"
+    ]
+    for name, rec in report["kernels"].items():
+        lines.append(
+            f"{name:6s} {rec['persistent_ms']:14.1f} {rec['fork_ms']:10.1f} "
+            f"{rec['fork_over_persistent']:12.2f}x"
+        )
+    lines.append(
+        f"geomean fork/persistent {report['geomean_fork_over_persistent']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
 def format_report(report: dict) -> str:
     lines = [
         f"{'kernel':6s} {'interp ms':>10s} {'compiled ms':>12s} "
@@ -195,6 +273,13 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help=f"subset of {', '.join(DEFAULT_KERNELS)}",
     )
+    parser.add_argument(
+        "--pool-compare",
+        action="store_true",
+        help="compare the persistent supervised worker pool against the "
+        "legacy per-launch fork on the parallel path (instead of the "
+        "backend benchmark)",
+    )
     args = parser.parse_args(argv)
 
     kernels = args.kernels or (QUICK_KERNELS if args.quick else DEFAULT_KERNELS)
@@ -202,6 +287,18 @@ def main(argv: Optional[list] = None) -> int:
     if unknown:
         parser.error(f"unknown kernels: {unknown}")
     repeats = 1 if args.quick and args.repeats == 3 else args.repeats
+
+    if args.pool_compare:
+        report = run_pool_compare(
+            kernels, repeats=repeats, parallel=args.parallel
+        )
+        out = args.out if args.out != "BENCH_gpusim.json" else "BENCH_pool.json"
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(format_pool_compare(report))
+        print(f"wrote {out}")
+        return 0
 
     report = run_bench(
         kernels, repeats=repeats, parallel=args.parallel, profile=args.profile

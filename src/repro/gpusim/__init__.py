@@ -8,7 +8,10 @@ The substrate that stands in for the paper's GTX 680 / K20c hardware:
 - :mod:`~repro.gpusim.cache` — functional L1 + analytical capacity model
 - :mod:`~repro.gpusim.interp` — warp-level interpreter (divergence masks)
 - :mod:`~repro.gpusim.compile` — closure-compiled execution engine + cache
-- :mod:`~repro.gpusim.scheduler` — parallel block scheduler (fork workers)
+- :mod:`~repro.gpusim.scheduler` — parallel block scheduler
+- :mod:`~repro.gpusim.pool` — supervised persistent worker pool
+- :mod:`~repro.gpusim.resilience` — deadlines, retries, circuit breaker
+- :mod:`~repro.gpusim.stream` — async launches with stream ordering
 - :mod:`~repro.gpusim.occupancy` — CUDA occupancy calculator
 - :mod:`~repro.gpusim.timing` — Hong–Kim MWP/CWP kernel-time model
 - :mod:`~repro.gpusim.launch` — host-side launch API
@@ -41,7 +44,17 @@ from .errors import (
 )
 from .faults import FaultInjector, FaultSpec, InjectionRecord
 from .launch import LaunchResult, launch, run_kernel
+from .pool import shutdown_pool
 from .racecheck import Sanitizer, SanitizerFinding, SanitizerReport
+from .resilience import (
+    CircuitBreaker,
+    PoolEvent,
+    ResilienceConfig,
+    ResilienceTelemetry,
+    get_breaker,
+    reset_breaker,
+)
+from .stream import LaunchFuture, Stream, default_stream, launch_async
 from .report import compare_report, profile_report
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy
 from .stats import KernelStats, PerWarpStats

@@ -19,6 +19,22 @@ exactly that:
   scattered, forcing worst-case transaction counts (a performance fault,
   visible in the statistics rather than as an exception).
 
+Three further kinds target the *worker pool* rather than the simulated
+machine, so every resilience behaviour of :mod:`repro.gpusim.pool` is
+testable without real flakiness:
+
+- ``worker_crash``    — the worker process running the targeted chunk dies
+  (``os._exit``) after accepting it;
+- ``worker_hang``     — the worker stops responding, so the pool's
+  per-chunk deadline watchdog must kill and replace it;
+- ``worker_slow``     — the worker sleeps :attr:`FaultSpec.delay` seconds
+  before executing (a straggler, not a fault: it must *not* trip retries).
+
+Worker faults are resolved in the parent at chunk dispatch time (see
+:class:`WorkerFaultPlan`) so firing stays deterministic even though the
+behaviour executes inside a worker process; each firing is recorded like
+any other kind.
+
 Every firing is appended to :attr:`FaultInjector.records` with a full
 :class:`~repro.gpusim.diagnostics.FaultContext`, so even *silent* faults
 (bit flips, shuffles, mis-coalescing) are attributable to the exact
@@ -40,8 +56,8 @@ import numpy as np
 from .diagnostics import FaultContext
 from .errors import InjectedFault
 
-#: All fault classes the injector can plant.
-FAULT_KINDS = (
+#: Fault classes planted inside the simulated machine (interpreter hooks).
+SIM_FAULT_KINDS = (
     "drop_launch",
     "global_oob",
     "shared_oob",
@@ -50,6 +66,16 @@ FAULT_KINDS = (
     "skip_sync",
     "miscoalesce",
 )
+
+#: Fault classes planted in the parallel scheduler's worker processes.
+WORKER_FAULT_KINDS = (
+    "worker_crash",
+    "worker_hang",
+    "worker_slow",
+)
+
+#: All fault classes the injector can plant.
+FAULT_KINDS = SIM_FAULT_KINDS + WORKER_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -71,6 +97,8 @@ class FaultSpec:
     lane: Optional[int] = None        # None -> seeded pick among active lanes
     bit: Optional[int] = None         # bit to flip (bit_flip); seeded if None
     count: int = 1
+    #: ``worker_slow`` straggler delay in seconds.
+    delay: float = 0.2
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -124,6 +152,18 @@ class FaultInjector:
         if kind is None:
             return len(self.records)
         return sum(1 for r in self.records if r.kind == kind)
+
+    def worker_only(self) -> bool:
+        """True when every planted spec targets the worker pool.
+
+        Such an injector never needs interpreter hooks, so the launch may
+        still go parallel — the pool resolves the specs at dispatch time.
+        An injector with *no* specs is not worker-only: it keeps the
+        conservative sequential fallback it always had.
+        """
+        return bool(self.specs) and all(
+            s.kind in WORKER_FAULT_KINDS for s in self.specs
+        )
 
     def _match(self, kind: str, kernel: str, target: Optional[str] = None,
                block: Optional[int] = None, warp: Optional[int] = None):
@@ -276,6 +316,38 @@ class FaultInjector:
         ctx = site.make_context(lanes=(lane,), injected=True)
         self._record("skip_sync", ctx, f"lane {lane} withheld from __syncthreads")
         return skip
+
+    def poll_worker_fault(self, kernel: str, chunk_index: int,
+                          blocks: Sequence[int],
+                          worker_pid: Optional[int] = None):
+        """Arm-and-consume one worker fault for a chunk about to dispatch.
+
+        Called by the scheduler in the *parent* process each time a chunk is
+        handed to a worker (including re-dispatches after a fault), so
+        firing order is deterministic regardless of worker timing.  A spec
+        matches when its ``block`` filter is unset or names a linear block
+        inside the chunk.  Returns ``(kind, delay)`` or ``None``.
+        """
+        blockset = set(int(b) for b in blocks)
+        for i, spec in enumerate(self.specs):
+            if spec.kind not in WORKER_FAULT_KINDS or self._fired[i] >= spec.count:
+                continue
+            if spec.kernel is not None and spec.kernel != kernel:
+                continue
+            if spec.launch_index is not None and spec.launch_index != self._launch_index:
+                continue
+            if spec.block is not None and spec.block not in blockset:
+                continue
+            self._fired[i] += 1
+            ctx = FaultContext(kernel=kernel, injected=True)
+            who = f"worker pid {worker_pid}" if worker_pid else "worker"
+            self._record(
+                spec.kind, ctx,
+                f"{who} chunk {chunk_index} "
+                f"(blocks {min(blockset)}..{max(blockset)})",
+            )
+            return spec.kind, spec.delay
+        return None
 
     def corrupt_addrs(self, site, space: str, name: str, addrs: np.ndarray,
                       mask: np.ndarray) -> np.ndarray:

@@ -31,6 +31,8 @@ from ..minicuda.parser import parse_kernel
 from ..prof.counters import KernelProfile
 from . import scheduler
 from .compile import compile_kernel, kernel_uses_atomics
+from .pool import LaunchSpec
+from .resilience import ResilienceConfig, ResilienceTelemetry, get_breaker
 from .device import DeviceSpec, GTX680
 from .diagnostics import FaultContext, FaultReport
 from .errors import LaunchError, SimError
@@ -91,8 +93,13 @@ class LaunchResult:
     #: Why a *requested* parallel launch (>= 2 resolved workers) ran
     #: sequentially instead; None when it ran parallel or was never
     #: requested.  One of: "single-block", "trace", "faults", "sanitizer",
-    #: "atomics", "unavailable", "worker-fault".
+    #: "atomics", "unavailable", "worker-fault", "breaker-open".
     parallel_fallback: Optional[str] = None
+    #: Resilience telemetry of the parallel attempt (attempts, retries,
+    #: deadline kills, breaker state, pool lifecycle events), when this
+    #: launch requested parallelism and reached the scheduler; None
+    #: otherwise.  See :class:`~repro.gpusim.resilience.ResilienceTelemetry`.
+    resilience: Optional[ResilienceTelemetry] = None
     #: Per-line/per-block hotspot counters, when the launch ran with
     #: ``profile=True`` (None otherwise).  Bit-identical between the
     #: interp and compiled backends and between sequential and parallel
@@ -165,6 +172,7 @@ def launch(
     backend: Optional[str] = None,
     parallel: Optional[Union[int, bool, str]] = None,
     profile: bool = False,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> LaunchResult:
     """Simulate one kernel launch.
 
@@ -218,6 +226,19 @@ def launch(
     for the Chrome-trace exporter and terminal reports.  Profiles are
     bit-identical across backends and across sequential/parallel
     scheduling.
+
+    ``resilience`` overrides the parallel path's
+    :class:`~repro.gpusim.resilience.ResilienceConfig` (pool mode,
+    per-chunk deadline, retry budget, circuit-breaker threshold); ``None``
+    reads the ``GPUSIM_POOL`` / ``GPUSIM_LAUNCH_TIMEOUT`` /
+    ``GPUSIM_MAX_RETRIES`` / ``GPUSIM_BREAKER_THRESHOLD`` environment
+    knobs.  A parallel launch's journey down the degradation ladder
+    (parallel → fewer workers → sequential) lands on
+    :attr:`LaunchResult.resilience`, and a tripped circuit breaker makes
+    later launches fall back with reason ``"breaker-open"`` until its
+    half-open probe succeeds.  An injector whose specs are *all* worker
+    faults (``worker_crash`` / ``worker_hang`` / ``worker_slow``) does not
+    force the sequential path: the pool resolves those specs itself.
     """
     if on_error not in ("raise", "status"):
         raise ValueError(f"on_error must be 'raise' or 'status', got {on_error!r}")
@@ -245,6 +266,8 @@ def launch(
     sampled_ids: Optional[tuple[int, ...]] = None
     parallel_workers: Optional[int] = None
     parallel_fallback: Optional[str] = None
+    telemetry: Optional[ResilienceTelemetry] = None
+    res_cfg = resilience if resilience is not None else ResilienceConfig.from_env()
     prof_obj = KernelProfile(kernel=kernel.name) if profile else None
     try:
         grid3 = _as_dim3(grid)
@@ -265,6 +288,7 @@ def launch(
         extra = set(args) - param_names
         if extra:
             raise LaunchError(f"unknown kernel arguments: {sorted(extra)}")
+        scalar_args: dict = {}
         for param in kernel.params:
             value = args[param.name]
             if isinstance(param.type, PointerType):
@@ -279,6 +303,7 @@ def launch(
                 base_env[param.name] = (
                     float(value) if param.type.name == "float" else int(value)
                 )
+                scalar_args[param.name] = base_env[param.name]
         for cname, cdata in (const_arrays or {}).items():
             base_env[cname] = ConstArray(cname, np.asarray(cdata))
 
@@ -350,6 +375,10 @@ def launch(
         uses_atomics = (
             program.uses_atomics if program is not None else kernel_uses_atomics(kernel)
         )
+        # An injector whose every spec targets the worker pool needs no
+        # interpreter hooks, so it does not force the sequential path: the
+        # scheduler resolves those specs deterministically at dispatch.
+        faults_worker_only = faults is not None and faults.worker_only()
         # Record *why* a requested parallel launch degrades to sequential
         # execution — only when parallelism was actually requested (>= 2
         # resolved workers), so plain sequential launches stay None.
@@ -358,7 +387,7 @@ def launch(
                 parallel_fallback = "single-block"
             elif trace:
                 parallel_fallback = "trace"
-            elif faults is not None:
+            elif faults is not None and not faults_worker_only:
                 parallel_fallback = "faults"
             elif sanitizer is not None:
                 parallel_fallback = "sanitizer"
@@ -366,11 +395,50 @@ def launch(
                 parallel_fallback = "atomics"
             elif not scheduler.available():
                 parallel_fallback = "unavailable"
+            else:
+                # The attempt will reach the scheduler: make it observable.
+                telemetry = ResilienceTelemetry(pool_mode=res_cfg.pool_mode)
+                breaker = get_breaker()
+                if not breaker.allow(res_cfg):
+                    parallel_fallback = "breaker-open"
+                    telemetry.breaker_state = breaker.state
+                    telemetry.degraded = "sequential"
+                    telemetry.record(
+                        "breaker-skip",
+                        "circuit breaker open; running sequentially",
+                    )
         ran_parallel = False
         if workers >= 2 and parallel_fallback is None:
-            outcome = scheduler.execute_blocks(
-                run_block, block_ids, gmem, workers, profile=prof_obj
+            breaker = get_breaker()
+            trips_before = breaker.trips
+            spec = LaunchSpec(
+                kernel=kernel,
+                grid=grid3,
+                block=block3,
+                gmem=gmem,
+                scalars=scalar_args,
+                const_arrays={
+                    cname: np.asarray(cdata)
+                    for cname, cdata in (const_arrays or {}).items()
+                },
+                backend=backend_name,
+                synccheck=synccheck,
+                profile_kernel=kernel.name if profile else None,
             )
+            outcome = scheduler.execute_blocks(
+                run_block,
+                block_ids,
+                gmem,
+                workers,
+                profile=prof_obj,
+                spec=spec,
+                config=res_cfg,
+                telemetry=telemetry,
+                injector=faults if faults_worker_only else None,
+            )
+            breaker.record_result(telemetry.worker_faults, res_cfg)
+            telemetry.breaker_trips = breaker.trips - trips_before
+            telemetry.breaker_state = breaker.state
             if outcome is not None:
                 stats.merge(outcome.stats)
                 executed = outcome.executed
@@ -381,6 +449,7 @@ def launch(
                 # Set before the rerun: if the sequential rerun faults too,
                 # the error-path result still explains the degradation.
                 parallel_fallback = "worker-fault"
+                telemetry.degraded = "sequential"
         if not ran_parallel:
             for linear in block_ids:
                 shared_bytes = run_block(linear, stats, prof_obj)
@@ -414,6 +483,7 @@ def launch(
             backend=backend_name,
             parallel_workers=parallel_workers,
             parallel_fallback=parallel_fallback,
+            resilience=telemetry,
             profile=prof_obj,
             error=report,
             sanitizer=sanitizer.report() if sanitizer is not None else None,
@@ -455,6 +525,7 @@ def launch(
         backend=backend_name,
         parallel_workers=parallel_workers,
         parallel_fallback=parallel_fallback,
+        resilience=telemetry,
         profile=prof_obj,
         sanitizer=sanitizer.report() if sanitizer is not None else None,
     )

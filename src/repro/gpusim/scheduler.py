@@ -6,49 +6,64 @@ launch, so when no diagnostic feature needs the exact sequential interleaving
 blocks), blocks can execute in worker processes concurrently.  The design
 keeps results bit-identical to the sequential path:
 
-* Block IDs are split into **contiguous ascending chunks**; each worker runs
-  its chunk against a pristine copy-on-write snapshot of global memory
-  (``fork`` semantics — compiled closures and numpy buffers are inherited,
-  nothing needs to pickle).
-* Each worker diffs its buffers against the pre-launch contents and returns
-  only the changed elements plus its :class:`KernelStats`.  (``data !=
-  before`` over-approximates for a value rewritten in place — merging an
-  identical value is harmless — and NaN compares unequal to itself, so NaN
-  writes are always treated as changed.)
-* The parent applies the write-sets and merges the stats **in ascending
-  chunk order**, which reproduces the sequential last-writer-wins order for
-  any overlapping writes.  Integer statistics merge exactly; float stat
+* Block IDs are split into **contiguous ascending chunks**; each chunk's
+  write-set is computed against the launch-pristine buffer contents and the
+  parent applies the write-sets and merges the stats **in ascending chunk
+  order**, which reproduces the sequential last-writer-wins order for any
+  overlapping writes.  Integer statistics merge exactly; float stat
   accumulation order differs across chunk boundaries, so weighted ALU
   counters can differ from the sequential path by float rounding (ULPs).
+* (``data != before`` over-approximates for a value rewritten in place —
+  merging an identical value is harmless — and NaN compares unequal to
+  itself, so NaN writes are always treated as changed.)
 
-A worker that hits a simulator fault makes the whole scheduler return
-``None``: the caller reruns the launch sequentially against the untouched
-parent memory, so fault semantics (partial stats, located context) are
-exactly those of the sequential path.
+Two execution substrates implement that contract (selected by
+``ResilienceConfig.pool_mode`` / the ``GPUSIM_POOL`` environment knob):
+
+* ``"persistent"`` (default) — the supervised worker pool of
+  :mod:`repro.gpusim.pool`: long-lived heartbeated workers, per-chunk
+  deadlines, bounded chunk-level retry, and graceful degradation, all
+  recorded on :class:`~repro.gpusim.resilience.ResilienceTelemetry`.
+* ``"fork"`` — the legacy per-launch ``multiprocessing.Pool``, kept as the
+  comparison baseline for ``repro.bench --pool-compare``.  Result
+  collection is bounded by ``GPUSIM_LAUNCH_TIMEOUT`` (off by default): on
+  expiry the launch raises a located :class:`LaunchError` naming the stuck
+  chunks and worker pids instead of blocking forever.
+
+A worker that hits a simulator fault makes the scheduler return ``None``:
+the caller reruns the launch sequentially against the untouched parent
+memory, so fault semantics (partial stats, located context) are exactly
+those of the sequential path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from ..prof.counters import KernelProfile
+from . import pool as pool_mod
+from .diagnostics import FaultContext
 from .errors import LaunchError, SimError
 from .memory import GlobalMemory
+from .pool import LaunchSpec, ParallelOutcome  # re-exported for callers
+from .resilience import ResilienceConfig, ResilienceTelemetry
 from .stats import KernelStats
 
 #: ``run_block(linear_block, stats, profile) -> shared_bytes`` — supplied by
 #: launch().  ``profile`` is a :class:`KernelProfile` or None.
 RunBlock = Callable[[int, KernelStats, Optional[KernelProfile]], int]
 
-#: Work shared with forked workers (set in the parent just before the pool
-#: forks; workers inherit it through copy-on-write memory).  The third slot
-#: is the profiled kernel's name, or None when the launch is not profiling.
-_WORK: Optional[tuple[RunBlock, GlobalMemory, Optional[str]]] = None
+#: Work shared with legacy-mode forked workers (set in the parent just before
+#: the pool forks; workers inherit it through copy-on-write memory).  Slots:
+#: run_block, global memory, profiled kernel name (or None), and a
+#: ``{chunk_index: (kind, delay)}`` map of injected worker-fault directives.
+_WORK: Optional[tuple] = None
 
 
 def available() -> bool:
@@ -97,20 +112,20 @@ def chunk_blocks(block_ids: Sequence[int], workers: int) -> list[list[int]]:
     return out
 
 
-@dataclass
-class ParallelOutcome:
-    """Successful parallel execution, already merged into the parent state."""
-
-    stats: KernelStats
-    executed: int
-    shared_bytes: int
-    workers: int
-
-
 def _run_chunk(item):
     index, chunk = item
     assert _WORK is not None
-    run_block, gmem, profile_kernel = _WORK
+    run_block, gmem, profile_kernel, fault_directives = _WORK
+    directive = fault_directives.get(index)
+    if directive is not None:
+        kind, delay = directive
+        if kind == "worker_crash":
+            os._exit(pool_mod.CRASH_EXIT_CODE)
+        elif kind == "worker_hang":
+            while True:
+                time.sleep(60.0)
+        elif kind == "worker_slow":
+            time.sleep(delay)
     buffers = gmem.buffers()
     before = {name: buf.data.copy() for name, buf in buffers.items()}
     stats = KernelStats()
@@ -131,6 +146,11 @@ def _run_chunk(item):
         if changed.any():
             idx = np.nonzero(changed)[0]
             writes[name] = (idx, buf.data[idx])
+            # Restore pristine contents: legacy pool workers run several
+            # chunks in one process, and each chunk's write-set must be
+            # computed against the launch-entry state for the ascending
+            # merge to reproduce sequential last-writer-wins exactly.
+            buf.data[idx] = before[name][idx]
     return {
         "index": index,
         "error": False,
@@ -142,32 +162,95 @@ def _run_chunk(item):
     }
 
 
-def execute_blocks(
+def _collect_with_deadline(
+    pool: multiprocessing.pool.Pool,
+    items: list,
+    deadline: Optional[float],
+    kernel_name: str,
+) -> List[dict]:
+    """Gather legacy-pool chunk results, bounded by ``deadline`` seconds.
+
+    Uses ``imap_unordered`` so progress is observable per chunk; on expiry
+    the outstanding chunk indices and the pool's worker pids are named in a
+    located :class:`LaunchError` — the launch must never block forever.
+    """
+    if deadline is None:
+        return pool.map(_run_chunk, items)
+    results: List[dict] = []
+    expected = {index for index, _ in items}
+    t_end = time.monotonic() + deadline
+    iterator = pool.imap_unordered(_run_chunk, items)
+    for _ in range(len(items)):
+        remaining = t_end - time.monotonic()
+        try:
+            results.append(iterator.next(timeout=max(remaining, 0.001)))
+        except multiprocessing.TimeoutError:
+            done = {r["index"] for r in results}
+            stuck = sorted(expected - done)
+            pids = sorted(
+                p.pid for p in getattr(pool, "_pool", []) if p.is_alive()
+            )
+            raise LaunchError(
+                f"parallel launch exceeded GPUSIM_LAUNCH_TIMEOUT={deadline:g}s: "
+                f"{len(stuck)} chunk(s) stuck (chunk indices {stuck}), "
+                f"worker pid(s) {pids}",
+                ctx=FaultContext(kernel=kernel_name),
+            ) from None
+    return results
+
+
+def _execute_blocks_fork(
     run_block: RunBlock,
     block_ids: Sequence[int],
     gmem: GlobalMemory,
     workers: int,
-    profile: Optional[KernelProfile] = None,
+    profile: Optional[KernelProfile],
+    config: ResilienceConfig,
+    telemetry: Optional[ResilienceTelemetry],
+    kernel_name: str,
+    injector=None,
 ) -> Optional[ParallelOutcome]:
-    """Run ``block_ids`` across ``workers`` forked processes.
-
-    Returns ``None`` when any worker faulted — parent memory is then still
-    pristine and the caller must rerun sequentially.  On success the write
-    sets and stats are already merged (ascending chunk order) into ``gmem``
-    and the returned stats object; when ``profile`` is given, each worker
-    collects a chunk-local :class:`KernelProfile` and those merge (integer
-    sums, so exactly) into ``profile`` in the same ascending order.
-    """
+    """Legacy per-launch fork substrate (``pool_mode="fork"``)."""
     global _WORK
     chunks = chunk_blocks(block_ids, workers)
+    items = list(enumerate(chunks))
+    # Resolve injected worker faults up front (deterministic: ascending
+    # chunk order; the per-launch pool gives no redispatch opportunity).
+    fault_directives = {}
+    if injector is not None:
+        for index, chunk in items:
+            directive = injector.poll_worker_fault(kernel_name, index, chunk)
+            if directive is not None:
+                fault_directives[index] = directive
     ctx = multiprocessing.get_context("fork")
-    _WORK = (run_block, gmem, profile.kernel if profile is not None else None)
+    if _WORK is not None:
+        # A concurrent or nested execute_blocks would silently clobber the
+        # other launch's work tuple and corrupt both result sets.
+        raise LaunchError(
+            "execute_blocks is not reentrant: another parallel launch is "
+            "already in flight in this process (use the persistent pool — "
+            "GPUSIM_POOL=persistent — for concurrent streams)"
+        )
+    prev = _WORK
+    _WORK = (run_block, gmem, profile.kernel if profile is not None else None,
+             fault_directives)
+    if telemetry is not None:
+        telemetry.pool_mode = "fork"
+        telemetry.workers = min(workers, len(chunks))
+        telemetry.chunks = len(chunks)
+        telemetry.attempts = len(chunks)
     try:
         with ctx.Pool(processes=min(workers, len(chunks))) as pool:
-            results = pool.map(_run_chunk, list(enumerate(chunks)))
+            results = _collect_with_deadline(
+                pool, items, config.launch_timeout, kernel_name
+            )
     finally:
-        _WORK = None
+        _WORK = prev
     if any(r["error"] for r in results):
+        if telemetry is not None:
+            telemetry.sim_faults += 1
+            telemetry.degraded = "sequential"
+            telemetry.record("degrade-sequential", "simulator fault in worker")
         return None
     results.sort(key=lambda r: r["index"])
     stats = KernelStats()
@@ -186,4 +269,49 @@ def execute_blocks(
         executed=executed,
         shared_bytes=shared_bytes,
         workers=min(workers, len(chunks)),
+    )
+
+
+def execute_blocks(
+    run_block: RunBlock,
+    block_ids: Sequence[int],
+    gmem: GlobalMemory,
+    workers: int,
+    profile: Optional[KernelProfile] = None,
+    spec: Optional[LaunchSpec] = None,
+    config: Optional[ResilienceConfig] = None,
+    telemetry: Optional[ResilienceTelemetry] = None,
+    injector=None,
+) -> Optional[ParallelOutcome]:
+    """Run ``block_ids`` across ``workers`` processes.
+
+    Returns ``None`` when the parallel attempt must be abandoned (simulator
+    fault, retries exhausted, no surviving workers) — parent memory is then
+    still pristine and the caller reruns sequentially.  On success the write
+    sets and stats are already merged (ascending chunk order) into ``gmem``
+    and the returned stats object; when ``profile`` is given, each worker
+    collects a chunk-local :class:`KernelProfile` and those merge (integer
+    sums, so exactly) into ``profile`` in the same ascending order.
+
+    ``spec`` (a picklable :class:`~repro.gpusim.pool.LaunchSpec`) enables
+    the persistent supervised pool; without it — or with
+    ``config.pool_mode == "fork"`` — the legacy per-launch fork substrate
+    runs.  ``telemetry`` (when given) receives the resilience counters and
+    lifecycle events of whichever substrate ran.
+    """
+    config = config if config is not None else ResilienceConfig.from_env()
+    kernel_name = spec.kernel.name if spec is not None else (
+        profile.kernel if profile is not None else "?"
+    )
+    if spec is not None and config.pool_mode == "persistent":
+        if telemetry is None:
+            telemetry = ResilienceTelemetry()
+        chunks = chunk_blocks(block_ids, workers)
+        return pool_mod.get_pool().run_launch(
+            spec, chunks, gmem, workers, config, telemetry,
+            profile=profile, injector=injector,
+        )
+    return _execute_blocks_fork(
+        run_block, block_ids, gmem, workers, profile, config, telemetry,
+        kernel_name, injector=injector,
     )

@@ -1,0 +1,181 @@
+"""Asynchronous launches with CUDA-style stream ordering.
+
+CUDA hosts rarely block on every kernel: they enqueue launches onto a
+*stream*, keep preparing the next batch, and synchronize when results are
+needed.  This module gives the simulator the same shape:
+
+- :func:`launch_async` enqueues a launch and immediately returns a
+  :class:`LaunchFuture`;
+- a :class:`Stream` executes its queued launches strictly in FIFO order on a
+  dedicated worker thread (launches on *different* streams may interleave,
+  exactly like CUDA streams);
+- ``stream.synchronize()`` blocks until every launch enqueued so far has
+  completed, and ``future.result()`` blocks for (and returns) one specific
+  :class:`~repro.gpusim.launch.LaunchResult`.
+
+Semantics follow CUDA, not snapshots: argument buffers are read when the
+launch *executes*, so the host must not mutate them between enqueue and
+synchronize.  Exceptions raised by a launch (located ``SimError`` etc.) are
+captured and re-raised from ``future.result()``; a failed launch does not
+poison the stream — later enqueued launches still run.
+
+Parallel block execution from multiple concurrent streams requires the
+persistent supervised pool (the default ``GPUSIM_POOL=persistent``); the
+legacy per-launch fork substrate is single-flight and raises a located
+:class:`~repro.gpusim.errors.LaunchError` if two launches overlap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List, Optional
+
+from .launch import LaunchResult, launch
+
+
+class LaunchFuture:
+    """Handle for one asynchronously enqueued launch.
+
+    ``result()`` blocks until the launch ran (respecting stream FIFO order)
+    and returns its :class:`~repro.gpusim.launch.LaunchResult`, re-raising
+    any exception the launch raised.  ``done()`` polls without blocking.
+    """
+
+    def __init__(self, stream: "Stream") -> None:
+        self._stream = stream
+        self._event = threading.Event()
+        self._result: Optional[LaunchResult] = None
+        self._exception: Optional[BaseException] = None
+
+    def _fulfill(self, result: Optional[LaunchResult],
+                 exception: Optional[BaseException]) -> None:
+        self._result = result
+        self._exception = exception
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Wait for completion and return the launch's exception (or None)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("launch has not completed")
+        return self._exception
+
+    def result(self, timeout: Optional[float] = None) -> LaunchResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError("launch has not completed")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+
+class Stream:
+    """A FIFO queue of launches executed by one dedicated worker thread.
+
+    Launches enqueued on the same stream never overlap and complete in
+    enqueue order; launches on different streams are independent (their
+    parallel chunks share the process-wide worker pool, which serializes
+    pool launches internally while keeping each stream's ordering intact).
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        with Stream._counter_lock:
+            Stream._counter += 1
+            ident = Stream._counter
+        self.name = name if name is not None else f"stream-{ident}"
+        self._queue: "queue.Queue" = queue.Queue()
+        self._pending: List[LaunchFuture] = []
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name=f"gpusim-{self.name}", daemon=True
+            )
+            self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            future, args, kwargs = item
+            try:
+                future._fulfill(launch(*args, **kwargs), None)
+            except BaseException as exc:  # re-raised from future.result()
+                future._fulfill(None, exc)
+            finally:
+                with self._lock:
+                    if future in self._pending:
+                        self._pending.remove(future)
+
+    def launch_async(self, *args, **kwargs) -> LaunchFuture:
+        """Enqueue ``launch(*args, **kwargs)``; returns immediately."""
+        if self._closed:
+            raise RuntimeError(f"stream {self.name!r} is closed")
+        future = LaunchFuture(self)
+        with self._lock:
+            self._pending.append(future)
+        self._ensure_thread()
+        self._queue.put((future, args, kwargs))
+        return future
+
+    def synchronize(self, timeout: Optional[float] = None) -> None:
+        """Block until every launch enqueued so far has completed.
+
+        Like ``cudaStreamSynchronize`` this waits for completion only; a
+        launch's exception surfaces from its own ``future.result()``.
+        """
+        with self._lock:
+            pending = list(self._pending)
+        for future in pending:
+            if not future._event.wait(timeout):
+                raise TimeoutError(
+                    f"stream {self.name!r} did not drain within {timeout}s"
+                )
+
+    def close(self) -> None:
+        """Drain the stream and stop its worker thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None and self._thread.is_alive():
+            self._queue.put(None)
+            self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.synchronize()
+        self.close()
+
+
+_DEFAULT_STREAM: Optional[Stream] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_stream() -> Stream:
+    """The process-wide default stream (created on first use)."""
+    global _DEFAULT_STREAM
+    with _DEFAULT_LOCK:
+        if _DEFAULT_STREAM is None or _DEFAULT_STREAM._closed:
+            _DEFAULT_STREAM = Stream(name="default")
+        return _DEFAULT_STREAM
+
+
+def launch_async(*args, **kwargs) -> LaunchFuture:
+    """Enqueue a launch on the default stream; returns a :class:`LaunchFuture`.
+
+    Accepts exactly the arguments of :func:`~repro.gpusim.launch.launch`.
+    """
+    return default_stream().launch_async(*args, **kwargs)

@@ -28,7 +28,7 @@ from .registry import (
     registry_to_json,
 )
 from .report import top_lines_report
-from .timeline import build_timeline, chrome_trace, save_trace
+from .timeline import build_timeline, chrome_trace, pool_events, save_trace
 
 __all__ = [
     "BlockCost",
@@ -37,6 +37,7 @@ __all__ = [
     "ProfileEntry",
     "build_timeline",
     "chrome_trace",
+    "pool_events",
     "clear_registry",
     "get_profile",
     "profile_names",

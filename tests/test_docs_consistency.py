@@ -65,13 +65,39 @@ class TestReadme:
         assert {"profile", "parallel_fallback"} <= fields
         # Every documented fallback reason is one the launcher can emit.
         for reason in ("single-block", "trace", "faults", "sanitizer",
-                       "atomics", "unavailable", "worker-fault"):
+                       "atomics", "unavailable", "worker-fault",
+                       "breaker-open"):
             assert f'"{reason}"' in readme, reason
         # Every `repro.prof` subcommand shown in the README parses.
         from repro.prof.__main__ import main  # noqa: F401  (import works)
 
         for sub in re.findall(r"python -m repro\.prof (\w+)", readme):
             assert sub in ("trace", "top", "diff"), sub
+
+    def test_resilience_section_documents_real_knobs(self):
+        """Every GPUSIM_* knob in the Resilience section must be one
+        ResilienceConfig.from_env actually reads, and the documented API
+        names must exist."""
+        import inspect
+
+        from repro.gpusim import resilience
+        from repro.gpusim.launch import LaunchResult, launch
+        from repro.gpusim.stream import Stream, launch_async  # noqa: F401
+
+        readme = (ROOT / "README.md").read_text()
+        assert "## Resilience" in readme
+        section = readme.split("## Resilience", 1)[1].split("\n## ", 1)[0]
+        from_env_src = inspect.getsource(resilience.ResilienceConfig.from_env)
+        env_src = from_env_src + inspect.getsource(resilience)
+        for knob in re.findall(r"`(GPUSIM_[A-Z_]+)`", section):
+            assert knob in env_src, f"{knob} documented but never read"
+        for knob in ("GPUSIM_POOL", "GPUSIM_LAUNCH_TIMEOUT",
+                     "GPUSIM_MAX_RETRIES", "GPUSIM_BREAKER_THRESHOLD"):
+            assert knob in section, f"{knob} missing from Resilience section"
+        assert "resilience" in inspect.signature(launch).parameters
+        fields = {f.name for f in LaunchResult.__dataclass_fields__.values()}
+        assert "resilience" in fields
+        assert hasattr(Stream, "synchronize")
 
     def test_verify_cli_flags_exist(self):
         """Every --flag in the README's `repro.npc` lines parses."""
