@@ -1,20 +1,24 @@
-"""Wall-clock benchmark harness for the two execution backends.
+"""Wall-clock benchmark harness for the three execution backends.
 
-The simulator has a *modeled* clock (:mod:`repro.gpusim.timing`) that both
+The simulator has a *modeled* clock (:mod:`repro.gpusim.timing`) that all
 backends report identically; this harness measures the other axis — how long
-the simulator itself takes to run a kernel — so the closure-compiled engine's
-speedup over the tree-walking interpreter has a recorded trajectory.
+the simulator itself takes to run a kernel — so the closure-compiled and
+batch-vectorized megablock engines' speedups over the tree-walking
+interpreter have a recorded trajectory.
 
 ``python -m repro.bench`` times each selected paper benchmark on the
-interpreter and on the compiled backend (compile cache warmed first, so the
-once-per-source lowering cost is excluded), optionally with the parallel
-block scheduler, and writes ``BENCH_gpusim.json``.  Timings are
-best-of-``repeats`` wall-clock; speedups are interp/compiled per kernel plus
-a geometric mean.
+interpreter, the compiled backend, and the megablock backend (compile caches
+warmed first, so the once-per-source lowering cost is excluded and recorded
+separately as ``compile_ms``), optionally with the parallel block scheduler,
+and writes ``BENCH_gpusim.json``.  Timings are best-of-``repeats``
+wall-clock; speedups are interp/<backend> per kernel plus geometric means.
+When the parallel pass is skipped the record says why
+(``"skipped": "<reason>"``) instead of leaving bare nulls.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -33,16 +37,50 @@ QUICK_KERNELS = ("CFD", "MC")
 
 
 def _time_launch(bench, repeats: int, **kwargs) -> tuple[float, object]:
-    """Best-of-``repeats`` wall-clock seconds for one launch configuration."""
+    """Best-of-``repeats`` wall-clock seconds for one launch configuration.
+
+    The collector is paused while the clock runs: a GC pause landing inside
+    one backend's window but not another's would skew the per-kernel ratios
+    far more than any real engine change.
+    """
     best = float("inf")
     result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = bench.run_baseline(**kwargs)
-        elapsed = time.perf_counter() - t0
-        if elapsed < best:
-            best = elapsed
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = bench.run_baseline(**kwargs)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+            gc.collect()
+    finally:
+        if was_enabled:
+            gc.enable()
     return best, result
+
+
+def _compile_split(kernel) -> dict:
+    """Once-per-source lowering cost per compiled engine, cache bypassed.
+
+    The execute-time columns are measured with warm caches; this records the
+    other half of the compile-vs-execute split explicitly so the JSON shows
+    what a cold first launch would add.
+    """
+    from ..gpusim.compile import compile_kernel
+    from ..gpusim.megablock import compile_megablock
+
+    split = {}
+    for column, lower in (
+        ("compiled", compile_kernel),
+        ("megablock", compile_megablock),
+    ):
+        t0 = time.perf_counter()
+        lower(kernel, cache=False)
+        split[column] = round((time.perf_counter() - t0) * 1e3, 3)
+    return split
 
 
 def bench_kernel(
@@ -50,23 +88,34 @@ def bench_kernel(
     repeats: int = 3,
     parallel: Optional[int] = None,
     profile: bool = False,
+    parallel_skip: Optional[str] = None,
 ) -> dict:
-    """Time one benchmark on both backends; returns a JSON-ready record.
+    """Time one benchmark on all three backends; returns a JSON-ready record.
 
     ``profile=True`` additionally runs one *untimed* profiled launch per
     backend (profiling hooks would distort the wall-clock comparison) and
     records the profiles in the :mod:`repro.prof` registry as
-    ``"bench/<name>/interp"`` / ``"bench/<name>/compiled"``.
+    ``"bench/<name>/interp"`` / ``"bench/<name>/compiled"`` /
+    ``"bench/<name>/megablock"``.
+
+    When ``parallel`` is falsy, ``parallel_skip`` names the reason in the
+    record's ``"skipped"`` field ("not-requested" by default) so a null
+    ``parallel_ms`` is never silent.
     """
     bench = BENCHMARKS[name]()
-    # Warm the kernel compile cache so lowering cost is excluded (it is a
-    # once-per-source cost shared by every later launch).
+    # Warm the kernel compile caches so lowering cost is excluded from the
+    # execute columns (it is a once-per-source cost shared by every later
+    # launch); the cold cost is recorded separately below.
     bench.run_baseline(backend="compiled", sample_blocks=1)
+    from ..gpusim.megablock import compile_megablock
+
+    compile_megablock(bench.kernel)  # warm the #mb cache entry (digest-keyed)
+    compile_ms = _compile_split(bench.kernel)
 
     if profile:
         from ..prof import record_profile
 
-        for backend in ("interp", "compiled"):
+        for backend in ("interp", "compiled", "megablock"):
             profiled = bench.run_baseline(backend=backend, profile=True)
             record_profile(
                 f"bench/{name}/{backend}",
@@ -76,16 +125,23 @@ def bench_kernel(
 
     interp_s, _ = _time_launch(bench, repeats, backend="interp")
     compiled_s, compiled_result = _time_launch(bench, repeats, backend="compiled")
+    mega_s, mega_result = _time_launch(bench, repeats, backend="megablock")
     record = {
         "grid": compiled_result.grid,
         "block": compiled_result.block,
+        "compile_ms": compile_ms,
         "interp_ms": round(interp_s * 1e3, 3),
         "compiled_ms": round(compiled_s * 1e3, 3),
         "speedup_compiled": round(interp_s / compiled_s, 3),
+        "megablock_ms": round(mega_s * 1e3, 3),
+        "speedup_megablock": round(interp_s / mega_s, 3),
+        "megablock_over_compiled": round(compiled_s / mega_s, 3),
+        "megablock_fallback": mega_result.megablock_fallback,
         "parallel_ms": None,
         "parallel_workers": None,
         "speedup_parallel": None,
     }
+    par_s = None
     if parallel:
         par_s, par_result = _time_launch(
             bench, repeats, backend="compiled", parallel=parallel
@@ -93,7 +149,9 @@ def bench_kernel(
         record["parallel_ms"] = round(par_s * 1e3, 3)
         record["parallel_workers"] = par_result.parallel_workers
         record["speedup_parallel"] = round(interp_s / par_s, 3)
-    best_s = min(s for s in (compiled_s, locals().get("par_s")) if s is not None)
+    else:
+        record["skipped"] = parallel_skip or "not-requested"
+    best_s = min(s for s in (compiled_s, mega_s, par_s) if s is not None)
     record["best_ms"] = round(best_s * 1e3, 3)
     record["speedup_best"] = round(interp_s / best_s, 3)
     return record
@@ -106,16 +164,33 @@ def run_bench(
     profile: bool = False,
 ) -> dict:
     """Benchmark ``kernels`` and return the full report dict."""
+    parallel_skip = None
     if parallel is None:
-        # Engage the parallel scheduler only where it can help.
-        workers = scheduler.resolve_workers("auto") if scheduler.available() else 0
-        parallel = workers if workers >= 2 else None
+        # Engage the parallel scheduler only where it can help — and say
+        # why when it can't, so the JSON never holds silent nulls.
+        if not scheduler.available():
+            parallel_skip = "scheduler-unavailable"
+        else:
+            workers = scheduler.resolve_workers("auto")
+            if workers >= 2:
+                parallel = workers
+            else:
+                parallel_skip = "cpu_count==1"
     records = {}
     for name in kernels:
         records[name] = bench_kernel(
-            name, repeats=repeats, parallel=parallel, profile=profile
+            name,
+            repeats=repeats,
+            parallel=parallel,
+            profile=profile,
+            parallel_skip=parallel_skip,
         )
     speedups = [r["speedup_best"] for r in records.values()]
+    mega_ratios = [
+        r["megablock_over_compiled"]
+        for r in records.values()
+        if r["megablock_fallback"] is None
+    ]
     report = {
         "host": {
             "platform": platform.platform(),
@@ -131,6 +206,14 @@ def run_bench(
         "kernels": records,
         "geomean_speedup": round(float(np.exp(np.mean(np.log(speedups)))), 3),
         "max_speedup": round(max(speedups), 3),
+        # Megablock-over-compiled geomean across batch-eligible kernels
+        # (fallback kernels run the same per-block engine on both columns,
+        # so including them would just dilute the ratio toward 1).
+        "geomean_megablock_over_compiled": (
+            round(float(np.exp(np.mean(np.log(mega_ratios)))), 3)
+            if mega_ratios
+            else None
+        ),
     }
     if profile:
         from ..prof import registry_to_json
@@ -220,17 +303,24 @@ def format_pool_compare(report: dict) -> str:
 def format_report(report: dict) -> str:
     lines = [
         f"{'kernel':6s} {'interp ms':>10s} {'compiled ms':>12s} "
-        f"{'parallel ms':>12s} {'speedup':>8s}"
+        f"{'megablock ms':>13s} {'parallel ms':>12s} {'speedup':>8s}"
     ]
     for name, rec in report["kernels"].items():
         par = "-" if rec["parallel_ms"] is None else f"{rec['parallel_ms']:.1f}"
+        mega = f"{rec['megablock_ms']:.1f}"
+        if rec["megablock_fallback"] is not None:
+            mega += "*"  # per-block fallback; see megablock_fallback
         lines.append(
             f"{name:6s} {rec['interp_ms']:10.1f} {rec['compiled_ms']:12.1f} "
-            f"{par:>12s} {rec['speedup_best']:7.2f}x"
+            f"{mega:>13s} {par:>12s} {rec['speedup_best']:7.2f}x"
         )
+    mega_geo = report.get("geomean_megablock_over_compiled")
+    mega_txt = (
+        f"   megablock/compiled {mega_geo:.2f}x" if mega_geo is not None else ""
+    )
     lines.append(
         f"geomean {report['geomean_speedup']:.2f}x   "
-        f"max {report['max_speedup']:.2f}x"
+        f"max {report['max_speedup']:.2f}x{mega_txt}"
     )
     return "\n".join(lines)
 

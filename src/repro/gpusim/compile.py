@@ -40,7 +40,7 @@ from __future__ import annotations
 import hashlib
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
 import numpy as np
@@ -1639,6 +1639,20 @@ class CompileCacheStats:
     #: parent's cache through copy-on-write but must not inherit its
     #: hit/miss history as their own — see :func:`_check_fork`.
     pid: int = 0
+    #: Live cache entries broken down by lowering variant: plain per-block
+    #: artifacts (``base``), profiled per-block artifacts (``prof``), and
+    #: batched megablock artifacts of either flavor (``megablock``, cache
+    #: keys carrying the ``#mb`` suffix).
+    variants: dict = field(default_factory=dict)
+
+
+def _variant_of(key: str) -> str:
+    """Which lowering variant a cache key names (see key suffix scheme)."""
+    if "#mb" in key:
+        return "megablock"
+    if key.endswith("#prof"):
+        return "prof"
+    return "base"
 
 
 _CACHE: "OrderedDict[str, CompiledKernel]" = OrderedDict()
@@ -1662,6 +1676,26 @@ def _check_fork() -> None:
         _CACHE_STATS.misses = 0
 
 
+def _cache_get(key: str):
+    """Shared LRU lookup (also used by the megablock lowering's ``#mb`` keys)
+    so hit/miss accounting stays in one place."""
+    _check_fork()
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS.hits += 1
+        _CACHE.move_to_end(key)
+        return cached
+    _CACHE_STATS.misses += 1
+    return None
+
+
+def _cache_put(key: str, artifact) -> None:
+    _CACHE[key] = artifact
+    while len(_CACHE) > _CACHE_CAPACITY:
+        _CACHE.popitem(last=False)
+    _CACHE_STATS.size = len(_CACHE)
+
+
 def compile_kernel(
     kernel: Kernel, cache: bool = True, profile: bool = False
 ) -> CompiledKernel:
@@ -1679,17 +1713,11 @@ def compile_kernel(
     if digest is None:
         return _lower(kernel, None, profile)
     key = digest + "#prof" if profile else digest
-    cached = _CACHE.get(key)
+    cached = _cache_get(key)
     if cached is not None:
-        _CACHE_STATS.hits += 1
-        _CACHE.move_to_end(key)
         return cached
-    _CACHE_STATS.misses += 1
     compiled = _lower(kernel, digest, profile)
-    _CACHE[key] = compiled
-    while len(_CACHE) > _CACHE_CAPACITY:
-        _CACHE.popitem(last=False)
-    _CACHE_STATS.size = len(_CACHE)
+    _cache_put(key, compiled)
     return compiled
 
 
@@ -1698,11 +1726,15 @@ def compile_cache_stats() -> CompileCacheStats:
     counters restart at zero, its ``pid`` field says whose they are)."""
     _check_fork()
     _CACHE_STATS.size = len(_CACHE)
+    variants = {"base": 0, "prof": 0, "megablock": 0}
+    for key in _CACHE:
+        variants[_variant_of(key)] += 1
     return CompileCacheStats(
         hits=_CACHE_STATS.hits,
         misses=_CACHE_STATS.misses,
         size=len(_CACHE),
         pid=_CACHE_STATS.pid,
+        variants=variants,
     )
 
 

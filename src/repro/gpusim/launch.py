@@ -31,6 +31,7 @@ from ..minicuda.parser import parse_kernel
 from ..prof.counters import KernelProfile
 from . import scheduler
 from .compile import compile_kernel, kernel_uses_atomics
+from .megablock import MegaProfile, MegablockExecutor, compile_megablock
 from .pool import LaunchSpec
 from .resilience import ResilienceConfig, ResilienceTelemetry, get_breaker
 from .device import DeviceSpec, GTX680
@@ -85,7 +86,8 @@ class LaunchResult:
     #: The exact (ascending, deduplicated) linear block IDs executed when
     #: ``sample_blocks`` sampled the grid; None for a full-grid launch.
     sampled_block_ids: Optional[tuple[int, ...]] = None
-    #: Execution backend that ran the launch: "interp" or "compiled".
+    #: Execution backend that ran the launch: "interp", "compiled" or
+    #: "megablock".
     backend: str = "interp"
     #: Worker-process count when the parallel block scheduler ran this
     #: launch; None when blocks executed sequentially.
@@ -95,6 +97,14 @@ class LaunchResult:
     #: requested.  One of: "single-block", "trace", "faults", "sanitizer",
     #: "atomics", "unavailable", "worker-fault", "breaker-open".
     parallel_fallback: Optional[str] = None
+    #: Why a *requested* megablock launch (``backend="megablock"``) executed
+    #: blocks through the per-block compiled engine instead of the batched
+    #: block axis; None when batching ran (or was never requested).  One of:
+    #: "single-block", "trace", "faults", "sanitizer", "atomics",
+    #: "sim-fault" (the batched attempt raised, global memory was restored
+    #: from the launch snapshot, and the per-block rerun reproduced the
+    #: exact semantics).  :attr:`backend` stays "megablock" either way.
+    megablock_fallback: Optional[str] = None
     #: Resilience telemetry of the parallel attempt (attempts, retries,
     #: deadline kills, breaker state, pool lifecycle events), when this
     #: launch requested parallelism and reached the scheduler; None
@@ -245,9 +255,10 @@ def launch(
     backend_name = (
         backend if backend is not None else os.environ.get("GPUSIM_BACKEND") or "interp"
     )
-    if backend_name not in ("interp", "compiled"):
+    if backend_name not in ("interp", "compiled", "megablock"):
         raise ValueError(
-            f"backend must be 'interp' or 'compiled', got {backend_name!r}"
+            "backend must be 'interp', 'compiled' or 'megablock', "
+            f"got {backend_name!r}"
         )
 
     stats = KernelStats()
@@ -266,6 +277,7 @@ def launch(
     sampled_ids: Optional[tuple[int, ...]] = None
     parallel_workers: Optional[int] = None
     parallel_fallback: Optional[str] = None
+    megablock_fallback: Optional[str] = None
     telemetry: Optional[ResilienceTelemetry] = None
     res_cfg = resilience if resilience is not None else ResilienceConfig.from_env()
     prof_obj = KernelProfile(kernel=kernel.name) if profile else None
@@ -315,9 +327,12 @@ def launch(
         # Both are launch-invariant: the closure program is cached across
         # launches by source digest, the warp scaffolding is shared by every
         # block of this launch.
+        # The megablock backend keeps the per-block closure program around
+        # too: it is the exact-semantics engine every ineligible or faulted
+        # batch falls back to.
         program = (
             compile_kernel(kernel, profile=profile)
-            if backend_name == "compiled"
+            if backend_name in ("compiled", "megablock")
             else None
         )
         scaffold = WarpScaffold(kernel, block3, grid3)
@@ -379,6 +394,24 @@ def launch(
         # interpreter hooks, so it does not force the sequential path: the
         # scheduler resolves those specs deterministically at dispatch.
         faults_worker_only = faults is not None and faults.worker_only()
+        # Megablock eligibility: exactly the parallel scheduler's
+        # independence condition.  Anything needing per-block interpreter
+        # hooks (trace, sim-faults, sanitizers) or cross-block communication
+        # (atomics) runs per block; the reason is observable on the result.
+        mega_program = None
+        if backend_name == "megablock":
+            if len(block_ids) < 2:
+                megablock_fallback = "single-block"
+            elif trace:
+                megablock_fallback = "trace"
+            elif faults is not None and not faults_worker_only:
+                megablock_fallback = "faults"
+            elif sanitizer is not None:
+                megablock_fallback = "sanitizer"
+            elif uses_atomics:
+                megablock_fallback = "atomics"
+            else:
+                mega_program = compile_megablock(kernel, profile=profile)
         # Record *why* a requested parallel launch degrades to sequential
         # execution — only when parallelism was actually requested (>= 2
         # resolved workers), so plain sequential launches stay None.
@@ -421,7 +454,14 @@ def launch(
                     cname: np.asarray(cdata)
                     for cname, cdata in (const_arrays or {}).items()
                 },
-                backend=backend_name,
+                backend=(
+                    # Workers batch each chunk's block axis only when the
+                    # launch itself is batch-eligible; an ineligible
+                    # megablock launch runs per block in the workers too.
+                    backend_name
+                    if not (backend_name == "megablock" and mega_program is None)
+                    else "compiled"
+                ),
                 synccheck=synccheck,
                 profile_kernel=kernel.name if profile else None,
             )
@@ -451,9 +491,56 @@ def launch(
                 parallel_fallback = "worker-fault"
                 telemetry.degraded = "sequential"
         if not ran_parallel:
-            for linear in block_ids:
-                shared_bytes = run_block(linear, stats, prof_obj)
-                executed += 1
+            ran_megablock = False
+            if mega_program is not None and parallel_fallback != "worker-fault":
+                # Batched execution is speculative: snapshot global memory,
+                # run the whole block axis at once, and on ANY SimError
+                # restore the snapshot and rerun per block — the rerun
+                # reproduces the exact located fault and semantics.
+                snapshot = {
+                    name: buf.data.copy()
+                    for name, buf in gmem.buffers().items()
+                }
+                mb_stats = KernelStats()
+                mb_prof = (
+                    MegaProfile(
+                        kernel.name,
+                        block_ids,
+                        scaffold.num_warps,
+                        scaffold.total_threads,
+                    )
+                    if profile
+                    else None
+                )
+                try:
+                    mb_executor = MegablockExecutor(
+                        kernel,
+                        block_ids,
+                        block3,
+                        grid3,
+                        base_env,
+                        mb_stats,
+                        mega_program,
+                        synccheck=synccheck,
+                        scaffold=scaffold,
+                        profile=mb_prof,
+                    )
+                    mb_executor.run()
+                except SimError:
+                    for name, buf in gmem.buffers().items():
+                        buf.data[...] = snapshot[name]
+                    megablock_fallback = "sim-fault"
+                else:
+                    stats.merge(mb_stats)
+                    if mb_prof is not None:
+                        mb_prof.finish(prof_obj)
+                    shared_bytes = mb_executor.shared_bytes
+                    executed += len(block_ids)
+                    ran_megablock = True
+            if not ran_megablock:
+                for linear in block_ids:
+                    shared_bytes = run_block(linear, stats, prof_obj)
+                    executed += 1
     except SimError as exc:
         if exc.ctx is None:
             exc.attach(
@@ -483,6 +570,7 @@ def launch(
             backend=backend_name,
             parallel_workers=parallel_workers,
             parallel_fallback=parallel_fallback,
+            megablock_fallback=megablock_fallback,
             resilience=telemetry,
             profile=prof_obj,
             error=report,
@@ -525,6 +613,7 @@ def launch(
         backend=backend_name,
         parallel_workers=parallel_workers,
         parallel_fallback=parallel_fallback,
+        megablock_fallback=megablock_fallback,
         resilience=telemetry,
         profile=prof_obj,
         sanitizer=sanitizer.report() if sanitizer is not None else None,

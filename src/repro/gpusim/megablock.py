@@ -1,0 +1,1768 @@
+"""Batch-vectorized "megablock" execution engine.
+
+The compiled backend (:mod:`repro.gpusim.compile`) removed per-statement
+dispatch but still runs blocks one at a time: every closure executes over a
+``(WARP_SIZE,)`` lane vector, once per block.  For independent blocks — the
+same condition the parallel scheduler already detects — that outer Python
+loop is pure overhead.  This module lowers the *block loop itself* into an
+ndarray axis: all blocks' lanes stack into ``(blocks, WARP_SIZE)`` arrays
+(one "mega-warp" per warp slot) and each statement closure runs exactly once
+for the entire batch.
+
+The lowering here is a statement-for-statement mirror of ``compile.py`` with
+a leading block axis:
+
+* **Masks** are ``(blocks, lanes)``; a block whose row goes empty simply
+  stops contributing — loops keep running until *no* block has active lanes,
+  and every cost hook scales by the number of non-empty rows so counters
+  stay bit-identical to the per-block engines.
+* **Stats** that the per-block engine bumps by a constant per execution
+  (``alu_insts += w``, ``global_load_insts += 1`` …) become ``+= w * rows``
+  where ``rows`` counts blocks with at least one active lane.  Per-block
+  execution never runs a statement under an empty mask, so ``rows`` is
+  exactly the number of blocks that would have executed it.  All instruction
+  weights are integer-valued floats, so the batched partial sums are exact.
+* **Per-row reductions** replace the per-block coalescing/bank-conflict
+  scalars: a sentinel sort counts distinct 128-byte segments per row, a
+  sort + bincount finds the worst shared-memory bank degree per row, and a
+  masked min/max detects constant-memory broadcasts per row.
+* **Shared/local memory** materializes as one ``(blocks, …)`` slab per
+  declaration (:class:`~repro.gpusim.memory.BatchedSharedArray` /
+  ``BatchedLocalArray``) with the same per-block byte addressing, so replay
+  and transaction accounting match the per-block engines bit-for-bit.
+* **Barriers** keep the generator yield protocol: one stacked generator per
+  mega-warp, round-robined exactly like ``BlockExecutor._run_block``.
+
+Batching is *speculative*: anything the batched semantics cannot reproduce
+exactly — block-varying shuffle widths, atomics, any ``SimError`` raised
+mid-batch — aborts the whole megablock run, and the launcher restores the
+pre-launch global-memory snapshot and re-runs per block with the compiled
+engine.  A spurious batched fault therefore costs only time, never
+correctness, and real faults surface with their exact per-block diagnostics.
+
+Compiled megablock artifacts live in the same digest-keyed LRU as the
+per-block artifacts under ``#mb`` / ``#mb#prof`` key suffixes
+(:func:`compile_megablock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..minicuda.nodes import (
+    ArrayType,
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    If,
+    Index,
+    IntLit,
+    Kernel,
+    Member,
+    Name,
+    PointerType,
+    Return,
+    ScalarType,
+    Stmt,
+    Ternary,
+    Unary,
+    VarDecl,
+    While,
+)
+from ..prof.counters import KernelProfile, LineCounters, _line_of
+from .compile import (
+    FAST_BINARY_IMPLS,
+    _and_not,
+    _cache_get,
+    _cache_put,
+    _compile_literal,
+    _compile_name,
+    _fast_flat_index,
+    _mask_any,
+    _plain_iterator,
+    _raising,
+    _stmt_loc,
+    kernel_digest,
+    kernel_uses_atomics,
+)
+from .errors import IntrinsicError, MemoryFault, SimError, SyncError
+from .interp import (
+    WARP_SIZE,
+    WarpScaffold,
+    _broadcast,
+    _pointer_arith,
+    _resolve_index_chain,
+    PointerValue,
+)
+from .intrinsics import (
+    BINOP_WEIGHTS,
+    DEFAULT_BINOP_WEIGHT,
+    MATH_INTRINSICS,
+    _check_width,
+)
+from .memory import (
+    BatchedLocalArray,
+    BatchedSharedArray,
+    ConstArray,
+    GlobalBuffer,
+    dtype_for,
+)
+
+#: ``ExprFn(ctx, mask) -> ndarray | PointerValue | memory object`` where
+#: ``mask`` is ``(blocks, WARP_SIZE)``; values broadcast between
+#: ``(WARP_SIZE,)`` (block-invariant) and ``(blocks, WARP_SIZE)``.
+ExprFn = Callable[["MegaContext", np.ndarray], object]
+StmtFn = Callable[["MegaContext", np.ndarray], object]
+
+_LANES = np.arange(WARP_SIZE)
+_LANES_I64 = np.arange(WARP_SIZE, dtype=np.int64)
+_I64_MAX = np.iinfo(np.int64).max
+
+
+# ---------------------------------------------------------------------------
+# Per-row batched stat reductions
+#
+# Each mirrors one per-block scalar from compile.py's fast path, computed for
+# every row of the batch at once.  Rows with no active lanes reduce to zero.
+# ---------------------------------------------------------------------------
+
+
+def _batch_txns(byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Distinct 128-byte segments per row (``_fast_txns`` per block)."""
+    segs = np.where(mask, byte_addrs // 128, _I64_MAX)  # fresh, writable
+    segs.sort(axis=1)
+    row_any = segs[:, 0] != _I64_MAX
+    fresh = (segs[:, 1:] != segs[:, :-1]) & (segs[:, 1:] != _I64_MAX)
+    return row_any.astype(np.int64) + fresh.sum(axis=1)
+
+
+def _batch_global_stats(
+    byte_addrs: np.ndarray,
+    mask: np.ndarray,
+    elem_bytes: int,
+    active_rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(transactions, uncoalesced)`` — ``_fast_global_stats``.
+
+    ``active * elem_bytes`` is at most 256, so the integer ceiling equals the
+    per-block float ``np.ceil`` exactly.  Empty rows: 0 transactions,
+    coalesced (``0 > max(0, 1)`` is false), matching the per-block
+    ``(0, True)`` early-out.
+    """
+    txns = _batch_txns(byte_addrs, mask)
+    needed = (active_rows * elem_bytes + 127) // 128
+    uncoalesced = txns > np.maximum(needed, 1)
+    return txns, uncoalesced
+
+
+def _batch_bank_replays(byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Worst-bank replay count per row (``_fast_bank_replays`` per block):
+    distinct 4-byte words per bank, worst bank sets the pass count."""
+    words = np.where(mask, byte_addrs // 4, _I64_MAX)
+    words.sort(axis=1)
+    valid = words != _I64_MAX
+    uniq = valid.copy()
+    uniq[:, 1:] &= words[:, 1:] != words[:, :-1]
+    nwords = uniq.sum(axis=1)
+    nblocks = mask.shape[0]
+    banks = words % 32
+    keys = np.where(uniq, np.arange(nblocks)[:, None] * 32 + banks, nblocks * 32)
+    counts = np.bincount(keys.ravel(), minlength=nblocks * 32 + 1)
+    counts = counts[: nblocks * 32].reshape(nblocks, 32)
+    max_degree = counts.max(axis=1)
+    return np.where(nwords <= 1, 0, np.maximum(max_degree - 1, 0))
+
+
+def _batch_const_serialized(byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Per-row ``not coalescing.broadcast_segments`` (all-equal address
+    test); empty rows are broadcast-friendly like the per-block early-out."""
+    addrs = np.broadcast_to(byte_addrs, mask.shape)
+    lo = np.where(mask, addrs, _I64_MAX).min(axis=1)
+    hi = np.where(mask, addrs, -1).max(axis=1)
+    return (lo != hi) & mask.any(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Batched memory accessors
+#
+# Bounds faults raise generic MemoryFaults here: any SimError aborts the
+# megablock run and the per-block rerun reproduces the exact located fault.
+# ---------------------------------------------------------------------------
+
+
+def _mb_bounds_fault(name: str, space: str, idx, mask, limit: int) -> MemoryFault:
+    bad = np.broadcast_to(idx, mask.shape)[mask & ((idx < 0) | (idx >= limit))]
+    return MemoryFault(
+        f"{space} buffer {name!r}: index out of range (size {limit})",
+        space=space,
+        buffer=name,
+        index=int(bad[0]),
+        limit=limit,
+    )
+
+
+def _mb_global_load(buf: GlobalBuffer, offsets, mask) -> np.ndarray:
+    data = buf.data
+    bad = mask & ((offsets < 0) | (offsets >= data.size))
+    if bad.any():
+        raise _mb_bounds_fault(buf.name, "global", offsets, mask, data.size)
+    return data[np.where(mask, offsets, 0)]
+
+
+def _mb_global_store(buf: GlobalBuffer, offsets, mask, values) -> None:
+    data = buf.data
+    bad = mask & ((offsets < 0) | (offsets >= data.size))
+    if bad.any():
+        raise _mb_bounds_fault(buf.name, "global", offsets, mask, data.size)
+    offsets_b = np.broadcast_to(offsets, mask.shape)
+    values_b = np.broadcast_to(values, mask.shape)
+    # Row-major flatten scatters ascending block order: the same last-writer-
+    # wins order as the sequential per-block loop.
+    data[offsets_b[mask]] = values_b[mask].astype(data.dtype, copy=False)
+
+
+def _mb_local_byte_addrs(root: BatchedLocalArray, idx) -> np.ndarray:
+    return root.base_addr + (
+        idx.astype(np.int64, copy=False) * root.warp_size + _LANES_I64
+    ) * root.itemsize
+
+
+def _mb_tex_load(tex, idx, mask) -> np.ndarray:
+    data = tex.data
+    bad = mask & ((idx < 0) | (idx >= data.size))
+    if bad.any():
+        raise _mb_bounds_fault(tex.name, "global", idx, mask, data.size)
+    return data[np.where(mask, idx, 0)]
+
+
+# ---------------------------------------------------------------------------
+# Batched shuffles
+#
+# Shuffle width (and shfl_up/down delta) is a per-warp scalar in the
+# per-block engines (``int(arr[0])``).  When the batched operand varies by
+# block the batch cannot express it in one gather — abort to the fallback.
+# ---------------------------------------------------------------------------
+
+
+def _uniform_int(arr) -> int:
+    arr = np.asarray(arr)
+    if arr.ndim <= 1:
+        return int(arr.flat[0])
+    first = arr[:, 0]
+    if (first != first[0]).any():
+        raise SimError("megablock: shuffle operand varies across blocks")
+    return int(first[0])
+
+
+def _mb_shfl(values, lane_id, lane_size: int) -> np.ndarray:
+    _check_width("__shfl", lane_size, WARP_SIZE)
+    src = (_LANES // lane_size) * lane_size + np.asarray(lane_id) % lane_size
+    values = np.asarray(values)
+    if src.ndim <= 1:
+        return values[..., src]
+    if values.ndim < src.ndim:
+        values = np.broadcast_to(values, src.shape)
+    return np.take_along_axis(values, src, axis=-1)
+
+
+def _mb_shfl_shift(values, delta: int, lane_size: int, down: bool) -> np.ndarray:
+    _check_width("__shfl_down" if down else "__shfl_up", lane_size, WARP_SIZE)
+    group = _LANES // lane_size
+    pos = _LANES % lane_size
+    moved = pos + delta if down else pos - delta
+    in_range = moved < lane_size if down else moved >= 0
+    src = group * lane_size + np.where(in_range, moved, pos)
+    return np.asarray(values)[..., src]
+
+
+# ---------------------------------------------------------------------------
+# Batched profile adapter
+# ---------------------------------------------------------------------------
+
+
+class MegaProfile:
+    """Accumulates batched profile counters, then reduces them into a
+    :class:`~repro.prof.counters.KernelProfile` identical to what the
+    per-block engines would have produced for the same blocks.
+
+    Line counters take the already-reduced row counts directly; the only
+    per-block state a profile carries — ``BlockCost.inst_issues`` and
+    ``.transactions`` — accumulates in two ``(blocks,)`` vectors and splits
+    back into per-block records in :meth:`finish`.
+    """
+
+    def __init__(
+        self, kernel_name: str, block_ids, num_warps: int, threads: int
+    ):
+        self.kernel = kernel_name
+        self.block_ids = [int(b) for b in block_ids]
+        self.num_warps = num_warps
+        self.threads = threads
+        self.lines: Dict[int, LineCounters] = {}
+        nblocks = len(self.block_ids)
+        self.blk_issues = np.zeros(nblocks, dtype=np.int64)
+        self.blk_txns = np.zeros(nblocks, dtype=np.int64)
+
+    def _line(self, line: int) -> LineCounters:
+        lc = self.lines.get(line)
+        if lc is None:
+            lc = self.lines[line] = LineCounters()
+        return lc
+
+    def stmt_rows(
+        self, line: int, rows: int, active: int, row_any: np.ndarray
+    ) -> None:
+        lc = self._line(line)
+        lc.inst_issues += rows
+        lc.thread_issues += active
+        self.blk_issues += row_any
+
+    def divergent_n(self, line: int, n: int) -> None:
+        self._line(line).divergent_branches += n
+
+    def global_access_rows(
+        self, loc, rows: int, txns_rows: np.ndarray, uncoalesced: int, store: bool
+    ) -> None:
+        lc = self._line(_line_of(loc))
+        if store:
+            lc.global_store_insts += rows
+        else:
+            lc.global_load_insts += rows
+        lc.global_transactions += int(txns_rows.sum())
+        lc.uncoalesced_accesses += uncoalesced
+        self.blk_txns += txns_rows
+
+    def shared_access_rows(self, loc, rows: int, replays: int, store: bool) -> None:
+        lc = self._line(_line_of(loc))
+        if store:
+            lc.shared_store_insts += rows
+        else:
+            lc.shared_load_insts += rows
+        lc.shared_bank_replays += replays
+
+    def local_access_rows(self, loc, rows: int, txns_rows: np.ndarray) -> None:
+        lc = self._line(_line_of(loc))
+        lc.local_insts += rows
+        lc.local_transactions += int(txns_rows.sum())
+        self.blk_txns += txns_rows
+
+    def const_access_rows(self, loc, rows: int, serialized: int) -> None:
+        lc = self._line(_line_of(loc))
+        lc.const_insts += rows
+        lc.const_serialized += serialized
+
+    def shfl_rows(self, loc, rows: int) -> None:
+        self._line(_line_of(loc)).shfl_insts += rows
+
+    def sync_rows(self, line: int, rows: int) -> None:
+        self._line(line).syncthreads += rows
+
+    def finish(self, target: KernelProfile) -> None:
+        """Reduce into ``target`` exactly as per-block execution would."""
+        target.merge(KernelProfile(kernel=self.kernel, lines=self.lines))
+        for i, bid in enumerate(self.block_ids):
+            target.begin_block(bid, self.num_warps, self.threads)
+            bc = target.blocks[bid]
+            bc.inst_issues += int(self.blk_issues[i])
+            bc.transactions += int(self.blk_txns[i])
+        target._current = None
+
+
+# ---------------------------------------------------------------------------
+# Batched execution context
+# ---------------------------------------------------------------------------
+
+
+class _MbLoopFrame:
+    """(blocks, lanes) liveness bookkeeping for one loop nest level."""
+
+    __slots__ = ("broken", "cont", "exited")
+
+    def __init__(self, shape: tuple[int, int]):
+        self.broken = np.zeros(shape, dtype=bool)
+        self.cont = np.zeros(shape, dtype=bool)
+        self.exited = np.zeros(shape, dtype=bool)
+
+
+class MegaContext:
+    """Per-mega-warp execution state: ``WarpContext`` with a block axis.
+
+    Carries only what the batched closures touch — trace/injector/sanitizer
+    launches are never eligible for this engine.  ``rows``/``rows_any``
+    cache the row reduction by mask identity: several hooks on one statement
+    always receive the same mask object.
+    """
+
+    __slots__ = (
+        "env",
+        "init_mask",
+        "entry_mask",
+        "entry_full",
+        "nblocks",
+        "inactive",
+        "has_inactive",
+        "returned",
+        "loop_stack",
+        "stats",
+        "synccheck",
+        "profile",
+        "current_loc",
+        "current_mask",
+        "warp_idx",
+        "_rows_key",
+        "_rows_any",
+        "_rows_val",
+    )
+
+    def __init__(
+        self,
+        env: dict,
+        init_mask: np.ndarray,
+        stats,
+        nblocks: int,
+        warp_idx: int = 0,
+        synccheck: bool = False,
+        profile: Optional[MegaProfile] = None,
+    ):
+        self.env = env
+        self.init_mask = init_mask
+        self.entry_mask = init_mask
+        self.entry_full = bool(init_mask.all())
+        self.nblocks = nblocks
+        self.inactive = np.zeros(init_mask.shape, dtype=bool)
+        self.has_inactive = False
+        self.returned = np.zeros(init_mask.shape, dtype=bool)
+        self.loop_stack: List[_MbLoopFrame] = []
+        self.stats = stats
+        self.synccheck = synccheck
+        self.profile = profile
+        self.current_loc = None
+        self.current_mask = init_mask
+        self.warp_idx = warp_idx
+        self._rows_key = None
+        self._rows_any: Optional[np.ndarray] = None
+        self._rows_val = 0
+
+    def rows_any(self, mask: np.ndarray) -> np.ndarray:
+        """(blocks,) bool: which rows have at least one active lane."""
+        if mask is not self._rows_key:
+            row_any = mask.any(axis=1)
+            self._rows_key = mask
+            self._rows_any = row_any
+            self._rows_val = int(row_any.sum())
+        return self._rows_any
+
+    def rows(self, mask: np.ndarray) -> int:
+        """How many blocks have at least one active lane — exactly the
+        number of blocks the per-block engine would run this statement for
+        (it never executes a statement under an empty mask)."""
+        if mask is not self._rows_key:
+            self.rows_any(mask)
+        return self._rows_val
+
+
+# ---------------------------------------------------------------------------
+# Batched memory access (mirrors compile._fast_load_object/_fast_store_object
+# minus the injector/trace/sanitizer hooks — those launches are ineligible)
+# ---------------------------------------------------------------------------
+
+
+def _mb_load_object(ctx: MegaContext, root, indices: list, mask: np.ndarray):
+    stats = ctx.stats
+    if isinstance(root, PointerValue):
+        if len(indices) != 1:
+            raise MemoryFault("global pointers are 1-D; use manual 2-D math")
+        buf = root.buffer
+        offsets = root.offsets + indices[0]
+        addrs = buf.base_addr + offsets.astype(np.int64, copy=False) * buf.itemsize
+        rows = ctx.rows(mask)
+        active_rows = mask.sum(axis=1)
+        txns_rows, unco_rows = _batch_global_stats(
+            addrs, mask, buf.itemsize, active_rows
+        )
+        stats.global_load_insts += rows
+        stats.global_transactions += int(txns_rows.sum())
+        uncoalesced = int(np.count_nonzero(unco_rows))
+        stats.uncoalesced_accesses += uncoalesced
+        if ctx.profile is not None:
+            ctx.profile.global_access_rows(
+                ctx.current_loc, rows, txns_rows, uncoalesced, False
+            )
+        return _mb_global_load(buf, offsets, mask)
+    if isinstance(root, BatchedSharedArray):
+        flat = _fast_flat_index(root, indices)
+        rows = ctx.rows(mask)
+        stats.shared_load_insts += rows
+        replays_rows = _batch_bank_replays(
+            root.base_offset + flat * root.itemsize, mask
+        )
+        replays = int(replays_rows.sum())
+        stats.shared_bank_replays += replays
+        if ctx.profile is not None:
+            ctx.profile.shared_access_rows(ctx.current_loc, rows, replays, False)
+        return root.load(flat, mask)
+    if isinstance(root, BatchedLocalArray):
+        if len(indices) != 1:
+            raise MemoryFault("local arrays are 1-D in this subset")
+        idx = indices[0]
+        if root.in_registers:
+            pass  # register operand: free (the template unrolls the index)
+        else:
+            rows = ctx.rows(mask)
+            stats.local_load_insts += rows
+            ltx_rows = _batch_txns(_mb_local_byte_addrs(root, idx), mask)
+            stats.local_transactions += int(ltx_rows.sum())
+            stats.local_bytes += int(mask.sum()) * root.itemsize
+            if ctx.profile is not None:
+                ctx.profile.local_access_rows(ctx.current_loc, rows, ltx_rows)
+        return root.load(idx, mask)
+    if isinstance(root, ConstArray):
+        if len(indices) != 1:
+            raise MemoryFault("constant arrays are 1-D")
+        idx = indices[0]
+        rows = ctx.rows(mask)
+        stats.const_load_insts += rows
+        serialized = int(
+            np.count_nonzero(_batch_const_serialized(root.byte_addrs(idx), mask))
+        )
+        stats.const_serialized += serialized
+        if ctx.profile is not None:
+            ctx.profile.const_access_rows(ctx.current_loc, rows, serialized)
+        return _mb_tex_load(root, idx, mask)
+    raise MemoryFault(f"cannot index into {type(root).__name__}")
+
+
+def _mb_store_object(
+    ctx: MegaContext, root, indices: list, mask: np.ndarray, values
+) -> None:
+    stats = ctx.stats
+    values = np.asarray(values)
+    if isinstance(root, PointerValue):
+        if len(indices) != 1:
+            raise MemoryFault("global pointers are 1-D; use manual 2-D math")
+        buf = root.buffer
+        offsets = root.offsets + indices[0]
+        addrs = buf.base_addr + offsets.astype(np.int64, copy=False) * buf.itemsize
+        rows = ctx.rows(mask)
+        active_rows = mask.sum(axis=1)
+        txns_rows, unco_rows = _batch_global_stats(
+            addrs, mask, buf.itemsize, active_rows
+        )
+        stats.global_store_insts += rows
+        stats.global_transactions += int(txns_rows.sum())
+        uncoalesced = int(np.count_nonzero(unco_rows))
+        stats.uncoalesced_accesses += uncoalesced
+        if ctx.profile is not None:
+            ctx.profile.global_access_rows(
+                ctx.current_loc, rows, txns_rows, uncoalesced, True
+            )
+        _mb_global_store(buf, offsets, mask, values)
+        return
+    if isinstance(root, BatchedSharedArray):
+        flat = _fast_flat_index(root, indices)
+        rows = ctx.rows(mask)
+        stats.shared_store_insts += rows
+        replays_rows = _batch_bank_replays(
+            root.base_offset + flat * root.itemsize, mask
+        )
+        replays = int(replays_rows.sum())
+        stats.shared_bank_replays += replays
+        if ctx.profile is not None:
+            ctx.profile.shared_access_rows(ctx.current_loc, rows, replays, True)
+        root.store(flat, mask, values)
+        return
+    if isinstance(root, BatchedLocalArray):
+        if len(indices) != 1:
+            raise MemoryFault("local arrays are 1-D in this subset")
+        idx = indices[0]
+        if root.in_registers:
+            pass  # register operand: free (the template unrolls the index)
+        else:
+            rows = ctx.rows(mask)
+            stats.local_store_insts += rows
+            ltx_rows = _batch_txns(_mb_local_byte_addrs(root, idx), mask)
+            stats.local_transactions += int(ltx_rows.sum())
+            stats.local_bytes += int(mask.sum()) * root.itemsize
+            if ctx.profile is not None:
+                ctx.profile.local_access_rows(ctx.current_loc, rows, ltx_rows)
+        root.store(idx, mask, values)
+        return
+    if isinstance(root, ConstArray):
+        raise MemoryFault(f"constant array {root.name!r} is read-only")
+    raise MemoryFault(f"cannot store into {type(root).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering (mirrors compile.py; stat bumps scale by active rows)
+# ---------------------------------------------------------------------------
+
+
+def _mb_binary(expr: Binary) -> ExprFn:
+    lhs_fn = mb_expr(expr.lhs)
+    rhs_fn = mb_expr(expr.rhs)
+    op = expr.op
+    impl = FAST_BINARY_IMPLS.get(op)
+    if impl is None:
+        def unknown(ctx: MegaContext, mask: np.ndarray):
+            lhs_fn(ctx, mask)
+            rhs_fn(ctx, mask)
+            ctx.stats.alu_insts += DEFAULT_BINOP_WEIGHT * ctx.rows(mask)
+            raise KeyError(op)
+
+        return unknown
+    weight = BINOP_WEIGHTS.get(op, DEFAULT_BINOP_WEIGHT)
+    const_name: Optional[str] = None
+    if op in ("/", "%"):
+        if isinstance(expr.rhs, IntLit):
+            weight = 1.0
+        elif isinstance(expr.rhs, Name):
+            const_name = expr.rhs.id
+
+    if const_name is not None:
+        heavy = weight
+
+        def fn_dyn(ctx: MegaContext, mask: np.ndarray):
+            lhs = lhs_fn(ctx, mask)
+            rhs = rhs_fn(ctx, mask)
+            if isinstance(ctx.env.get(const_name), (int, np.integer)):
+                ctx.stats.alu_insts += 1.0 * ctx.rows(mask)
+            else:
+                ctx.stats.alu_insts += heavy * ctx.rows(mask)
+            if lhs.__class__ is PointerValue or rhs.__class__ is PointerValue:
+                return _pointer_arith(op, lhs, rhs)
+            return impl(lhs, rhs)
+
+        return fn_dyn
+
+    def fn(ctx: MegaContext, mask: np.ndarray):
+        lhs = lhs_fn(ctx, mask)
+        rhs = rhs_fn(ctx, mask)
+        ctx.stats.alu_insts += weight * ctx.rows(mask)
+        if lhs.__class__ is PointerValue or rhs.__class__ is PointerValue:
+            return _pointer_arith(op, lhs, rhs)
+        return impl(lhs, rhs)
+
+    return fn
+
+
+def _mb_unary(expr: Unary) -> ExprFn:
+    operand_fn = mb_expr(expr.operand)
+    op = expr.op
+    if op == "-":
+        def neg(ctx, mask):
+            value = operand_fn(ctx, mask)
+            ctx.stats.alu_insts += ctx.rows(mask)
+            return -value
+
+        return neg
+    if op == "+":
+        def pos(ctx, mask):
+            value = operand_fn(ctx, mask)
+            ctx.stats.alu_insts += ctx.rows(mask)
+            return value
+
+        return pos
+    if op == "!":
+        def lnot(ctx, mask):
+            value = operand_fn(ctx, mask)
+            ctx.stats.alu_insts += ctx.rows(mask)
+            return ~value.astype(bool, copy=False)
+
+        return lnot
+    if op == "~":
+        def bnot(ctx, mask):
+            value = operand_fn(ctx, mask)
+            ctx.stats.alu_insts += ctx.rows(mask)
+            return (~value.astype(np.int64)).astype(np.int32)
+
+        return bnot
+
+    def unknown(ctx, mask):
+        operand_fn(ctx, mask)
+        ctx.stats.alu_insts += ctx.rows(mask)
+        raise SimError(f"unknown unary op {op}")
+
+    return unknown
+
+
+def _mb_index_chain(expr: Index):
+    root_expr, index_exprs = _resolve_index_chain(expr)
+    root_fn = mb_expr(root_expr)
+    idx_fns = tuple(mb_expr(ie) for ie in index_exprs)
+    return root_fn, idx_fns
+
+
+def _mb_load(expr: Index) -> ExprFn:
+    loc = _stmt_loc(expr)
+    root_fn, idx_fns = _mb_index_chain(expr)
+
+    def fn(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        root = root_fn(ctx, mask)
+        indices = [f(ctx, mask).astype(np.int64, copy=False) for f in idx_fns]
+        return _mb_load_object(ctx, root, indices, mask)
+
+    return fn
+
+
+def _mb_call(expr: Call) -> ExprFn:
+    func = expr.func
+    loc = _stmt_loc(expr)
+    if func == "__syncthreads":
+        return _raising(
+            SimError, "__syncthreads() must be a standalone statement", loc
+        )
+    if func in ("__shfl", "__shfl_down", "__shfl_up"):
+        if len(expr.args) != 3:
+            return _raising(
+                IntrinsicError, f"{func} expects (var, lane, width)", loc
+            )
+        var_fn = mb_expr(expr.args[0])
+        lane_fn = mb_expr(expr.args[1])
+        width_fn = mb_expr(expr.args[2])
+        if func == "__shfl":
+            def do_shfl(ctx: MegaContext, mask: np.ndarray):
+                if loc is not None:
+                    ctx.current_loc = loc
+                var = var_fn(ctx, mask)
+                lane = lane_fn(ctx, mask)
+                width = _uniform_int(width_fn(ctx, mask))
+                ctx.stats.shfl_insts += ctx.rows(mask)
+                if ctx.profile is not None:
+                    ctx.profile.shfl_rows(ctx.current_loc, ctx.rows(mask))
+                return _mb_shfl(var, lane, width)
+
+            return do_shfl
+        down = func == "__shfl_down"
+
+        def do_shift(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            var = var_fn(ctx, mask)
+            lane = lane_fn(ctx, mask)
+            width = _uniform_int(width_fn(ctx, mask))
+            ctx.stats.shfl_insts += ctx.rows(mask)
+            if ctx.profile is not None:
+                ctx.profile.shfl_rows(ctx.current_loc, ctx.rows(mask))
+            return _mb_shfl_shift(var, _uniform_int(lane), width, down)
+
+        return do_shift
+    if func == "atomicAdd":
+        # Atomics accumulate across blocks — such kernels are never eligible
+        # for megablock execution (same exclusion as the parallel scheduler).
+        # Reaching this closure means the eligibility gate was bypassed;
+        # abort to the exact per-block fallback.
+        return _raising(
+            SimError, "megablock backend cannot execute atomicAdd", loc
+        )
+    if func == "tex1Dfetch":
+        if len(expr.args) != 2 or not isinstance(expr.args[0], Name):
+            return _raising(
+                IntrinsicError, "tex1Dfetch expects (texture_name, index)", loc
+            )
+        tex_name = expr.args[0].id
+        idx_fn = mb_expr(expr.args[1])
+
+        def do_tex(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            tex = ctx.env.get(tex_name)
+            idx = idx_fn(ctx, mask).astype(np.int64, copy=False)
+            if isinstance(tex, (ConstArray, GlobalBuffer)):
+                # Texture-cache amortization: see interp._eval_call.
+                rows = ctx.rows(mask)
+                ctx.stats.global_load_insts += rows
+                active_rows = mask.sum(axis=1)
+                txns_rows = np.where(
+                    active_rows > 0,
+                    np.maximum((active_rows * tex.itemsize + 127) // 128, 1),
+                    0,
+                )
+                ctx.stats.global_transactions += int(txns_rows.sum())
+                if ctx.profile is not None:
+                    ctx.profile.global_access_rows(
+                        ctx.current_loc, rows, txns_rows, 0, False
+                    )
+                return _mb_tex_load(tex, idx, mask)
+            raise IntrinsicError(f"texture {tex_name!r} not bound")
+
+        return do_tex
+    intrinsic = MATH_INTRINSICS.get(func)
+    if intrinsic is not None:
+        if len(expr.args) != intrinsic.arity:
+            return _raising(
+                IntrinsicError,
+                f"{func} expects {intrinsic.arity} args, got {len(expr.args)}",
+                loc,
+            )
+        arg_fns = tuple(mb_expr(a) for a in expr.args)
+        impl = intrinsic.fn
+        weight = intrinsic.weight
+
+        def do_intrinsic(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            args = [f(ctx, mask) for f in arg_fns]
+            ctx.stats.alu_insts += weight * ctx.rows(mask)
+            return impl(*args)
+
+        return do_intrinsic
+    return _raising(IntrinsicError, f"unknown device function {func!r}", loc)
+
+
+def mb_expr(expr: Expr) -> ExprFn:
+    """Lower one expression to a batched closure ``fn(ctx, mask)``.
+
+    Literals and name lookups reuse the per-block lowerers: their
+    ``(WARP_SIZE,)`` results broadcast against ``(blocks, WARP_SIZE)``
+    operands, which is exactly the block-invariant semantics.
+    """
+    if isinstance(expr, IntLit):
+        value = expr.value & 0xFFFFFFFF
+        if value > 0x7FFFFFFF:
+            value -= 0x100000000  # wrap to int32 like C
+        return _compile_literal(np.full(WARP_SIZE, value, dtype=np.int32))
+    if isinstance(expr, FloatLit):
+        return _compile_literal(np.full(WARP_SIZE, expr.value, dtype=np.float32))
+    if isinstance(expr, BoolLit):
+        return _compile_literal(np.full(WARP_SIZE, expr.value, dtype=np.bool_))
+    if isinstance(expr, Name):
+        return _compile_name(expr.id)
+    if isinstance(expr, Member):
+        if isinstance(expr.base, Name) and expr.base.id in _MB_DIM_NAMES:
+            key = f"{expr.base.id}.{expr.name}"
+
+            def builtin(ctx: MegaContext, mask: np.ndarray):
+                try:
+                    return ctx.env[key]
+                except KeyError as exc:
+                    raise SimError(f"unknown builtin {key}") from exc
+
+            return builtin
+        return _raising(SimError, f"unsupported member access .{expr.name}")
+    if isinstance(expr, Unary):
+        return _mb_unary(expr)
+    if isinstance(expr, Binary):
+        return _mb_binary(expr)
+    if isinstance(expr, Ternary):
+        cond_fn = mb_expr(expr.cond)
+        then_fn = mb_expr(expr.then)
+        els_fn = mb_expr(expr.els)
+
+        def ternary(ctx: MegaContext, mask: np.ndarray):
+            cond = cond_fn(ctx, mask).astype(bool, copy=False)
+            then = then_fn(ctx, mask)
+            els = els_fn(ctx, mask)
+            ctx.stats.alu_insts += ctx.rows(mask)  # select
+            if then.dtype.kind == "f" or els.dtype.kind == "f":
+                then = then.astype(np.float32, copy=False)
+                els = els.astype(np.float32, copy=False)
+            return np.where(cond, then, els)
+
+        return ternary
+    if isinstance(expr, Cast):
+        inner_fn = mb_expr(expr.expr)
+        type_name = expr.type.name
+        try:
+            cast_dtype = dtype_for(type_name)
+        except MemoryFault as exc:
+            cast_dtype = None
+            cast_error = str(exc)
+
+        def cast(ctx: MegaContext, mask: np.ndarray):
+            value = inner_fn(ctx, mask)
+            ctx.stats.alu_insts += ctx.rows(mask)
+            if value.__class__ is PointerValue:
+                return value
+            if cast_dtype is None:
+                raise MemoryFault(cast_error)
+            return value.astype(cast_dtype, copy=False)
+
+        return cast
+    if isinstance(expr, Index):
+        return _mb_load(expr)
+    if isinstance(expr, Call):
+        return _mb_call(expr)
+    return _raising(SimError, f"cannot evaluate expression {expr!r}")
+
+
+_MB_DIM_NAMES = ("threadIdx", "blockIdx", "blockDim", "gridDim")
+
+
+# ---------------------------------------------------------------------------
+# Statement lowering
+# ---------------------------------------------------------------------------
+
+
+def _mb_decl(stmt: VarDecl) -> StmtFn:
+    type_ = stmt.type
+    name = stmt.name
+    loc = _stmt_loc(stmt)
+    if isinstance(type_, ArrayType):
+        if type_.space in ("shared", "constant"):
+            missing = (
+                f"shared array {name!r} was not pre-allocated"
+                if type_.space == "shared"
+                else f"constant array {name!r} was not bound"
+            )
+
+            def check(ctx: MegaContext, mask: np.ndarray):
+                if loc is not None:
+                    ctx.current_loc = loc
+                ctx.current_mask = mask
+                if name not in ctx.env:
+                    raise SimError(missing)
+
+            return check
+        numel = type_.numel
+        elem = type_.elem.name
+        in_registers = type_.space == "reg"
+
+        def local_decl(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            existing = ctx.env.get(name)
+            if isinstance(existing, BatchedLocalArray) and existing.numel == numel:
+                existing.data[...] = 0
+            else:
+                base = ctx.env.get("__local_base__", 1 << 32)
+                arr = BatchedLocalArray(
+                    name,
+                    numel,
+                    elem,
+                    nblocks=ctx.nblocks,
+                    base_addr=base,
+                    in_registers=in_registers,
+                )
+                ctx.env["__local_base__"] = base + arr.bytes_per_thread * WARP_SIZE
+                ctx.env[name] = arr
+
+        return local_decl
+    if stmt.init is None:
+        if isinstance(type_, PointerType):
+            message = f"pointer {name!r} declared without initializer"
+
+            def bad_ptr(ctx: MegaContext, mask: np.ndarray):
+                if loc is not None:
+                    ctx.current_loc = loc
+                ctx.current_mask = mask
+                raise SimError(message)
+
+            return bad_ptr
+        dtype = (
+            np.float32
+            if isinstance(type_, ScalarType) and type_.name == "float"
+            else np.int32
+        )
+        zeros = np.zeros(WARP_SIZE, dtype=dtype)
+        zeros.flags.writeable = False  # shared: assignments replace, not mutate
+
+        def zero_decl(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            ctx.env[name] = zeros
+
+        return zero_decl
+    init_fn = mb_expr(stmt.init)
+    if isinstance(type_, PointerType):
+        def ptr_decl(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            value = init_fn(ctx, mask)
+            if not isinstance(value, PointerValue):
+                raise SimError(f"pointer {name!r} initialized with non-pointer")
+            ctx.env[name] = value
+
+        return ptr_decl
+    type_name = type_.name
+    try:
+        decl_dtype = dtype_for(type_name)
+    except MemoryFault as exc:
+        return _raising(MemoryFault, str(exc), loc)
+
+    def scalar_decl(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        value = init_fn(ctx, mask)
+        if isinstance(value, PointerValue):
+            raise SimError(f"scalar {name!r} initialized with pointer")
+        ctx.env[name] = value.astype(decl_dtype, copy=False)
+
+    return scalar_decl
+
+
+def _mb_assign(stmt: Assign) -> StmtFn:
+    loc = _stmt_loc(stmt)
+    if stmt.op != "=":
+        value_fn = mb_expr(Binary(stmt.op[:-1], stmt.target, stmt.value))
+    else:
+        value_fn = mb_expr(stmt.value)
+    target = stmt.target
+    if isinstance(target, Name):
+        name = target.id
+
+        def assign_name(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            value = value_fn(ctx, mask)
+            old = ctx.env.get(name)
+            if value.__class__ is PointerValue:
+                ctx.env[name] = value
+                return
+            if old is None:
+                raise SimError(f"assignment to undeclared variable {name!r}")
+            if isinstance(old, (int, float)):
+                old = _broadcast(
+                    old, np.int32 if isinstance(old, int) else np.float32
+                )
+            if old.__class__ is PointerValue:
+                ctx.env[name] = value
+                return
+            if (
+                mask is ctx.entry_mask
+                and ctx.entry_full
+                and not ctx.has_inactive
+            ):
+                ctx.env[name] = value.astype(old.dtype, copy=False)
+            else:
+                ctx.env[name] = np.where(
+                    mask, value.astype(old.dtype, copy=False), old
+                )
+
+        return assign_name
+    if isinstance(target, Index):
+        root_fn, idx_fns = _mb_index_chain(target)
+
+        def assign_index(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            value = value_fn(ctx, mask)
+            root = root_fn(ctx, mask)
+            indices = [
+                f(ctx, mask).astype(np.int64, copy=False) for f in idx_fns
+            ]
+            _mb_store_object(ctx, root, indices, mask, value)
+
+        return assign_index
+    message = f"invalid assignment target {type(target).__name__}"
+
+    def bad_target(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        value_fn(ctx, mask)
+        raise SimError(message)
+
+    return bad_target
+
+
+def _mb_sync(stmt: ExprStmt) -> StmtFn:
+    loc = _stmt_loc(stmt)
+    line = stmt.loc.line if stmt.loc is not None else 0
+
+    def sync(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        ctx.stats.syncthreads += ctx.rows(mask)
+        if ctx.profile is not None:
+            ctx.profile.sync_rows(line, ctx.rows(mask))
+        if ctx.synccheck:
+            # See interp.exec_stmt for the synccheck/hardware semantics note.
+            expected = ctx.init_mask & ~ctx.returned
+            missing = expected & ~mask
+            if missing.any():
+                raise SyncError(
+                    "__syncthreads reached by only part of the thread block "
+                    "(megablock batch)",
+                )
+        yield ("sync", line)
+
+    return sync
+
+
+def _mb_if(stmt: If) -> tuple[StmtFn, bool]:
+    loc = _stmt_loc(stmt)
+    line = loc.line if loc is not None else None
+    cond_fn = mb_expr(stmt.cond)
+    then_fn, then_gen = mb_block(stmt.then)
+    has_else = stmt.els is not None and bool(stmt.els.stmts)
+    els_fn, els_gen = mb_block(stmt.els) if has_else else (None, False)
+    is_gen = then_gen or els_gen
+
+    if not is_gen:
+        def plain_if(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            cond = cond_fn(ctx, mask).astype(bool, copy=False)
+            ctx.stats.control_insts += ctx.rows(mask)
+            m_then = mask & cond
+            then_any = _mask_any(m_then)
+            if has_else:
+                m_else = _and_not(mask, cond)
+                else_any = _mask_any(m_else)
+                if then_any and else_any:
+                    both = m_then.any(axis=1) & m_else.any(axis=1)
+                    ndiv = int(np.count_nonzero(both))
+                    if ndiv:
+                        ctx.stats.divergent_branches += ndiv
+                        if ctx.profile is not None and line is not None:
+                            ctx.profile.divergent_n(line, ndiv)
+                if then_any:
+                    then_fn(ctx, m_then)
+                if else_any:
+                    els_fn(ctx, m_else)
+            elif then_any:
+                then_fn(ctx, m_then)
+
+        return plain_if, False
+
+    def gen_if(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        cond = cond_fn(ctx, mask).astype(bool, copy=False)
+        ctx.stats.control_insts += ctx.rows(mask)
+        m_then = mask & cond
+        then_any = _mask_any(m_then)
+        if has_else:
+            m_else = _and_not(mask, cond)
+            else_any = _mask_any(m_else)
+            if then_any and else_any:
+                both = m_then.any(axis=1) & m_else.any(axis=1)
+                ndiv = int(np.count_nonzero(both))
+                if ndiv:
+                    ctx.stats.divergent_branches += ndiv
+                    if ctx.profile is not None and line is not None:
+                        ctx.profile.divergent_n(line, ndiv)
+            if then_any:
+                if then_gen:
+                    yield from then_fn(ctx, m_then)
+                else:
+                    then_fn(ctx, m_then)
+            if else_any:
+                if els_gen:
+                    yield from els_fn(ctx, m_else)
+                else:
+                    els_fn(ctx, m_else)
+        elif then_any:
+            if then_gen:
+                yield from then_fn(ctx, m_then)
+            else:
+                then_fn(ctx, m_then)
+
+    return gen_if, True
+
+
+def _mb_has_flow(block: Block) -> bool:
+    from .compile import _has_flow
+
+    return _has_flow(block)
+
+
+def _mb_for(stmt: For) -> tuple[StmtFn, bool]:
+    loc = _stmt_loc(stmt)
+    init_fn, init_gen = (
+        mb_stmt(stmt.init) if stmt.init is not None else (None, False)
+    )
+    cond_fn = mb_expr(stmt.cond) if stmt.cond is not None else None
+    update_fn, update_gen = (
+        mb_stmt(stmt.update) if stmt.update is not None else (None, False)
+    )
+    body_fn, body_gen = mb_block(stmt.body)
+    flow = _mb_has_flow(stmt.body)
+    is_gen = init_gen or update_gen or body_gen
+
+    if not is_gen:
+        def plain_for(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            if init_fn is not None:
+                init_fn(ctx, mask)
+            frame = _MbLoopFrame(ctx.init_mask.shape)
+            ctx.loop_stack.append(frame)
+            try:
+                while True:
+                    if ctx.has_inactive:
+                        m = _and_not(mask, ctx.inactive)
+                        if not _mask_any(m):
+                            break
+                    else:
+                        m = mask
+                    if cond_fn is not None:
+                        cond = cond_fn(ctx, m).astype(bool, copy=False)
+                        ctx.stats.control_insts += ctx.rows(m)
+                        leaving = _and_not(m, cond)
+                        if _mask_any(leaving):
+                            frame.exited |= leaving
+                            ctx.inactive |= leaving
+                            ctx.has_inactive = True
+                            m = m & cond
+                            if not _mask_any(m):
+                                break
+                    body_fn(ctx, m)
+                    if flow:
+                        ctx.inactive &= ~frame.cont
+                        frame.cont[:] = False
+                        ctx.has_inactive = _mask_any(ctx.inactive)
+                        if update_fn is not None:
+                            mu = _and_not(mask, ctx.inactive)
+                            if _mask_any(mu):
+                                update_fn(ctx, mu)
+                    elif update_fn is not None:
+                        update_fn(ctx, m)
+            finally:
+                ctx.loop_stack.pop()
+                ctx.inactive &= ~(frame.broken | frame.exited)
+                ctx.has_inactive = _mask_any(ctx.inactive)
+
+        return plain_for, False
+
+    def gen_for(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        if init_fn is not None:
+            if init_gen:
+                yield from init_fn(ctx, mask)
+            else:
+                init_fn(ctx, mask)
+        frame = _MbLoopFrame(ctx.init_mask.shape)
+        ctx.loop_stack.append(frame)
+        try:
+            while True:
+                if ctx.has_inactive:
+                    m = _and_not(mask, ctx.inactive)
+                    if not _mask_any(m):
+                        break
+                else:
+                    m = mask
+                if cond_fn is not None:
+                    cond = cond_fn(ctx, m).astype(bool, copy=False)
+                    ctx.stats.control_insts += ctx.rows(m)
+                    leaving = _and_not(m, cond)
+                    if _mask_any(leaving):
+                        frame.exited |= leaving
+                        ctx.inactive |= leaving
+                        ctx.has_inactive = True
+                        m = m & cond
+                        if not _mask_any(m):
+                            break
+                if body_gen:
+                    yield from body_fn(ctx, m)
+                else:
+                    body_fn(ctx, m)
+                if flow:
+                    ctx.inactive &= ~frame.cont
+                    frame.cont[:] = False
+                    ctx.has_inactive = _mask_any(ctx.inactive)
+                    if update_fn is not None:
+                        mu = _and_not(mask, ctx.inactive)
+                        if _mask_any(mu):
+                            if update_gen:
+                                yield from update_fn(ctx, mu)
+                            else:
+                                update_fn(ctx, mu)
+                elif update_fn is not None:
+                    if update_gen:
+                        yield from update_fn(ctx, m)
+                    else:
+                        update_fn(ctx, m)
+        finally:
+            ctx.loop_stack.pop()
+            ctx.inactive &= ~(frame.broken | frame.exited)
+            ctx.has_inactive = _mask_any(ctx.inactive)
+
+    return gen_for, True
+
+
+def _mb_while(stmt: While) -> tuple[StmtFn, bool]:
+    loc = _stmt_loc(stmt)
+    cond_fn = mb_expr(stmt.cond)
+    body_fn, body_gen = mb_block(stmt.body)
+    flow = _mb_has_flow(stmt.body)
+
+    if not body_gen:
+        def plain_while(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            frame = _MbLoopFrame(ctx.init_mask.shape)
+            ctx.loop_stack.append(frame)
+            try:
+                while True:
+                    if ctx.has_inactive:
+                        m = _and_not(mask, ctx.inactive)
+                        if not _mask_any(m):
+                            break
+                    else:
+                        m = mask
+                    cond = cond_fn(ctx, m).astype(bool, copy=False)
+                    ctx.stats.control_insts += ctx.rows(m)
+                    leaving = _and_not(m, cond)
+                    if _mask_any(leaving):
+                        frame.exited |= leaving
+                        ctx.inactive |= leaving
+                        ctx.has_inactive = True
+                        m = m & cond
+                        if not _mask_any(m):
+                            break
+                    body_fn(ctx, m)
+                    if flow:
+                        ctx.inactive &= ~frame.cont
+                        frame.cont[:] = False
+                        ctx.has_inactive = _mask_any(ctx.inactive)
+            finally:
+                ctx.loop_stack.pop()
+                ctx.inactive &= ~(frame.broken | frame.exited)
+                ctx.has_inactive = _mask_any(ctx.inactive)
+
+        return plain_while, False
+
+    def gen_while(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        frame = _MbLoopFrame(ctx.init_mask.shape)
+        ctx.loop_stack.append(frame)
+        try:
+            while True:
+                if ctx.has_inactive:
+                    m = _and_not(mask, ctx.inactive)
+                    if not _mask_any(m):
+                        break
+                else:
+                    m = mask
+                cond = cond_fn(ctx, m).astype(bool, copy=False)
+                ctx.stats.control_insts += ctx.rows(m)
+                leaving = _and_not(m, cond)
+                if _mask_any(leaving):
+                    frame.exited |= leaving
+                    ctx.inactive |= leaving
+                    ctx.has_inactive = True
+                    m = m & cond
+                    if not _mask_any(m):
+                        break
+                yield from body_fn(ctx, m)
+                if flow:
+                    ctx.inactive &= ~frame.cont
+                    frame.cont[:] = False
+                    ctx.has_inactive = _mask_any(ctx.inactive)
+        finally:
+            ctx.loop_stack.pop()
+            ctx.inactive &= ~(frame.broken | frame.exited)
+            ctx.has_inactive = _mask_any(ctx.inactive)
+
+    return gen_while, True
+
+
+#: Same module-flag scheme as compile._PROFILE_LOWERING (lowering is
+#: synchronous and single-threaded).
+_MB_PROFILE_LOWERING = False
+
+
+def _mb_wrap_profiled(fn: StmtFn, is_gen: bool, line: int) -> StmtFn:
+    """Batched twin of compile._wrap_profiled: one hook per statement
+    execution carrying the row count, total active lanes and the per-row
+    activity vector (for BlockCost.inst_issues)."""
+    if is_gen:
+
+        def gen_hook(ctx: MegaContext, mask: np.ndarray):
+            if ctx.profile is not None:
+                ctx.profile.stmt_rows(
+                    line, ctx.rows(mask), int(mask.sum()), ctx.rows_any(mask)
+                )
+            yield from fn(ctx, mask)
+
+        return gen_hook
+
+    def hook(ctx: MegaContext, mask: np.ndarray):
+        if ctx.profile is not None:
+            ctx.profile.stmt_rows(
+                line, ctx.rows(mask), int(mask.sum()), ctx.rows_any(mask)
+            )
+        fn(ctx, mask)
+
+    return hook
+
+
+def mb_stmt(stmt: Stmt) -> tuple[StmtFn, bool]:
+    fn, is_gen = _mb_stmt_dispatch(stmt)
+    if _MB_PROFILE_LOWERING:
+        loc = _stmt_loc(stmt)
+        if loc is not None:
+            return _mb_wrap_profiled(fn, is_gen, loc.line), is_gen
+    return fn, is_gen
+
+
+def _mb_stmt_dispatch(stmt: Stmt) -> tuple[StmtFn, bool]:
+    loc = _stmt_loc(stmt)
+    if isinstance(stmt, VarDecl):
+        return _mb_decl(stmt), False
+    if isinstance(stmt, Assign):
+        return _mb_assign(stmt), False
+    if isinstance(stmt, ExprStmt):
+        if isinstance(stmt.expr, Call) and stmt.expr.func == "__syncthreads":
+            return _mb_sync(stmt), True
+        expr_fn = mb_expr(stmt.expr)
+
+        def eval_stmt(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            expr_fn(ctx, mask)
+
+        return eval_stmt, False
+    if isinstance(stmt, Block):
+        block_fn, block_gen = mb_block(stmt)
+        if not block_gen:
+            def plain_nested(ctx: MegaContext, mask: np.ndarray):
+                if loc is not None:
+                    ctx.current_loc = loc
+                ctx.current_mask = mask
+                block_fn(ctx, mask)
+
+            return plain_nested, False
+
+        def gen_nested(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            yield from block_fn(ctx, mask)
+
+        return gen_nested, True
+    if isinstance(stmt, If):
+        return _mb_if(stmt)
+    if isinstance(stmt, For):
+        return _mb_for(stmt)
+    if isinstance(stmt, While):
+        return _mb_while(stmt)
+    if isinstance(stmt, Return):
+        value_fn = mb_expr(stmt.value) if stmt.value is not None else None
+
+        def do_return(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            if value_fn is not None:
+                value_fn(ctx, mask)
+            ctx.returned |= mask
+            ctx.inactive |= mask
+            ctx.has_inactive = True
+
+        return do_return, False
+    if isinstance(stmt, Break):
+        def do_break(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            if not ctx.loop_stack:
+                raise SimError("break outside loop")
+            ctx.loop_stack[-1].broken |= mask
+            ctx.inactive |= mask
+            ctx.has_inactive = True
+
+        return do_break, False
+    if isinstance(stmt, Continue):
+        def do_continue(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            ctx.current_mask = mask
+            if not ctx.loop_stack:
+                raise SimError("continue outside loop")
+            ctx.loop_stack[-1].cont |= mask
+            ctx.inactive |= mask
+            ctx.has_inactive = True
+
+        return do_continue, False
+    kind = type(stmt).__name__
+
+    def unknown(ctx: MegaContext, mask: np.ndarray):
+        if loc is not None:
+            ctx.current_loc = loc
+        ctx.current_mask = mask
+        raise SimError(f"cannot execute statement {kind}")
+
+    return unknown, False
+
+
+def mb_block(block: Block) -> tuple[StmtFn, bool]:
+    pairs = [mb_stmt(s) for s in block.stmts]
+    if not any(gen for _, gen in pairs):
+        fns = tuple(fn for fn, _ in pairs)
+        if len(fns) == 1:
+            single = fns[0]
+
+            def run_single(ctx: MegaContext, mask: np.ndarray):
+                if ctx.has_inactive:
+                    m = _and_not(mask, ctx.inactive)
+                    if not _mask_any(m):
+                        return
+                    single(ctx, m)
+                else:
+                    single(ctx, mask)
+
+            return run_single, False
+
+        def run_plain(ctx: MegaContext, mask: np.ndarray):
+            for fn in fns:
+                if ctx.has_inactive:
+                    m = _and_not(mask, ctx.inactive)
+                    if not _mask_any(m):
+                        return
+                    fn(ctx, m)
+                else:
+                    fn(ctx, mask)
+
+        return run_plain, False
+    items = tuple(pairs)
+
+    def run_gen(ctx: MegaContext, mask: np.ndarray):
+        for fn, is_gen in items:
+            if ctx.has_inactive:
+                m = _and_not(mask, ctx.inactive)
+                if not _mask_any(m):
+                    return
+            else:
+                m = mask
+            if is_gen:
+                yield from fn(ctx, m)
+            else:
+                fn(ctx, m)
+
+    return run_gen, True
+
+
+# ---------------------------------------------------------------------------
+# Compiled megablock kernels and the (shared) compile cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MegaKernel:
+    """One kernel lowered to batched closures for
+    :class:`MegablockExecutor`."""
+
+    kernel: Kernel
+    digest: Optional[str]
+    body_fn: StmtFn
+    body_is_gen: bool
+    uses_atomics: bool
+    profiled: bool = False
+
+    @property
+    def has_barriers(self) -> bool:
+        return self.body_is_gen
+
+    def warp_iterator(self, ctx: MegaContext, mask: np.ndarray) -> Iterator:
+        if self.body_is_gen:
+            return self.body_fn(ctx, mask)
+        return _plain_iterator(self.body_fn, ctx, mask)
+
+
+def _mb_lower(
+    kernel: Kernel, digest: Optional[str], profile: bool = False
+) -> MegaKernel:
+    global _MB_PROFILE_LOWERING
+    prev = _MB_PROFILE_LOWERING
+    _MB_PROFILE_LOWERING = profile
+    try:
+        body_fn, body_is_gen = mb_block(kernel.body)
+    finally:
+        _MB_PROFILE_LOWERING = prev
+    return MegaKernel(
+        kernel=kernel,
+        digest=digest,
+        body_fn=body_fn,
+        body_is_gen=body_is_gen,
+        uses_atomics=kernel_uses_atomics(kernel),
+        profiled=profile,
+    )
+
+
+def compile_megablock(
+    kernel: Kernel, cache: bool = True, profile: bool = False
+) -> MegaKernel:
+    """Lower ``kernel`` to batched closures; artifacts share the per-block
+    LRU under ``#mb`` / ``#mb#prof`` key suffixes."""
+    digest = kernel_digest(kernel) if cache else None
+    if digest is None:
+        return _mb_lower(kernel, None, profile)
+    key = digest + ("#mb#prof" if profile else "#mb")
+    cached = _cache_get(key)
+    if cached is not None:
+        return cached
+    compiled = _mb_lower(kernel, digest, profile)
+    _cache_put(key, compiled)
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# The megablock executor
+# ---------------------------------------------------------------------------
+
+
+class MegablockExecutor:
+    """Runs a batch of independent blocks as stacked mega-warps.
+
+    Mirrors :class:`~repro.gpusim.interp.BlockExecutor`: one generator per
+    warp slot (covering that slot in *every* block), round-robined on the
+    ``("sync", line)`` yield protocol.  Shared/local memory materializes as
+    batched slabs at the same sequential base offsets the per-block
+    allocator assigns, and blockIdx builtins are ``(blocks, lanes)``
+    broadcast views.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        block_ids,
+        block_dim: tuple[int, int, int],
+        grid_dim: tuple[int, int, int],
+        base_env: dict,
+        stats,
+        program: MegaKernel,
+        synccheck: bool = False,
+        scaffold: Optional[WarpScaffold] = None,
+        profile: Optional[MegaProfile] = None,
+    ):
+        self.kernel = kernel
+        self.block_ids = [int(b) for b in block_ids]
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.base_env = base_env
+        self.stats = stats
+        self.program = program
+        self.synccheck = synccheck
+        self.profile = profile
+        if scaffold is None:
+            scaffold = WarpScaffold(kernel, block_dim, grid_dim)
+        else:
+            assert scaffold.kernel is kernel and scaffold.block_dim == block_dim
+        self.scaffold = scaffold
+        nblocks = len(self.block_ids)
+        self.nblocks = nblocks
+        ids = np.asarray(self.block_ids, dtype=np.int64)
+        gx, gy, _gz = grid_dim
+        plane = gx * gy
+        shape = (nblocks, WARP_SIZE)
+        self._block_builtins = {
+            "blockIdx.x": np.broadcast_to(
+                (ids % gx).astype(np.int32)[:, None], shape
+            ),
+            "blockIdx.y": np.broadcast_to(
+                ((ids % plane) // gx).astype(np.int32)[:, None], shape
+            ),
+            "blockIdx.z": np.broadcast_to(
+                (ids // plane).astype(np.int32)[:, None], shape
+            ),
+        }
+        self._pointer_keys = [
+            key
+            for key, value in base_env.items()
+            if isinstance(value, (GlobalBuffer, PointerValue))
+        ]
+        self.shared: Dict[str, BatchedSharedArray] = {}
+        offset = 0
+        for decl in scaffold.shared_decls:
+            assert isinstance(decl.type, ArrayType)
+            arr = BatchedSharedArray(
+                decl.name,
+                decl.type.dims,
+                decl.type.elem.name,
+                nblocks=nblocks,
+                base_offset=offset,
+            )
+            offset += arr.nbytes
+            self.shared[decl.name] = arr
+
+    @property
+    def shared_bytes(self) -> int:
+        """Per-block shared footprint (occupancy accounting is per block)."""
+        return sum(arr.nbytes for arr in self.shared.values())
+
+    def _warp_env(self, warp_idx: int) -> tuple[dict, np.ndarray]:
+        warp_mask, builtins = self.scaffold.warp_builtins(warp_idx)
+        env = dict(self.base_env)
+        env.update(self.shared)
+        env.update(self.kernel.const_env)
+        env.update(builtins)
+        env.update(self._block_builtins)
+        for key in self._pointer_keys:
+            value = env[key]
+            if isinstance(value, GlobalBuffer):
+                env[key] = PointerValue(value, np.zeros(WARP_SIZE, dtype=np.int64))
+            elif isinstance(value, PointerValue):
+                env[key] = PointerValue(value.buffer, value.offsets.copy())
+        init_mask = np.broadcast_to(warp_mask, (self.nblocks, WARP_SIZE))
+        return env, init_mask
+
+    def run(self) -> None:
+        # Same single errstate guard the per-block executor holds.
+        with np.errstate(all="ignore"):
+            self._run()
+
+    def _run(self) -> None:
+        total = self.scaffold.total_threads
+        num_warps = self.scaffold.num_warps
+        nblocks = self.nblocks
+        self.stats.blocks_executed += nblocks
+        self.stats.warps_executed += nblocks * num_warps
+        self.stats.threads_launched += nblocks * total
+        alive: List[tuple[MegaContext, Iterator]] = []
+        for w in range(num_warps):
+            env, init_mask = self._warp_env(w)
+            ctx = MegaContext(
+                env,
+                init_mask,
+                self.stats,
+                nblocks,
+                warp_idx=w,
+                synccheck=self.synccheck,
+                profile=self.profile,
+            )
+            gen = self.program.warp_iterator(ctx, init_mask)
+            alive.append((ctx, gen))
+        while alive:
+            still_alive = []
+            arrivals: List[int] = []
+            for ctx, gen in alive:
+                try:
+                    event = next(gen)
+                except StopIteration:
+                    continue
+                if not (isinstance(event, tuple) and event[0] == "sync"):
+                    raise SyncError(
+                        f"unexpected warp event {event!r}"
+                    )  # pragma: no cover - defensive
+                arrivals.append(event[1])
+                still_alive.append((ctx, gen))
+            if arrivals and self.synccheck:
+                lines = sorted(set(arrivals))
+                if len(lines) > 1:
+                    raise SyncError(
+                        "warps arrived at different __syncthreads barriers "
+                        f"(source lines {lines})"
+                    )
+            alive = still_alive

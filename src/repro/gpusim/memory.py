@@ -258,6 +258,164 @@ class LocalArray:
         self.data[lanes, idx[mask]] = values[mask].astype(self.data.dtype)
 
 
+class BatchedSharedArray:
+    """Shared memory for a whole batch of blocks as one ``(blocks, numel)`` slab.
+
+    The megablock engine executes many independent blocks at once, so each
+    ``__shared__`` declaration materializes as a single slab with one row per
+    block.  ``base_offset`` and the per-block byte addressing are identical to
+    :class:`SharedArray`, so bank-replay accounting matches the per-block
+    engines bit-for-bit.  :meth:`block_view` exposes a single block's row with
+    per-block :class:`SharedArray` semantics for inspection.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dims: tuple[int, ...],
+        type_name: str,
+        nblocks: int,
+        base_offset: int = 0,
+    ):
+        self.name = name
+        self.dims = dims
+        self.nblocks = nblocks
+        numel = 1
+        for dim in dims:
+            numel *= dim
+        self.data = np.zeros((nblocks, numel), dtype=dtype_for(type_name))
+        self.base_offset = base_offset
+
+    @property
+    def numel(self) -> int:
+        """Per-block element count (matches :attr:`SharedArray.numel`)."""
+        return int(self.data.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Per-block byte footprint: occupancy accounting is per block."""
+        return self.numel * self.itemsize
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def block_view(self, row: int) -> np.ndarray:
+        """The 1-D shared-memory contents of one block (a live view)."""
+        return self.data[row]
+
+    def flat_index(self, indices: list[np.ndarray]) -> np.ndarray:
+        if len(indices) != len(self.dims):
+            raise MemoryFault(
+                f"shared array {self.name!r} expects {len(self.dims)} indices, "
+                f"got {len(indices)}"
+            )
+        flat = np.zeros_like(indices[0], dtype=np.int64)
+        for dim, idx in zip(self.dims, indices):
+            flat = flat * dim + idx.astype(np.int64)
+        return flat
+
+    def byte_addrs(self, flat: np.ndarray) -> np.ndarray:
+        return self.base_offset + flat * self.itemsize
+
+    def _check(self, flat: np.ndarray, mask: np.ndarray) -> None:
+        bad = mask & ((flat < 0) | (flat >= self.numel))
+        if bad.any():
+            first = int(np.broadcast_to(flat, mask.shape)[bad][0])
+            raise MemoryFault(
+                f"shared array {self.name!r}: flat index out of range "
+                f"(size {self.numel})",
+                space="shared",
+                buffer=self.name,
+                index=first,
+                limit=self.numel,
+                address=self.base_offset + first * self.itemsize,
+            )
+
+    def load(self, flat: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather ``(blocks, lanes)`` elements, each row from its own block."""
+        self._check(flat, mask)
+        rows = np.arange(self.nblocks)[:, None]
+        return self.data[rows, np.where(mask, flat, 0)]
+
+    def store(self, flat: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._check(flat, mask)
+        rows = np.broadcast_to(np.arange(self.nblocks)[:, None], mask.shape)
+        flat = np.broadcast_to(flat, mask.shape)
+        values = np.broadcast_to(values, mask.shape)
+        self.data[rows[mask], flat[mask]] = values[mask].astype(self.data.dtype)
+
+
+class BatchedLocalArray:
+    """Per-thread local arrays for a batch of blocks: ``(blocks, 32, numel)``.
+
+    Mirrors :class:`LocalArray` (same interleaved byte addressing per block)
+    with a leading block axis so the megablock engine can load/store every
+    block's lanes in one gather/scatter.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        numel: int,
+        type_name: str,
+        nblocks: int,
+        warp_size: int = 32,
+        base_addr: int = 0,
+        in_registers: bool = False,
+    ):
+        self.name = name
+        self.numel = numel
+        self.nblocks = nblocks
+        self.warp_size = warp_size
+        self.data = np.zeros((nblocks, warp_size, numel), dtype=dtype_for(type_name))
+        self.base_addr = base_addr
+        self.in_registers = in_registers
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    @property
+    def bytes_per_thread(self) -> int:
+        return self.numel * self.itemsize
+
+    def byte_addrs(self, idx: np.ndarray) -> np.ndarray:
+        """Interleaved per-block addresses; identical per row to LocalArray."""
+        lanes = np.arange(self.warp_size, dtype=np.int64)
+        return self.base_addr + (
+            idx.astype(np.int64) * self.warp_size + lanes
+        ) * self.itemsize
+
+    def _check(self, idx: np.ndarray, mask: np.ndarray) -> None:
+        bad = mask & ((idx < 0) | (idx >= self.numel))
+        if bad.any():
+            first = int(np.broadcast_to(idx, mask.shape)[bad][0])
+            raise MemoryFault(
+                f"local array {self.name!r}: index out of range (size {self.numel})",
+                space="local",
+                buffer=self.name,
+                index=first,
+                limit=self.numel,
+            )
+
+    def load(self, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._check(idx, mask)
+        rows = np.arange(self.nblocks)[:, None]
+        lanes = np.arange(self.warp_size)
+        return self.data[rows, lanes, np.where(mask, idx, 0)]
+
+    def store(self, idx: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._check(idx, mask)
+        rows = np.broadcast_to(np.arange(self.nblocks)[:, None], mask.shape)
+        lanes = np.broadcast_to(np.arange(self.warp_size), mask.shape)
+        idx = np.broadcast_to(idx, mask.shape)
+        values = np.broadcast_to(values, mask.shape)
+        self.data[rows[mask], lanes[mask], idx[mask]] = values[mask].astype(
+            self.data.dtype
+        )
+
+
 class ConstArray:
     """A read-only constant-memory array shared by the whole grid."""
 

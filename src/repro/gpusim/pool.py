@@ -104,8 +104,11 @@ class _WorkerState:
     def __init__(self, spec: LaunchSpec):
         from .compile import compile_kernel
         from .interp import BlockExecutor, WarpScaffold
+        from .megablock import MegaProfile, MegablockExecutor, compile_megablock
 
         self._BlockExecutor = BlockExecutor
+        self._MegablockExecutor = MegablockExecutor
+        self._MegaProfile = MegaProfile
         self.spec = spec
         self.gmem = spec.gmem
         self.base_env: dict = dict(spec.scalars)
@@ -116,6 +119,15 @@ class _WorkerState:
         self.program = (
             compile_kernel(spec.kernel, profile=spec.profile_kernel is not None)
             if spec.backend == "compiled"
+            else None
+        )
+        # Megablock chunks batch the whole chunk's block axis through one
+        # executor; a SimError restores pristine state and aborts the
+        # parallel attempt (exact semantics come from the sequential rerun),
+        # so no per-block program is needed alongside.
+        self.mega_program = (
+            compile_megablock(spec.kernel, profile=spec.profile_kernel is not None)
+            if spec.backend == "megablock"
             else None
         )
         self.scaffold = WarpScaffold(spec.kernel, spec.block, spec.grid)
@@ -144,27 +156,55 @@ class _WorkerState:
         gx, gy, _gz = spec.grid
         shared_bytes = 0
         try:
-            for linear in blocks:
-                bz_i, rem = divmod(linear, gx * gy)
-                by_i, bx_i = divmod(rem, gx)
-                executor = self._BlockExecutor(
+            if self.mega_program is not None:
+                mb_prof = (
+                    self._MegaProfile(
+                        spec.profile_kernel,
+                        blocks,
+                        self.scaffold.num_warps,
+                        self.scaffold.total_threads,
+                    )
+                    if prof is not None
+                    else None
+                )
+                executor = self._MegablockExecutor(
                     spec.kernel,
-                    block_idx=(bx_i, by_i, bz_i),
-                    block_dim=spec.block,
-                    grid_dim=spec.grid,
-                    base_env=self.base_env,
-                    stats=stats,
-                    trace=self.trace,
-                    injector=None,
-                    linear_block=linear,
+                    list(blocks),
+                    spec.block,
+                    spec.grid,
+                    self.base_env,
+                    stats,
+                    self.mega_program,
                     synccheck=spec.synccheck,
-                    sanitizer=None,
                     scaffold=self.scaffold,
-                    program=self.program,
-                    profile=prof,
+                    profile=mb_prof,
                 )
                 executor.run()
                 shared_bytes = executor.shared_bytes
+                if mb_prof is not None:
+                    mb_prof.finish(prof)
+            else:
+                for linear in blocks:
+                    bz_i, rem = divmod(linear, gx * gy)
+                    by_i, bx_i = divmod(rem, gx)
+                    executor = self._BlockExecutor(
+                        spec.kernel,
+                        block_idx=(bx_i, by_i, bz_i),
+                        block_dim=spec.block,
+                        grid_dim=spec.grid,
+                        base_env=self.base_env,
+                        stats=stats,
+                        trace=self.trace,
+                        injector=None,
+                        linear_block=linear,
+                        synccheck=spec.synccheck,
+                        sanitizer=None,
+                        scaffold=self.scaffold,
+                        program=self.program,
+                        profile=prof,
+                    )
+                    executor.run()
+                    shared_bytes = executor.shared_bytes
         except SimError:
             # Leave the state pristine for whatever runs on this worker next;
             # the parent aborts the parallel attempt and reruns sequentially.

@@ -1,11 +1,17 @@
-"""Differential check of the two execution backends.
+"""Differential check of the three execution backends.
 
 The tree-walking interpreter is the reference semantics; the closure-compiled
-engine (:mod:`repro.gpusim.compile`) must be **bit-identical** — not merely
+engine (:mod:`repro.gpusim.compile`) and the batch-vectorized megablock
+engine (:mod:`repro.gpusim.megablock`) must be **bit-identical** — not merely
 allclose — on every paper benchmark, for the baseline kernel and for at least
 one CUDA-NP variant each.  Outputs are compared via raw buffer bytes and the
 full :class:`~repro.gpusim.stats.KernelStats` record, so a fast-path that
 drifted by a ULP or double-counted a transaction fails loudly.
+
+The megablock engine additionally promises an *observable* fallback: every
+launch configuration it cannot batch exactly (traces, sim-faults,
+sanitizers, atomics, single-block grids) must run per block with the reason
+on :attr:`LaunchResult.megablock_fallback` — and still be bit-identical.
 """
 
 import dataclasses
@@ -14,10 +20,14 @@ import numpy as np
 import pytest
 
 from repro.gpusim import scheduler
+from repro.gpusim.faults import FaultInjector, FaultSpec
 from repro.gpusim.launch import run_kernel
 from repro.kernels import BENCHMARKS
 
 ALL_NAMES = list(BENCHMARKS)
+
+#: Every engine pairing checked against the interpreter reference.
+FAST_BACKENDS = ("compiled", "megablock")
 
 #: Scaled-down inputs so the interp-side runs stay cheap; the kernels (and
 #: therefore the compiled closures exercised) are the full paper suite.
@@ -45,7 +55,6 @@ def assert_identical(ref, got, label):
         assert a.dtype == b.dtype, f"{label}: buffer {name} dtype drifted"
         assert a.tobytes() == b.tobytes(), f"{label}: buffer {name} not bit-identical"
     assert ref.stats == got.stats, f"{label}: stats diverged"
-    assert ref.backend == "interp" and got.backend == "compiled"
 
 
 @pytest.fixture(scope="module")
@@ -53,33 +62,37 @@ def benches():
     return {name: cls(**SMALL[name]) for name, cls in BENCHMARKS.items()}
 
 
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("name", ALL_NAMES)
-def test_baseline_bit_identical(benches, name):
+def test_baseline_bit_identical(benches, name, backend):
     bench = benches[name]
     ref = bench.run_baseline(backend="interp")
-    got = bench.run_baseline(backend="compiled")
-    assert_identical(ref, got, f"{name} baseline")
+    got = bench.run_baseline(backend=backend)
+    assert ref.backend == "interp" and got.backend == backend
+    assert_identical(ref, got, f"{name} baseline [{backend}]")
 
 
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("name", ALL_NAMES)
-def test_np_variant_bit_identical(benches, name):
+def test_np_variant_bit_identical(benches, name, backend):
     """At least one generated CUDA-NP variant per benchmark: the master/slave
     rewrite exercises shuffles, shared staging, and barrier placement the
     baselines do not."""
     bench = benches[name]
     config = bench.configs()[0]
     ref = bench.run_variant(config, backend="interp")
-    got = bench.run_variant(config, backend="compiled")
-    assert_identical(ref, got, f"{name} {config.describe()}")
+    got = bench.run_variant(config, backend=backend)
+    assert_identical(ref, got, f"{name} {config.describe()} [{backend}]")
 
 
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("name", ALL_NAMES)
-def test_profile_bit_identical_across_backends(benches, name):
+def test_profile_bit_identical_across_backends(benches, name, backend):
     """Per-line profiles must match exactly: the counters are attributed at
-    mirrored hook points in both engines, so any drift means a hook moved."""
+    mirrored hook points in all engines, so any drift means a hook moved."""
     bench = benches[name]
     ref = bench.run_baseline(backend="interp", profile=True)
-    got = bench.run_baseline(backend="compiled", profile=True)
+    got = bench.run_baseline(backend=backend, profile=True)
     assert ref.profile is not None and got.profile is not None
     mismatches = ref.profile.diff_lines(got.profile)
     assert not mismatches, f"{name}: " + "; ".join(mismatches[:10])
@@ -88,14 +101,17 @@ def test_profile_bit_identical_across_backends(benches, name):
 
 
 @pytest.mark.skipif(not scheduler.available(), reason="needs POSIX fork")
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("name", ALL_NAMES)
-def test_stats_and_profile_sequential_vs_parallel(benches, name):
+def test_stats_and_profile_sequential_vs_parallel(benches, name, backend):
     """Chunk merging in the parallel scheduler must reproduce the sequential
     stats exactly (every KernelStats field merges by summation — nothing is
-    max- or last-writer-merged) and the per-line profiles likewise."""
+    max- or last-writer-merged) and the per-line profiles likewise.  For the
+    megablock backend this also proves chunked batching (one megablock per
+    worker chunk) equals one whole-grid batch."""
     bench = benches[name]
-    seq = bench.run_baseline(backend="compiled", profile=True)
-    par = bench.run_baseline(backend="compiled", profile=True, parallel=2)
+    seq = bench.run_baseline(backend=backend, profile=True)
+    par = bench.run_baseline(backend=backend, profile=True, parallel=2)
     for f in dataclasses.fields(seq.stats):
         assert getattr(seq.stats, f.name) == getattr(par.stats, f.name), (
             f"{name}: stats field {f.name} diverged under parallel scheduling"
@@ -123,3 +139,110 @@ def test_trace_records_identical():
     got = run_kernel(src, 4, 32, args(), trace=True, backend="compiled")
     assert ref.trace.global_accesses == got.trace.global_accesses
     assert ref.trace.shared_accesses == got.trace.shared_accesses
+
+
+# ---------------------------------------------------------------------------
+# Megablock fallback ladder: every ineligible configuration names its reason
+# and still produces bit-identical results through the per-block path.
+# ---------------------------------------------------------------------------
+
+_SIMPLE = """
+__global__ void k(float* out, const float* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) out[i] = a[i] * 2.0f + 1.0f;
+}
+"""
+
+_ATOMIC = """
+__global__ void k(float* out, const float* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) atomicAdd(out[0], a[i]);
+}
+"""
+
+
+def _simple_args(n=128):
+    rng = np.random.default_rng(11)
+    return {
+        "out": np.zeros(n, dtype=np.float32),
+        "a": rng.standard_normal(n, dtype=np.float32),
+        "n": n,
+    }
+
+
+class TestMegablockFallbacks:
+    def _run(self, src=_SIMPLE, grid=4, **kwargs):
+        return run_kernel(src, grid, 32, _simple_args(), backend="megablock", **kwargs)
+
+    def test_eligible_launch_batches(self):
+        result = self._run()
+        assert result.backend == "megablock"
+        assert result.megablock_fallback is None
+
+    def test_single_block(self):
+        result = run_kernel(
+            _SIMPLE, 1, 32, _simple_args(32), backend="megablock"
+        )
+        assert result.megablock_fallback == "single-block"
+
+    def test_trace(self):
+        result = self._run(trace=True)
+        assert result.megablock_fallback == "trace"
+        ref = run_kernel(_SIMPLE, 4, 32, _simple_args(), backend="interp", trace=True)
+        assert ref.trace.global_accesses == result.trace.global_accesses
+
+    def test_faults(self):
+        injector = FaultInjector([FaultSpec(kind="bit_flip", block=1)])
+        result = self._run(faults=injector, on_error="status")
+        assert result.megablock_fallback == "faults"
+
+    def test_worker_only_faults_do_not_force_fallback(self):
+        """Pool-level faults need no interpreter hooks, so they do not block
+        batching — same rule the parallel scheduler applies."""
+        injector = FaultInjector([FaultSpec(kind="worker_slow", delay=0.0)])
+        result = self._run(faults=injector)
+        assert result.megablock_fallback is None
+
+    @pytest.mark.parametrize("flag", ["racecheck", "initcheck"])
+    def test_sanitizer(self, flag):
+        result = self._run(**{flag: True})
+        assert result.megablock_fallback == "sanitizer"
+
+    def test_atomics(self):
+        args = _simple_args()
+        result = run_kernel(_ATOMIC, 4, 32, args, backend="megablock")
+        assert result.megablock_fallback == "atomics"
+        ref = run_kernel(_ATOMIC, 4, 32, _simple_args(), backend="interp")
+        assert_identical(ref, result, "atomics fallback")
+
+    def test_sim_fault_restores_and_reruns_per_block(self):
+        """A fault inside the batched attempt must restore the global-memory
+        snapshot and rerun per block, reproducing the exact located error."""
+        src = """
+        __global__ void k(float* out, const float* a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            out[i + n] = a[i];
+        }
+        """
+        got = run_kernel(
+            src, 4, 32, _simple_args(), backend="megablock", on_error="status"
+        )
+        assert got.megablock_fallback == "sim-fault"
+        assert got.error is not None
+        ref = run_kernel(
+            src, 4, 32, _simple_args(), backend="interp", on_error="status"
+        )
+        assert ref.error is not None
+        assert ref.error.message == got.error.message
+        assert np.array_equal(
+            ref.gmem.buffers()["out"].data, got.gmem.buffers()["out"].data
+        )
+
+    def test_fallback_is_still_bit_identical(self):
+        """The observable reason never costs correctness: an ineligible
+        megablock launch equals the interpreter exactly."""
+        ref = run_kernel(
+            _SIMPLE, 4, 32, _simple_args(), backend="interp", racecheck=True
+        )
+        got = self._run(racecheck=True)
+        assert_identical(ref, got, "sanitizer fallback")

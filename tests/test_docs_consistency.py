@@ -99,6 +99,38 @@ class TestReadme:
         assert "resilience" in fields
         assert hasattr(Stream, "synchronize")
 
+    def test_megablock_section_documents_real_api(self):
+        """The Performance section's megablock claims must hold: the
+        backend name validates, the env knob is documented, the fallback
+        field exists, and every documented fallback reason is one the
+        launcher can emit."""
+        import inspect
+
+        from repro.gpusim.launch import LaunchResult
+
+        readme = (ROOT / "README.md").read_text()
+        assert 'backend="megablock"' in readme
+        assert "GPUSIM_BACKEND=megablock" in readme
+        fields = {f.name for f in LaunchResult.__dataclass_fields__.values()}
+        assert "megablock_fallback" in fields
+        launch_src = inspect.getsource(
+            __import__("repro.gpusim.launch", fromlist=["launch"])
+        )
+        for reason in ("single-block", "trace", "faults", "sanitizer",
+                       "atomics", "sim-fault"):
+            assert f'"{reason}"' in readme, reason
+            assert f'"{reason}"' in launch_src, reason
+        # The bench columns the README describes are the ones bench emits.
+        import inspect as _inspect
+
+        from repro import bench
+
+        bench_src = _inspect.getsource(bench)
+        for column in ("megablock_ms", "speedup_megablock", "compile_ms",
+                       "skipped"):
+            assert f'"{column}"' in bench_src, column
+            assert f"`{column}`" in readme or f'"{column}"' in readme, column
+
     def test_verify_cli_flags_exist(self):
         """Every --flag in the README's `repro.npc` lines parses."""
         from repro.npc.__main__ import build_parser
@@ -143,6 +175,14 @@ class TestDesign:
         design = (ROOT / "DESIGN.md").read_text()
         assert "## Profiler collection points" in design
         for anchor in ("exec_stmt", "current_loc", "_run_block", "#prof"):
+            assert anchor in design, anchor
+
+    def test_megablock_batch_axis_documented(self):
+        """DESIGN.md must explain the batch axis and name real anchors."""
+        design = (ROOT / "DESIGN.md").read_text()
+        assert "## Batch axis & divergence masks" in design
+        for anchor in ("#mb", "megablock_fallback", "BatchedSharedArray",
+                       "(blocks, lanes)"):
             assert anchor in design, anchor
 
     def test_sanitizer_analogue_documented(self):

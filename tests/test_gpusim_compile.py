@@ -303,6 +303,28 @@ class TestKernelCompileCache:
         assert compile_kernel(k) is plain
         assert compile_kernel(k, profile=True) is prof
 
+    def test_variant_breakdown(self):
+        """Cache growth from the megablock backend is observable: entries
+        are reported per variant suffix (base / #prof / megablock)."""
+        from repro.gpusim.megablock import compile_megablock
+
+        k = parse_kernel(SRC_A)
+        assert compile_cache_stats().variants == {
+            "base": 0, "prof": 0, "megablock": 0,
+        }
+        compile_kernel(k)
+        compile_kernel(k, profile=True)
+        mb = compile_megablock(k)
+        mb_prof = compile_megablock(k, profile=True)
+        stats = compile_cache_stats()
+        # #mb and #mb#prof both count as megablock entries.
+        assert stats.variants == {"base": 1, "prof": 1, "megablock": 2}
+        assert stats.size == 4
+        # Megablock keys hit like any other entry.
+        assert compile_megablock(k) is mb
+        assert compile_megablock(k, profile=True) is mb_prof
+        assert mb_prof.profiled and not mb.profiled
+
 
 def _cache_probe_in_child(src):
     """Runs inside a forked worker: compile an already-cached kernel and
