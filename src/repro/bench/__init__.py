@@ -137,9 +137,17 @@ def bench_kernel(
         "speedup_megablock": round(interp_s / mega_s, 3),
         "megablock_over_compiled": round(compiled_s / mega_s, 3),
         "megablock_fallback": mega_result.megablock_fallback,
+        # True when the whole grid ran as one flattened (blocks x warps,
+        # lanes) batch — the megawarp fast path; False for per-block
+        # batching; null when the launch fell back entirely.
+        "megablock_megawarp": mega_result.megablock_megawarp,
         "parallel_ms": None,
         "parallel_workers": None,
         "speedup_parallel": None,
+        # Why the parallel pass did not run; null when it did.  Always
+        # present so the reason round-trips through the JSON and the
+        # --compare gate can report it instead of a bare missing column.
+        "skipped": None,
     }
     par_s = None
     if parallel:
@@ -220,6 +228,89 @@ def run_bench(
 
         report["profiles"] = registry_to_json()
     return report
+
+
+def compare_reports(
+    fresh: dict, baseline: dict, threshold: float = 0.9
+) -> tuple[bool, str]:
+    """Regression gate: ``fresh`` vs a committed ``baseline`` report.
+
+    Compares each kernel's megablock-over-compiled ratio (both columns are
+    measured on the same host in the same run, so the ratio is stable where
+    absolute milliseconds are not).  Kernels that fell back in either
+    report are excluded from the geomean but still listed with their
+    fallback reason, so a kernel silently dropping off the fast path shows
+    up in the table rather than vanishing from the gate.
+
+    Returns ``(ok, table)``: ``ok`` is False when the geomean of
+    fresh/baseline ratio deltas drops below ``threshold`` (or when nothing
+    is comparable); ``table`` is a readable per-kernel delta table either
+    way.
+    """
+    rows = []
+    deltas = []
+    for name, rec in fresh["kernels"].items():
+        base = baseline["kernels"].get(name)
+        if base is None:
+            rows.append((name, None, None, None, "not-in-baseline"))
+            continue
+        reason = None
+        if rec.get("megablock_fallback") is not None:
+            reason = f"fallback:{rec['megablock_fallback']}"
+        elif base.get("megablock_fallback") is not None:
+            reason = f"baseline-fallback:{base['megablock_fallback']}"
+        elif not base.get("megablock_over_compiled"):
+            reason = "no-baseline-ratio"
+        if reason is not None:
+            rows.append((
+                name,
+                base.get("megablock_over_compiled"),
+                rec.get("megablock_over_compiled"),
+                None,
+                reason,
+            ))
+            continue
+        delta = rec["megablock_over_compiled"] / base["megablock_over_compiled"]
+        deltas.append(delta)
+        note = "ok" if delta >= threshold else "REGRESSED"
+        if rec.get("megablock_megawarp") and not base.get("megablock_megawarp"):
+            note += " (now megawarp)"
+        rows.append((
+            name,
+            base["megablock_over_compiled"],
+            rec["megablock_over_compiled"],
+            delta,
+            note,
+        ))
+
+    lines = [
+        f"{'kernel':6s} {'baseline':>9s} {'fresh':>9s} {'delta':>7s}  status"
+    ]
+    for name, base_r, fresh_r, delta, note in rows:
+        base_txt = f"{base_r:.2f}x" if base_r else "-"
+        fresh_txt = f"{fresh_r:.2f}x" if fresh_r else "-"
+        delta_txt = f"{delta:.3f}" if delta is not None else "-"
+        lines.append(
+            f"{name:6s} {base_txt:>9s} {fresh_txt:>9s} {delta_txt:>7s}  {note}"
+        )
+    skipped = {
+        name: rec["skipped"]
+        for name, rec in fresh["kernels"].items()
+        if rec.get("skipped")
+    }
+    if skipped:
+        reasons = sorted(set(skipped.values()))
+        lines.append(f"parallel pass skipped: {', '.join(reasons)}")
+    if not deltas:
+        lines.append("no comparable kernels — gate fails")
+        return False, "\n".join(lines)
+    geomean = float(np.exp(np.mean(np.log(deltas))))
+    ok = geomean >= threshold
+    lines.append(
+        f"geomean delta {geomean:.3f} vs threshold {threshold:.2f}: "
+        + ("ok" if ok else "REGRESSED")
+    )
+    return ok, "\n".join(lines)
 
 
 def pool_compare_kernel(name: str, repeats: int, parallel: int) -> dict:
@@ -303,16 +394,18 @@ def format_pool_compare(report: dict) -> str:
 def format_report(report: dict) -> str:
     lines = [
         f"{'kernel':6s} {'interp ms':>10s} {'compiled ms':>12s} "
-        f"{'megablock ms':>13s} {'parallel ms':>12s} {'speedup':>8s}"
+        f"{'megablock ms':>13s} {'mw':>4s} {'parallel ms':>12s} {'speedup':>8s}"
     ]
     for name, rec in report["kernels"].items():
         par = "-" if rec["parallel_ms"] is None else f"{rec['parallel_ms']:.1f}"
         mega = f"{rec['megablock_ms']:.1f}"
         if rec["megablock_fallback"] is not None:
             mega += "*"  # per-block fallback; see megablock_fallback
+        # megawarp column: whole-grid flattened batch / per-block / fallback
+        mw = {True: "yes", False: "blk"}.get(rec.get("megablock_megawarp"), "-")
         lines.append(
             f"{name:6s} {rec['interp_ms']:10.1f} {rec['compiled_ms']:12.1f} "
-            f"{mega:>13s} {par:>12s} {rec['speedup_best']:7.2f}x"
+            f"{mega:>13s} {mw:>4s} {par:>12s} {rec['speedup_best']:7.2f}x"
         )
     mega_geo = report.get("geomean_megablock_over_compiled")
     mega_txt = (
@@ -370,6 +463,25 @@ def main(argv: Optional[list] = None) -> int:
         "legacy per-launch fork on the parallel path (instead of the "
         "backend benchmark)",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="after benchmarking, gate the fresh megablock/compiled ratios "
+        "against --baseline and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_gpusim.json",
+        metavar="JSON",
+        help="committed report to compare against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.9,
+        help="minimum allowed geomean of fresh/baseline ratio deltas "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     kernels = args.kernels or (QUICK_KERNELS if args.quick else DEFAULT_KERNELS)
@@ -398,4 +510,11 @@ def main(argv: Optional[list] = None) -> int:
         fh.write("\n")
     print(format_report(report))
     print(f"wrote {args.out}")
+    if args.compare:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        ok, table = compare_reports(report, baseline, threshold=args.threshold)
+        print(table)
+        if not ok:
+            return 1
     return 0

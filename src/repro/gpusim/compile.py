@@ -1599,6 +1599,158 @@ def kernel_uses_atomics(kernel: Kernel) -> bool:
     )
 
 
+def kernel_flatten_safe(kernel: Kernel) -> bool:
+    """True when no ``__syncthreads`` sits under an ``if`` branch.
+
+    The megawarp lowering executes all warps of all blocks in statement
+    lockstep, which makes a top-level (or loop-level) barrier a trivially
+    satisfied ordering point.  A barrier *inside a divergent branch* is the
+    one pattern lockstep cannot honour: pre-Volta master/slave kernels rely
+    on the round-robin letting a producer branch run before a consumer
+    branch that textually precedes it, so those kernels must keep the
+    per-warp-slot generator schedule.
+    """
+
+    def scan(stmt, branched: bool) -> bool:
+        if isinstance(stmt, ExprStmt):
+            return not (
+                branched
+                and isinstance(stmt.expr, Call)
+                and stmt.expr.func == "__syncthreads"
+            )
+        if isinstance(stmt, Block):
+            return all(scan(s, branched) for s in stmt.stmts)
+        if isinstance(stmt, If):
+            if not scan(stmt.then, True):
+                return False
+            return stmt.els is None or scan(stmt.els, True)
+        if isinstance(stmt, For):
+            if stmt.init is not None and not scan(stmt.init, branched):
+                return False
+            if stmt.update is not None and not scan(stmt.update, branched):
+                return False
+            return scan(stmt.body, branched)
+        if isinstance(stmt, While):
+            return scan(stmt.body, branched)
+        return True
+
+    return scan(kernel.body, False)
+
+
+def kernel_atomic_order_free(kernel: Kernel) -> bool:
+    """True when batched per-statement atomic execution is bit-exact.
+
+    Sequential execution interleaves atomic issues warp-by-warp (warp 0 runs
+    its whole body, then warp 1 …), while the flattened megablock engine
+    issues each atomic *statement* once for every row.  The two orders
+    produce identical bytes exactly when, for every atomic target buffer,
+    either
+
+    * the buffer has a **single** ``atomicAdd`` site outside any loop — each
+      row contributes at most one delta per address and the batched
+      sort-by-address fold replays them in ascending row (= sequential)
+      order, so both the final values and every returned "old" value match
+      bit-for-bit, any dtype; or
+    * the buffer has an **integer** element type and every site discards the
+      ``atomicAdd`` result — modular integer addition is associative and
+      commutative, so the final bytes are order-independent (but the "old"
+      values are not, hence the discard requirement).
+
+    Anything else — float accumulators hit from several sites or from inside
+    a loop, observed old values on multi-site buffers, or a target that
+    cannot be resolved to a kernel parameter / shared / local declaration
+    (pointer aliasing) — reports False and keeps the exact per-block path.
+    """
+    elem_kind: dict[str, str] = {}
+    pointer_params = set()
+    for param in kernel.params:
+        if isinstance(param.type, PointerType):
+            pointer_params.add(param.name)
+            try:
+                elem_kind[param.name] = dtype_for(param.type.elem.name).kind
+            except MemoryFault:
+                pass
+    aliasing = False
+    for node in walk(kernel.body):
+        if isinstance(node, VarDecl):
+            if isinstance(node.type, ArrayType):
+                try:
+                    elem_kind[node.name] = dtype_for(node.type.elem.name).kind
+                except MemoryFault:
+                    pass
+            elif isinstance(node.type, PointerType):
+                # A derived pointer may alias a parameter buffer, defeating
+                # the name-based site counting below.
+                aliasing = True
+        elif isinstance(node, Assign):
+            if isinstance(node.target, Name) and node.target.id in pointer_params:
+                aliasing = True
+
+    sites: dict[str, list[tuple[bool, bool]]] = {}
+    resolvable = True
+
+    def record(call: Call, in_loop: bool, discarded: bool) -> None:
+        nonlocal resolvable
+        if len(call.args) != 2 or not isinstance(call.args[0], Index):
+            return  # malformed call: raises at execution in every engine
+        root_expr, _ = _resolve_index_chain(call.args[0])
+        if not isinstance(root_expr, Name):
+            resolvable = False
+            return
+        sites.setdefault(root_expr.id, []).append((in_loop, discarded))
+
+    def scan_expr(expr, in_loop: bool, top: bool) -> None:
+        if expr is None:
+            return
+        for node in walk(expr):
+            if isinstance(node, Call) and node.func == "atomicAdd":
+                record(node, in_loop, discarded=(top and node is expr))
+
+    def scan_stmt(stmt, in_loop: bool) -> None:
+        if isinstance(stmt, ExprStmt):
+            scan_expr(stmt.expr, in_loop, top=True)
+        elif isinstance(stmt, VarDecl):
+            scan_expr(stmt.init, in_loop, top=False)
+        elif isinstance(stmt, Assign):
+            scan_expr(stmt.target, in_loop, top=False)
+            scan_expr(stmt.value, in_loop, top=False)
+        elif isinstance(stmt, Return):
+            scan_expr(stmt.value, in_loop, top=False)
+        elif isinstance(stmt, Block):
+            for s in stmt.stmts:
+                scan_stmt(s, in_loop)
+        elif isinstance(stmt, If):
+            scan_expr(stmt.cond, in_loop, top=False)
+            scan_stmt(stmt.then, in_loop)
+            if stmt.els is not None:
+                scan_stmt(stmt.els, in_loop)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                scan_stmt(stmt.init, True)
+            scan_expr(stmt.cond, True, top=False)
+            if stmt.update is not None:
+                scan_stmt(stmt.update, True)
+            scan_stmt(stmt.body, True)
+        elif isinstance(stmt, While):
+            scan_expr(stmt.cond, True, top=False)
+            scan_stmt(stmt.body, True)
+
+    scan_stmt(kernel.body, False)
+    if sites and (aliasing or not resolvable):
+        return False
+    for name, lst in sites.items():
+        if name not in elem_kind:
+            return False
+        if len(lst) == 1 and not lst[0][0]:
+            continue
+        if elem_kind[name] in ("i", "u", "b") and all(
+            disc for _, disc in lst
+        ):
+            continue
+        return False
+    return True
+
+
 def kernel_digest(kernel: Kernel) -> Optional[str]:
     """Content digest of a kernel: pretty-printed source (which includes
     ``#define`` constants and pragmas) hashed.  ``None`` when the AST cannot

@@ -663,6 +663,8 @@ def _eval_call(ctx: WarpContext, expr: Call, mask: np.ndarray):
 def _atomic_add(ctx: WarpContext, root, indices, mask, delta):
     if isinstance(root, PointerValue):
         offsets = (root.offsets + indices[0])[mask]
+        # Lanes aiming at the same address serialize into extra RMW passes.
+        ctx.stats.atomic_serializations += offsets.size - np.unique(offsets).size
         old = root.buffer.data[offsets].copy()
         np.add.at(root.buffer.data, offsets, delta[mask].astype(root.buffer.data.dtype))
         out = np.zeros(WARP_SIZE, dtype=root.buffer.data.dtype)
@@ -671,6 +673,7 @@ def _atomic_add(ctx: WarpContext, root, indices, mask, delta):
     if isinstance(root, SharedArray):
         flat_full = root.flat_index(indices)
         flat = flat_full[mask]
+        ctx.stats.atomic_serializations += flat.size - np.unique(flat).size
         old = root.data[flat].copy()
         np.add.at(root.data, flat, delta[mask].astype(root.data.dtype))
         if ctx.sanitizer is not None:

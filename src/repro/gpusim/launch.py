@@ -31,7 +31,12 @@ from ..minicuda.parser import parse_kernel
 from ..prof.counters import KernelProfile
 from . import scheduler
 from .compile import compile_kernel, kernel_uses_atomics
-from .megablock import MegaProfile, MegablockExecutor, compile_megablock
+from .megablock import (
+    MegaProfile,
+    MegablockExecutor,
+    compile_megablock,
+    megablock_flatten,
+)
 from .pool import LaunchSpec
 from .resilience import ResilienceConfig, ResilienceTelemetry, get_breaker
 from .device import DeviceSpec, GTX680
@@ -100,11 +105,19 @@ class LaunchResult:
     #: Why a *requested* megablock launch (``backend="megablock"``) executed
     #: blocks through the per-block compiled engine instead of the batched
     #: block axis; None when batching ran (or was never requested).  One of:
-    #: "single-block", "trace", "faults", "sanitizer", "atomics",
+    #: "single-block", "trace", "faults", "sanitizer", "atomic-order" (the
+    #: kernel uses atomics but cannot flatten the warp axis, so the batch
+    #: could not reproduce sequential atomic order — see
+    #: :func:`~repro.gpusim.megablock.megablock_flatten`),
     #: "sim-fault" (the batched attempt raised, global memory was restored
     #: from the launch snapshot, and the per-block rerun reproduced the
     #: exact semantics).  :attr:`backend` stays "megablock" either way.
     megablock_fallback: Optional[str] = None
+    #: Whether the batched megablock run folded the warp axis into the batch
+    #: (megawarp: one ``(blocks × warps, lanes)`` stack, the only mode that
+    #: executes atomics).  True/False when the batched engine ran, None when
+    #: it fell back or was never requested.
+    megablock_megawarp: Optional[bool] = None
     #: Resilience telemetry of the parallel attempt (attempts, retries,
     #: deadline kills, breaker state, pool lifecycle events), when this
     #: launch requested parallelism and reached the scheduler; None
@@ -278,6 +291,7 @@ def launch(
     parallel_workers: Optional[int] = None
     parallel_fallback: Optional[str] = None
     megablock_fallback: Optional[str] = None
+    megablock_megawarp: Optional[bool] = None
     telemetry: Optional[ResilienceTelemetry] = None
     res_cfg = resilience if resilience is not None else ResilienceConfig.from_env()
     prof_obj = KernelProfile(kernel=kernel.name) if profile else None
@@ -394,10 +408,12 @@ def launch(
         # interpreter hooks, so it does not force the sequential path: the
         # scheduler resolves those specs deterministically at dispatch.
         faults_worker_only = faults is not None and faults.worker_only()
-        # Megablock eligibility: exactly the parallel scheduler's
-        # independence condition.  Anything needing per-block interpreter
-        # hooks (trace, sim-faults, sanitizers) or cross-block communication
-        # (atomics) runs per block; the reason is observable on the result.
+        # Megablock eligibility: anything needing per-block interpreter
+        # hooks (trace, sim-faults, sanitizers) runs per block; the reason
+        # is observable on the result.  Atomics are batch-safe since the
+        # deterministic sort-by-address fold, but only under the flattened
+        # (megawarp) row order — when a kernel uses atomics and this launch
+        # cannot flatten, it falls back with reason "atomic-order".
         mega_program = None
         if backend_name == "megablock":
             if len(block_ids) < 2:
@@ -408,10 +424,20 @@ def launch(
                 megablock_fallback = "faults"
             elif sanitizer is not None:
                 megablock_fallback = "sanitizer"
-            elif uses_atomics:
-                megablock_fallback = "atomics"
             else:
-                mega_program = compile_megablock(kernel, profile=profile)
+                candidate = compile_megablock(kernel, profile=profile)
+                if candidate.uses_atomics and not (
+                    candidate.atomics_exact
+                    and megablock_flatten(
+                        candidate,
+                        scaffold.num_warps,
+                        bool(scaffold.shared_decls),
+                        synccheck,
+                    )
+                ):
+                    megablock_fallback = "atomic-order"
+                else:
+                    mega_program = candidate
         # Record *why* a requested parallel launch degrades to sequential
         # execution — only when parallelism was actually requested (>= 2
         # resolved workers), so plain sequential launches stay None.
@@ -537,6 +563,7 @@ def launch(
                     shared_bytes = mb_executor.shared_bytes
                     executed += len(block_ids)
                     ran_megablock = True
+                    megablock_megawarp = mb_executor.flatten
             if not ran_megablock:
                 for linear in block_ids:
                     shared_bytes = run_block(linear, stats, prof_obj)
@@ -571,6 +598,7 @@ def launch(
             parallel_workers=parallel_workers,
             parallel_fallback=parallel_fallback,
             megablock_fallback=megablock_fallback,
+            megablock_megawarp=megablock_megawarp,
             resilience=telemetry,
             profile=prof_obj,
             error=report,
@@ -614,6 +642,7 @@ def launch(
         parallel_workers=parallel_workers,
         parallel_fallback=parallel_fallback,
         megablock_fallback=megablock_fallback,
+        megablock_megawarp=megablock_megawarp,
         resilience=telemetry,
         profile=prof_obj,
         sanitizer=sanitizer.report() if sanitizer is not None else None,

@@ -32,13 +32,30 @@ a leading block axis:
   and transaction accounting match the per-block engines bit-for-bit.
 * **Barriers** keep the generator yield protocol: one stacked generator per
   mega-warp, round-robined exactly like ``BlockExecutor._run_block``.
+* **Megawarp flattening** (:func:`megablock_flatten`) goes one step
+  further for multi-warp blocks: the ``(blocks, warps)`` pair collapses
+  into a single row axis of ``blocks * warps`` rows (block-major, matching
+  the sequential engines' issue order), so each statement closure runs once
+  for the *entire grid* instead of once per warp slot.  Barriers become
+  trivially satisfied lockstep points over the flattened axis; kernels
+  whose barrier placement depends on the per-warp round-robin
+  (``__syncthreads`` under divergent branches) keep the slotted form.
+* **Atomics** lower into a deterministic segmented reduce
+  (:func:`_mb_atomic_apply`): active lanes sort stably by address and fold
+  in ascending (row, lane) order as a strict sequential left fold, so
+  final memory bytes, returned old values, and the
+  ``atomic_serializations`` counter all match the per-warp engines
+  bit-for-bit.  That replay is only exact when the kernel's atomic traffic
+  is order-free (:func:`~repro.gpusim.compile.kernel_atomic_order_free`);
+  order-sensitive kernels take the launcher's ``"atomic-order"`` fallback.
 
 Batching is *speculative*: anything the batched semantics cannot reproduce
-exactly — block-varying shuffle widths, atomics, any ``SimError`` raised
-mid-batch — aborts the whole megablock run, and the launcher restores the
-pre-launch global-memory snapshot and re-runs per block with the compiled
-engine.  A spurious batched fault therefore costs only time, never
-correctness, and real faults surface with their exact per-block diagnostics.
+exactly — block-varying shuffle widths, order-sensitive atomics, any
+``SimError`` raised mid-batch — aborts the whole megablock run, and the
+launcher restores the pre-launch global-memory snapshot and re-runs per
+block with the compiled engine.  A spurious batched fault therefore costs
+only time, never correctness, and real faults surface with their exact
+per-block diagnostics.
 
 Compiled megablock artifacts live in the same digest-keyed LRU as the
 per-block artifacts under ``#mb`` / ``#mb#prof`` key suffixes
@@ -94,7 +111,9 @@ from .compile import (
     _plain_iterator,
     _raising,
     _stmt_loc,
+    kernel_atomic_order_free,
     kernel_digest,
+    kernel_flatten_safe,
     kernel_uses_atomics,
 )
 from .errors import IntrinsicError, MemoryFault, SimError, SyncError
@@ -192,6 +211,156 @@ def _batch_const_serialized(byte_addrs: np.ndarray, mask: np.ndarray) -> np.ndar
     lo = np.where(mask, addrs, _I64_MAX).min(axis=1)
     hi = np.where(mask, addrs, -1).max(axis=1)
     return (lo != hi) & mask.any(axis=1)
+
+
+def _batch_distinct(addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Distinct exact addresses per row — the batched form of the per-warp
+    ``np.unique(offsets).size`` in :func:`interp._atomic_add`'s
+    serialization accounting (``_batch_txns`` without the /128 segmenting)."""
+    vals = np.where(mask, addrs, _I64_MAX)  # fresh, writable
+    vals.sort(axis=1)
+    row_any = vals[:, 0] != _I64_MAX
+    fresh = (vals[:, 1:] != vals[:, :-1]) & (vals[:, 1:] != _I64_MAX)
+    return row_any.astype(np.int64) + fresh.sum(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic batched atomics
+#
+# ``atomicAdd`` over the whole flattened batch reduces to: sort the active
+# (row-major = sequential block/warp/lane order) elements by address, then
+# left-fold each address group sequentially.  Because ``np.add.accumulate``
+# is a strict left fold (no pairwise regrouping) and the stable sort keeps
+# the sequential order within each group, both the final memory values and
+# every lane's returned "old" value are bit-identical to the per-warp
+# ``np.add.at`` issues of sequential execution — including float32 rounding.
+# ---------------------------------------------------------------------------
+
+
+def _group_prefix_fold(
+    init_vals: np.ndarray,
+    deltas: np.ndarray,
+    lens: np.ndarray,
+    gidx: np.ndarray,
+    pos: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential per-group left fold.
+
+    ``init_vals[g]`` seeds group ``g``; ``deltas`` are the sorted per-element
+    addends, with ``gidx``/``pos`` giving each element's group and position.
+    Returns ``(prefix, totals)``: the accumulator value *before* each element
+    and the final value per group.  Groups are bucketed by power-of-two
+    padded length into ``(groups, P + 1)`` matrices (column 0 holds the
+    seed), so memory stays O(n) even under power-law collision skew; the
+    trailing zero padding sits after every real delta, which leaves the
+    prefixes — and, read at its exact length, each total — untouched.
+    """
+    dtype = deltas.dtype
+    n = deltas.size
+    prefix = np.empty(n, dtype=dtype)
+    totals = np.empty(lens.size, dtype=dtype)
+    arange_n = np.arange(n)
+    maxlen = int(lens.max())
+    done = np.zeros(lens.size, dtype=bool)
+    cap = 1
+    while True:
+        sel = ~done & (lens <= cap)
+        if sel.any():
+            idx_g = np.nonzero(sel)[0]
+            g = idx_g.size
+            local = np.empty(lens.size, dtype=np.int64)
+            local[idx_g] = np.arange(g)
+            esel = sel[gidx]
+            er = local[gidx[esel]]
+            ec = pos[esel] + 1
+            matrix = np.zeros((g, cap + 1), dtype=dtype)
+            matrix[:, 0] = init_vals[idx_g]
+            matrix[er, ec] = deltas[esel]
+            acc = np.add.accumulate(matrix, axis=1)
+            prefix[esel] = acc[er, ec - 1]
+            totals[idx_g] = acc[np.arange(g), lens[idx_g]]
+            done |= sel
+        if cap >= maxlen:
+            break
+        cap *= 2
+    return prefix, totals
+
+
+def _mb_atomic_apply(data: np.ndarray, addrs, mask: np.ndarray, delta):
+    """Apply one batched ``atomicAdd`` issue to the 1-D view ``data``.
+
+    Mirrors the sequential per-warp semantics exactly: every lane's "old"
+    value is the memory value at the start of its own row's issue (all lanes
+    of one row observe the same pre-issue value, like the per-warp
+    ``data[offsets].copy()`` before ``np.add.at``), and deltas accumulate in
+    ascending (row, lane) order.
+    """
+    dtype = data.dtype
+    out = np.zeros(mask.shape, dtype=dtype)
+    if not _mask_any(mask):
+        return out
+    a = np.broadcast_to(addrs, mask.shape)[mask]
+    d = np.broadcast_to(np.asarray(delta), mask.shape)[mask].astype(
+        dtype, copy=False
+    )
+    row_e = np.nonzero(mask)[0]  # row per element, row-major like a/d
+    n = a.size
+    order = np.argsort(a, kind="stable")
+    a_s = a[order]
+    d_s = d[order]
+    r_s = row_e[order]
+    gstart = np.empty(n, dtype=bool)
+    gstart[0] = True
+    gstart[1:] = a_s[1:] != a_s[:-1]
+    starts = np.nonzero(gstart)[0]
+    lens = np.diff(np.append(starts, n))
+    gidx = np.cumsum(gstart) - 1
+    pos = np.arange(n) - starts[gidx]
+    init_vals = data[a_s[starts]]
+    prefix, totals = _group_prefix_fold(init_vals, d_s, lens, gidx, pos)
+    # Old value = accumulator at the first element of this (group, row) run.
+    rstart = gstart.copy()
+    rstart[1:] |= r_s[1:] != r_s[:-1]
+    run_first = np.maximum.accumulate(np.where(rstart, np.arange(n), 0))
+    old_s = prefix[run_first]
+    data[a_s[starts]] = totals
+    old = np.empty(n, dtype=dtype)
+    old[order] = old_s
+    out[mask] = old
+    return out
+
+
+def _mb_atomic_add(ctx: "MegaContext", root, indices: list, mask: np.ndarray, delta):
+    """Batched ``atomicAdd`` dispatch (global / shared), with the same
+    serialization accounting as :func:`interp._atomic_add` per row."""
+    stats = ctx.stats
+    if isinstance(root, PointerValue):
+        if len(indices) != 1:
+            raise MemoryFault("global pointers are 1-D; use manual 2-D math")
+        buf = root.buffer
+        offsets = (root.offsets + indices[0]).astype(np.int64, copy=False)
+        bad = mask & ((offsets < 0) | (offsets >= buf.data.size))
+        if bad.any():
+            raise _mb_bounds_fault(
+                buf.name, "global", offsets, mask, buf.data.size
+            )
+        stats.atomic_serializations += int(mask.sum()) - int(
+            _batch_distinct(offsets, mask).sum()
+        )
+        return _mb_atomic_apply(buf.data, offsets, mask, delta)
+    if isinstance(root, BatchedSharedArray):
+        flat = _fast_flat_index(root, indices)
+        bad = mask & ((flat < 0) | (flat >= root.numel))
+        if bad.any():
+            raise _mb_bounds_fault(root.name, "shared", flat, mask, root.numel)
+        # Key = slab_row * numel + flat: distinct blocks never collide, and
+        # all warps of one block fold into that block's slab row.
+        keys = root.batch_rows()[:, None] * root.numel + flat
+        stats.atomic_serializations += int(mask.sum()) - int(
+            _batch_distinct(keys, mask).sum()
+        )
+        return _mb_atomic_apply(root.data.reshape(-1), keys, mask, delta)
+    raise IntrinsicError("atomicAdd target must be global or shared memory")
 
 
 # ---------------------------------------------------------------------------
@@ -312,8 +481,18 @@ class MegaProfile:
         self.threads = threads
         self.lines: Dict[int, LineCounters] = {}
         nblocks = len(self.block_ids)
+        self.rows_per_block = 1
         self.blk_issues = np.zeros(nblocks, dtype=np.int64)
         self.blk_txns = np.zeros(nblocks, dtype=np.int64)
+
+    def set_rows_per_block(self, rows: int) -> None:
+        """Switch to the flattened (megawarp) row layout: ``rows`` batch rows
+        per block, block-major, folded back per block in :meth:`finish`.
+        The executor calls this before the first statement hook fires."""
+        self.rows_per_block = rows
+        n = len(self.block_ids) * rows
+        self.blk_issues = np.zeros(n, dtype=np.int64)
+        self.blk_txns = np.zeros(n, dtype=np.int64)
 
     def _line(self, line: int) -> LineCounters:
         lc = self.lines.get(line)
@@ -366,17 +545,26 @@ class MegaProfile:
     def shfl_rows(self, loc, rows: int) -> None:
         self._line(_line_of(loc)).shfl_insts += rows
 
+    def atomic_rows(self, loc, rows: int) -> None:
+        self._line(_line_of(loc)).atomic_insts += rows
+
     def sync_rows(self, line: int, rows: int) -> None:
         self._line(line).syncthreads += rows
 
     def finish(self, target: KernelProfile) -> None:
         """Reduce into ``target`` exactly as per-block execution would."""
         target.merge(KernelProfile(kernel=self.kernel, lines=self.lines))
+        issues = self.blk_issues
+        txns = self.blk_txns
+        if self.rows_per_block > 1:
+            shape = (len(self.block_ids), self.rows_per_block)
+            issues = issues.reshape(shape).sum(axis=1)
+            txns = txns.reshape(shape).sum(axis=1)
         for i, bid in enumerate(self.block_ids):
             target.begin_block(bid, self.num_warps, self.threads)
             bc = target.blocks[bid]
-            bc.inst_issues += int(self.blk_issues[i])
-            bc.transactions += int(self.blk_txns[i])
+            bc.inst_issues += int(issues[i])
+            bc.transactions += int(txns[i])
         target._current = None
 
 
@@ -418,6 +606,7 @@ class MegaContext:
         "stats",
         "synccheck",
         "profile",
+        "atomics_ok",
         "current_loc",
         "current_mask",
         "warp_idx",
@@ -435,6 +624,7 @@ class MegaContext:
         warp_idx: int = 0,
         synccheck: bool = False,
         profile: Optional[MegaProfile] = None,
+        atomics_ok: bool = False,
     ):
         self.env = env
         self.init_mask = init_mask
@@ -448,6 +638,9 @@ class MegaContext:
         self.stats = stats
         self.synccheck = synccheck
         self.profile = profile
+        # Only the flattened (megawarp) run order equals sequential atomic
+        # order; the per-warp-slot schedule issues warp-major across blocks.
+        self.atomics_ok = atomics_ok
         self.current_loc = None
         self.current_mask = init_mask
         self.warp_idx = warp_idx
@@ -761,13 +954,35 @@ def _mb_call(expr: Call) -> ExprFn:
 
         return do_shift
     if func == "atomicAdd":
-        # Atomics accumulate across blocks — such kernels are never eligible
-        # for megablock execution (same exclusion as the parallel scheduler).
-        # Reaching this closure means the eligibility gate was bypassed;
-        # abort to the exact per-block fallback.
-        return _raising(
-            SimError, "megablock backend cannot execute atomicAdd", loc
-        )
+        if len(expr.args) != 2 or not isinstance(expr.args[0], Index):
+            return _raising(
+                IntrinsicError, "atomicAdd expects (array[index], value)", loc
+            )
+        root_fn, idx_fns = _mb_index_chain(expr.args[0])
+        delta_fn = mb_expr(expr.args[1])
+
+        def do_atomic(ctx: MegaContext, mask: np.ndarray):
+            if loc is not None:
+                ctx.current_loc = loc
+            if not ctx.atomics_ok:
+                # Per-warp-slot scheduling issues warp 0 of every block
+                # before warp 1 of any block — not the sequential atomic
+                # order.  Abort to the exact per-block fallback.
+                raise SimError(
+                    "megablock: atomics need the flattened (megawarp) order"
+                )
+            root = root_fn(ctx, mask)
+            indices = [
+                f(ctx, mask).astype(np.int64, copy=False) for f in idx_fns
+            ]
+            delta = delta_fn(ctx, mask)
+            rows = ctx.rows(mask)
+            ctx.stats.atomic_insts += rows
+            if ctx.profile is not None:
+                ctx.profile.atomic_rows(ctx.current_loc, rows)
+            return _mb_atomic_add(ctx, root, indices, mask, delta)
+
+        return do_atomic
     if func == "tex1Dfetch":
         if len(expr.args) != 2 or not isinstance(expr.args[0], Name):
             return _raising(
@@ -1569,6 +1784,8 @@ class MegaKernel:
     body_fn: StmtFn
     body_is_gen: bool
     uses_atomics: bool
+    flatten_safe: bool
+    atomics_exact: bool
     profiled: bool = False
 
     @property
@@ -1597,8 +1814,43 @@ def _mb_lower(
         body_fn=body_fn,
         body_is_gen=body_is_gen,
         uses_atomics=kernel_uses_atomics(kernel),
+        flatten_safe=kernel_flatten_safe(kernel),
+        atomics_exact=kernel_atomic_order_free(kernel),
         profiled=profile,
     )
+
+
+def megablock_flatten(
+    program: MegaKernel, num_warps: int, has_shared: bool, synccheck: bool
+) -> bool:
+    """Can this launch fold the warp axis into the batch (megawarp)?
+
+    One warp per block is trivially the flattened layout.  With several
+    warps, flattening replaces the per-warp-slot round-robin with statement
+    lockstep over ``(blocks × warps)`` rows, which is exact unless:
+
+    * ``synccheck`` — the partial-barrier check compares arrival masks per
+      warp slot and would lose its per-slot granularity;
+    * a ``__syncthreads`` sits under an ``if`` (``flatten_safe`` is false) —
+      pre-Volta master/slave kernels depend on the round-robin schedule;
+    * shared memory is used without any barrier — cross-warp shared traffic
+      with no sync would see lockstep instead of warp-sequential order
+      (thread-private use would be fine, but the cheap syntactic test cannot
+      tell them apart, and the per-warp path stays exact).
+
+    Atomics additionally *require* the flattened order: the launch ladder
+    reports ``"atomic-order"`` when a kernel uses atomics and this returns
+    False.
+    """
+    if num_warps <= 1:
+        return True
+    if synccheck:
+        return False
+    if not program.flatten_safe:
+        return False
+    if has_shared and not program.has_barriers:
+        return False
+    return True
 
 
 def compile_megablock(
@@ -1696,6 +1948,15 @@ class MegablockExecutor:
             )
             offset += arr.nbytes
             self.shared[decl.name] = arr
+        self.flatten = megablock_flatten(
+            program, scaffold.num_warps, bool(self.shared), synccheck
+        )
+        if self.flatten and scaffold.num_warps > 1:
+            # Batch rows become (block, warp) pairs, block-major; all warps
+            # of one block keep addressing that block's shared slab row.
+            row_index = np.repeat(np.arange(nblocks), scaffold.num_warps)
+            for arr in self.shared.values():
+                arr.row_index = row_index
 
     @property
     def shared_bytes(self) -> int:
@@ -1718,10 +1979,103 @@ class MegablockExecutor:
         init_mask = np.broadcast_to(warp_mask, (self.nblocks, WARP_SIZE))
         return env, init_mask
 
+    def _flat_env(self) -> tuple[dict, np.ndarray]:
+        """Environment and init mask for the flattened (megawarp) run with
+        several warps per block: batch row ``r`` is warp ``r % W`` of batch
+        block ``r // W``.  Block-major row order is the sequential execution
+        order, so row-major scatters and the batched atomic fold replay
+        sequential last-writer/accumulation semantics."""
+        num_warps = self.scaffold.num_warps
+        nrows = self.nblocks * num_warps
+        shape = (nrows, WARP_SIZE)
+        env = dict(self.base_env)
+        env.update(self.shared)
+        env.update(self.kernel.const_env)
+        masks = []
+        per_warp: List[dict] = []
+        for w in range(num_warps):
+            warp_mask, builtins = self.scaffold.warp_builtins(w)
+            masks.append(warp_mask)
+            per_warp.append(builtins)
+        for key in per_warp[0]:
+            stacked = np.stack([b[key] for b in per_warp])
+            if (stacked == stacked[0]).all():
+                env[key] = stacked[0]  # warp-invariant (blockDim/gridDim)
+            else:
+                env[key] = np.tile(stacked, (self.nblocks, 1))
+        init_mask = np.tile(np.stack(masks), (self.nblocks, 1))
+        ids = np.repeat(
+            np.asarray(self.block_ids, dtype=np.int64), num_warps
+        )
+        gx, gy, _gz = self.grid_dim
+        plane = gx * gy
+        env["blockIdx.x"] = np.broadcast_to(
+            (ids % gx).astype(np.int32)[:, None], shape
+        )
+        env["blockIdx.y"] = np.broadcast_to(
+            ((ids % plane) // gx).astype(np.int32)[:, None], shape
+        )
+        env["blockIdx.z"] = np.broadcast_to(
+            (ids // plane).astype(np.int32)[:, None], shape
+        )
+        for key in self._pointer_keys:
+            value = env[key]
+            if isinstance(value, GlobalBuffer):
+                env[key] = PointerValue(value, np.zeros(WARP_SIZE, dtype=np.int64))
+            elif isinstance(value, PointerValue):
+                env[key] = PointerValue(value.buffer, value.offsets.copy())
+        return env, init_mask
+
     def run(self) -> None:
         # Same single errstate guard the per-block executor holds.
         with np.errstate(all="ignore"):
-            self._run()
+            if self.flatten:
+                self._run_flat()
+            else:
+                self._run()
+
+    def _run_flat(self) -> None:
+        """Megawarp execution: one context, one generator, the whole grid.
+
+        With one warp per block this is exactly the classic megablock run
+        (which already had a single generator); with several it stacks
+        ``(blocks × warps)`` rows so every statement closure fires once for
+        the entire launch.  Barriers degenerate to trivially satisfied
+        ordering points because all rows execute in statement lockstep.
+        Atomics are only legal here (``atomics_ok``): batch rows ascend in
+        sequential (block, warp) order, which the deterministic atomic fold
+        relies on.
+        """
+        total = self.scaffold.total_threads
+        num_warps = self.scaffold.num_warps
+        nblocks = self.nblocks
+        self.stats.blocks_executed += nblocks
+        self.stats.warps_executed += nblocks * num_warps
+        self.stats.threads_launched += nblocks * total
+        if num_warps == 1:
+            env, init_mask = self._warp_env(0)
+            nrows = nblocks
+        else:
+            env, init_mask = self._flat_env()
+            nrows = nblocks * num_warps
+            if self.profile is not None:
+                self.profile.set_rows_per_block(num_warps)
+        ctx = MegaContext(
+            env,
+            init_mask,
+            self.stats,
+            nrows,
+            warp_idx=0,
+            synccheck=self.synccheck,
+            profile=self.profile,
+            # The launch ladder only admits atomic kernels whose batched
+            # order is provably exact; honour the same analysis here so a
+            # directly constructed executor aborts (SimError -> per-block
+            # rerun) instead of silently reordering float accumulation.
+            atomics_ok=self.program.atomics_exact,
+        )
+        for _event in self.program.warp_iterator(ctx, init_mask):
+            pass
 
     def _run(self) -> None:
         total = self.scaffold.total_threads

@@ -267,6 +267,14 @@ class BatchedSharedArray:
     :class:`SharedArray`, so bank-replay accounting matches the per-block
     engines bit-for-bit.  :meth:`block_view` exposes a single block's row with
     per-block :class:`SharedArray` semantics for inspection.
+
+    ``row_index`` supports the megawarp (flattened) batch layout where the
+    batch carries one row per ``(block, warp)`` pair instead of per block:
+    when set to a ``(batch_rows,)`` int array it maps every batch row to its
+    slab row, so all warps of one block address that block's shared memory.
+    Batch rows are block-major (``r = block * warps + warp``), which keeps
+    the row-major scatter in :meth:`store` in sequential last-writer-wins
+    order.
     """
 
     def __init__(
@@ -285,6 +293,13 @@ class BatchedSharedArray:
             numel *= dim
         self.data = np.zeros((nblocks, numel), dtype=dtype_for(type_name))
         self.base_offset = base_offset
+        self.row_index = None
+
+    def batch_rows(self) -> np.ndarray:
+        """Slab row per batch row: identity unless flattened (megawarp)."""
+        if self.row_index is not None:
+            return self.row_index
+        return np.arange(self.nblocks)
 
     @property
     def numel(self) -> int:
@@ -333,14 +348,14 @@ class BatchedSharedArray:
             )
 
     def load(self, flat: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        """Gather ``(blocks, lanes)`` elements, each row from its own block."""
+        """Gather ``(rows, lanes)`` elements, each batch row from its slab row."""
         self._check(flat, mask)
-        rows = np.arange(self.nblocks)[:, None]
+        rows = self.batch_rows()[:, None]
         return self.data[rows, np.where(mask, flat, 0)]
 
     def store(self, flat: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
         self._check(flat, mask)
-        rows = np.broadcast_to(np.arange(self.nblocks)[:, None], mask.shape)
+        rows = np.broadcast_to(self.batch_rows()[:, None], mask.shape)
         flat = np.broadcast_to(flat, mask.shape)
         values = np.broadcast_to(values, mask.shape)
         self.data[rows[mask], flat[mask]] = values[mask].astype(self.data.dtype)

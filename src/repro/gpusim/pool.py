@@ -122,9 +122,14 @@ class _WorkerState:
             else None
         )
         # Megablock chunks batch the whole chunk's block axis through one
-        # executor; a SimError restores pristine state and aborts the
-        # parallel attempt (exact semantics come from the sequential rerun),
-        # so no per-block program is needed alongside.
+        # executor — which flattens the chunk's (blocks, warps) pair into a
+        # single megawarp row axis when the kernel allows it, same rule as
+        # the whole-grid launch.  A SimError (including an order-sensitive
+        # atomic reaching the flat path; the launch ladder diverts those to
+        # "atomic-order"/"atomics" before any pool is engaged) restores
+        # pristine state and aborts the parallel attempt (exact semantics
+        # come from the sequential rerun), so no per-block program is
+        # needed alongside.
         self.mega_program = (
             compile_megablock(spec.kernel, profile=spec.profile_kernel is not None)
             if spec.backend == "megablock"

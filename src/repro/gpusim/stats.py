@@ -51,6 +51,11 @@ class KernelStats:
     syncthreads: int = 0
     shfl_insts: int = 0
     atomic_insts: int = 0
+    #: Extra serialized passes of atomic read-modify-writes: per warp issue,
+    #: active lanes minus distinct target addresses (colliding lanes
+    #: serialize, like shared_bank_replays for banks).  Counted identically
+    #: by the per-warp engines and the batched segmented-reduce path.
+    atomic_serializations: int = 0
 
     @property
     def global_mem_insts(self) -> int:

@@ -10,8 +10,12 @@ drifted by a ULP or double-counted a transaction fails loudly.
 
 The megablock engine additionally promises an *observable* fallback: every
 launch configuration it cannot batch exactly (traces, sim-faults,
-sanitizers, atomics, single-block grids) must run per block with the reason
-on :attr:`LaunchResult.megablock_fallback` — and still be bit-identical.
+sanitizers, order-sensitive atomics, single-block grids) must run per block
+with the reason on :attr:`LaunchResult.megablock_fallback` — and still be
+bit-identical.  Order-free atomics (single site outside loops, or integer
+adds whose old value is discarded) batch on the fast path instead, through
+the deterministic segmented reduce, and BK — the one paper benchmark built
+on ``atomicAdd`` — now rides it with ``megablock_megawarp`` set.
 """
 
 import dataclasses
@@ -153,10 +157,50 @@ __global__ void k(float* out, const float* a, int n) {
 }
 """
 
+#: Single atomic site outside any loop: order-free, so it batches exactly
+#: (the segmented reduce replays ascending block/warp/lane order, which is
+#: precisely the sequential issue order of one statement instance).
 _ATOMIC = """
 __global__ void k(float* out, const float* a, int n) {
     int i = blockIdx.x * blockDim.x + threadIdx.x;
     if (i < n) atomicAdd(out[0], a[i]);
+}
+"""
+
+#: Two float sites accumulating into the same buffer: sequential execution
+#: interleaves them warp by warp, a flattened batch issues each statement
+#: once for the whole grid — float addition is not associative, so this
+#: kernel MUST take the "atomic-order" fallback to stay bit-identical.
+_ATOMIC_TWO_SITE = """
+__global__ void k(float* out, const float* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        atomicAdd(out[i % 7], a[i] * 1.0001f);
+        atomicAdd(out[0], a[i]);
+    }
+}
+"""
+
+#: A float site inside a loop: successive iterations land on the same
+#: addresses in an order the batch cannot reproduce — also "atomic-order".
+_ATOMIC_FLOAT_LOOP = """
+__global__ void k(float* out, const float* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = i; j < n; j += gridDim.x * blockDim.x) {
+        atomicAdd(out[j % 5], a[j]);
+    }
+}
+"""
+
+#: Integer histogram in a loop with the result discarded: modular addition
+#: is order-independent, so this stays on the fast path even though the
+#: loop issues the site many times.
+_ATOMIC_INT_LOOP = """
+__global__ void k(int* hist, const int* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = i; j < n; j += gridDim.x * blockDim.x) {
+        atomicAdd(hist[a[j] % 16], 1);
+    }
 }
 """
 
@@ -184,17 +228,28 @@ class TestMegablockFallbacks:
             _SIMPLE, 1, 32, _simple_args(32), backend="megablock"
         )
         assert result.megablock_fallback == "single-block"
+        ref = run_kernel(_SIMPLE, 1, 32, _simple_args(32), backend="interp")
+        assert_identical(ref, result, "single-block fallback")
 
     def test_trace(self):
         result = self._run(trace=True)
         assert result.megablock_fallback == "trace"
         ref = run_kernel(_SIMPLE, 4, 32, _simple_args(), backend="interp", trace=True)
         assert ref.trace.global_accesses == result.trace.global_accesses
+        assert_identical(ref, result, "trace fallback")
 
     def test_faults(self):
-        injector = FaultInjector([FaultSpec(kind="bit_flip", block=1)])
-        result = self._run(faults=injector, on_error="status")
+        result = self._run(
+            faults=FaultInjector([FaultSpec(kind="bit_flip", block=1)]),
+            on_error="status",
+        )
         assert result.megablock_fallback == "faults"
+        ref = run_kernel(
+            _SIMPLE, 4, 32, _simple_args(), backend="interp",
+            faults=FaultInjector([FaultSpec(kind="bit_flip", block=1)]),
+            on_error="status",
+        )
+        assert_identical(ref, result, "faults fallback")
 
     def test_worker_only_faults_do_not_force_fallback(self):
         """Pool-level faults need no interpreter hooks, so they do not block
@@ -207,13 +262,52 @@ class TestMegablockFallbacks:
     def test_sanitizer(self, flag):
         result = self._run(**{flag: True})
         assert result.megablock_fallback == "sanitizer"
+        ref = run_kernel(
+            _SIMPLE, 4, 32, _simple_args(), backend="interp", **{flag: True}
+        )
+        assert_identical(ref, result, f"{flag} fallback")
 
-    def test_atomics(self):
-        args = _simple_args()
-        result = run_kernel(_ATOMIC, 4, 32, args, backend="megablock")
-        assert result.megablock_fallback == "atomics"
+    def test_order_free_atomics_batch(self):
+        """A single atomic site outside any loop is order-free: the batched
+        segmented reduce reproduces the sequential fold exactly, so no
+        fallback fires and the whole grid flattens into one megawarp row
+        block."""
+        result = run_kernel(_ATOMIC, 4, 32, _simple_args(), backend="megablock")
+        assert result.megablock_fallback is None
+        assert result.megablock_megawarp is True
         ref = run_kernel(_ATOMIC, 4, 32, _simple_args(), backend="interp")
-        assert_identical(ref, result, "atomics fallback")
+        assert_identical(ref, result, "order-free atomics fast path")
+        assert result.stats.atomic_serializations > 0
+
+    def test_integer_loop_atomics_batch(self):
+        """Integer adds with the old value discarded commute, so even a
+        looped histogram stays on the fast path."""
+        n = 256
+        vals = np.random.default_rng(3).integers(0, 1000, n).astype(np.int32)
+
+        def args():
+            return {"hist": np.zeros(16, dtype=np.int32), "a": vals.copy(), "n": n}
+
+        ref = run_kernel(_ATOMIC_INT_LOOP, 4, 32, args(), backend="interp")
+        got = run_kernel(_ATOMIC_INT_LOOP, 4, 32, args(), backend="megablock")
+        assert got.megablock_fallback is None
+        assert got.megablock_megawarp is True
+        assert_identical(ref, got, "integer loop atomics fast path")
+
+    @pytest.mark.parametrize(
+        "src", [_ATOMIC_TWO_SITE, _ATOMIC_FLOAT_LOOP],
+        ids=["two-site", "float-loop"],
+    )
+    def test_atomic_order_fallback(self, src):
+        """Kernels whose atomic accumulation order the batch cannot replay
+        (multiple sites or float adds in loops) fall back per block with the
+        "atomic-order" reason — and remain bit-identical, float rounding
+        included."""
+        result = run_kernel(src, 4, 32, _simple_args(), backend="megablock")
+        assert result.megablock_fallback == "atomic-order"
+        assert result.megablock_megawarp is None
+        ref = run_kernel(src, 4, 32, _simple_args(), backend="interp")
+        assert_identical(ref, result, "atomic-order fallback")
 
     def test_sim_fault_restores_and_reruns_per_block(self):
         """A fault inside the batched attempt must restore the global-memory
@@ -246,3 +340,45 @@ class TestMegablockFallbacks:
         )
         got = self._run(racecheck=True)
         assert_identical(ref, got, "sanitizer fallback")
+
+
+# ---------------------------------------------------------------------------
+# BK on the fast path: the one paper benchmark built on atomicAdd.  No xfail,
+# no fallback — its integer histogram passes the order-freedom analysis, so
+# the megablock engine batches it (and flattens it into a megawarp) while
+# staying bit-identical to the interpreter, statistics included.
+# ---------------------------------------------------------------------------
+
+
+class TestBKFastPath:
+    @pytest.fixture(scope="class")
+    def bk(self):
+        # 2048 elements -> a 2-block grid, so the launch clears the
+        # single-block rung and actually exercises batching + flattening.
+        return BENCHMARKS["BK"](elements=2048, block=32)
+
+    def test_baseline_no_fallback(self, bk):
+        ref = bk.run_baseline(backend="interp")
+        got = bk.run_baseline(backend="megablock")
+        assert got.megablock_fallback is None
+        assert got.megablock_megawarp is True
+        assert_identical(ref, got, "BK baseline fast path")
+        assert got.stats.atomic_insts > 0
+
+    def test_np_variant_no_fallback(self, bk):
+        config = bk.configs()[0]
+        ref = bk.run_variant(config, backend="interp")
+        got = bk.run_variant(config, backend="megablock")
+        assert got.megablock_fallback is None
+        assert got.megablock_megawarp is True
+        assert_identical(ref, got, f"BK {config.describe()} fast path")
+
+    def test_atomic_serializations_counted(self, bk):
+        """The new collision counter agrees across all three engines."""
+        results = {
+            be: bk.run_baseline(backend=be)
+            for be in ("interp", "compiled", "megablock")
+        }
+        serial = {be: r.stats.atomic_serializations for be, r in results.items()}
+        assert serial["interp"] > 0
+        assert len(set(serial.values())) == 1, serial

@@ -1,8 +1,9 @@
 """Wall-clock benchmark harness smoke tests (``python -m repro.bench``)."""
 
+import copy
 import json
 
-from repro.bench import QUICK_KERNELS, bench_kernel, main
+from repro.bench import QUICK_KERNELS, bench_kernel, compare_reports, main
 
 
 def test_bench_kernel_record():
@@ -11,6 +12,12 @@ def test_bench_kernel_record():
     assert rec["speedup_compiled"] > 0
     assert rec["best_ms"] <= rec["compiled_ms"]
     assert rec["parallel_ms"] is None  # not requested
+    # The skip reason and the megawarp flag are always present, so both
+    # round-trip through BENCH_gpusim.json.
+    assert rec["skipped"] == "not-requested"
+    assert rec["megablock_megawarp"] in (True, False, None)
+    if rec["megablock_fallback"] is None:
+        assert rec["megablock_megawarp"] is not None
 
 
 def test_main_quick_writes_json(tmp_path, capsys):
@@ -21,8 +28,11 @@ def test_main_quick_writes_json(tmp_path, capsys):
     assert report["config"]["repeats"] == 1
     assert report["geomean_speedup"] > 0
     assert report["host"]["cpu_count"] >= 1
+    for rec in report["kernels"].values():
+        assert "skipped" in rec and "megablock_megawarp" in rec
     printed = capsys.readouterr().out
     assert "geomean" in printed
+    assert " mw " in printed.splitlines()[0] or "mw" in printed.splitlines()[0]
 
 
 def test_main_kernel_subset(tmp_path):
@@ -30,3 +40,102 @@ def test_main_kernel_subset(tmp_path):
     assert main(["--kernels", "CFD", "--repeats", "1", "--out", str(out)]) == 0
     report = json.loads(out.read_text())
     assert list(report["kernels"]) == ["CFD"]
+
+
+def _fake_report(ratio, fallback=None, megawarp=True, skipped=None):
+    return {
+        "kernels": {
+            "MC": {
+                "megablock_over_compiled": ratio,
+                "megablock_fallback": fallback,
+                "megablock_megawarp": megawarp,
+                "skipped": skipped,
+            }
+        }
+    }
+
+
+class TestCompareReports:
+    def test_parity_passes(self):
+        ok, table = compare_reports(_fake_report(2.0), _fake_report(2.0))
+        assert ok
+        assert "geomean delta 1.000" in table
+
+    def test_regression_fails_with_delta_table(self):
+        ok, table = compare_reports(
+            _fake_report(1.0), _fake_report(2.0), threshold=0.9
+        )
+        assert not ok
+        assert "REGRESSED" in table
+        assert "MC" in table and "0.500" in table
+
+    def test_improvement_passes(self):
+        ok, _ = compare_reports(_fake_report(3.0), _fake_report(2.0))
+        assert ok
+
+    def test_fallback_kernels_listed_but_not_gated(self):
+        """A kernel that fell back in the fresh run must not silently drop
+        out — its reason appears in the table, and with nothing comparable
+        the gate fails rather than passing vacuously."""
+        ok, table = compare_reports(
+            _fake_report(1.0, fallback="atomic-order", megawarp=None),
+            _fake_report(2.0),
+        )
+        assert not ok
+        assert "fallback:atomic-order" in table
+        assert "no comparable kernels" in table
+
+    def test_baseline_fallback_excluded(self):
+        fresh = _fake_report(2.0)
+        base = _fake_report(2.0, fallback="atomics", megawarp=None)
+        ok, table = compare_reports(fresh, base)
+        assert not ok  # only kernel is non-comparable
+        assert "baseline-fallback:atomics" in table
+
+    def test_skip_reasons_round_trip(self):
+        fresh = _fake_report(2.0, skipped="scheduler-unavailable")
+        ok, table = compare_reports(fresh, _fake_report(2.0))
+        assert ok
+        assert "scheduler-unavailable" in table
+
+    def test_megawarp_transition_noted(self):
+        fresh = _fake_report(2.5, megawarp=True)
+        base = _fake_report(2.0, megawarp=False)
+        ok, table = compare_reports(fresh, base)
+        assert ok
+        assert "now megawarp" in table
+
+    def test_missing_kernel_in_baseline(self):
+        fresh = _fake_report(2.0)
+        fresh["kernels"]["NEW"] = copy.deepcopy(fresh["kernels"]["MC"])
+        ok, table = compare_reports(fresh, _fake_report(2.0))
+        assert ok  # MC still comparable
+        assert "not-in-baseline" in table
+
+
+def test_compare_cli_exit_codes(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    # A generous baseline (ratio well below any real run) must pass...
+    base_report = {
+        "kernels": {
+            "CFD": {
+                "megablock_over_compiled": 0.001,
+                "megablock_fallback": None,
+                "megablock_megawarp": True,
+                "skipped": None,
+            }
+        }
+    }
+    baseline.write_text(json.dumps(base_report))
+    out = tmp_path / "bench.json"
+    assert main([
+        "--kernels", "CFD", "--repeats", "1", "--out", str(out),
+        "--compare", "--baseline", str(baseline),
+    ]) == 0
+    # ...and an impossible baseline must fail with exit code 1.
+    base_report["kernels"]["CFD"]["megablock_over_compiled"] = 1e9
+    baseline.write_text(json.dumps(base_report))
+    assert main([
+        "--kernels", "CFD", "--repeats", "1", "--out", str(out),
+        "--compare", "--baseline", str(baseline),
+    ]) == 1
