@@ -18,7 +18,9 @@ When the parallel pass is skipped the record says why
 
 from __future__ import annotations
 
+import dataclasses
 import gc
+import hashlib
 import json
 import os
 import platform
@@ -62,15 +64,27 @@ def _time_launch(bench, repeats: int, **kwargs) -> tuple[float, object]:
     return best, result
 
 
-def _compile_split(kernel) -> dict:
-    """Once-per-source lowering cost per compiled engine, cache bypassed.
+def _compile_split(bench) -> tuple[dict, int, str]:
+    """Once-per-source compile costs, in-memory caches bypassed.
 
     The execute-time columns are measured with warm caches; this records the
     other half of the compile-vs-execute split explicitly so the JSON shows
-    what a cold first launch would add.
+    what a cold first launch would add.  Three components: the two engine
+    lowerings (``cache=False``) and the NP source-to-source transform over
+    the kernel's full variant space (in-memory variant cache cleared first,
+    so with the persistent disk tier active a warm process pays only
+    rehydration — the cold-vs-warm CI gate keys off this column).
+
+    Returns ``(split_ms, np_variants, variants_digest)``: the per-component
+    milliseconds, how many configs compiled, and a sha256 over the emitted
+    variant sources in config order (warm and cold runs must agree
+    bit-for-bit).
     """
     from ..gpusim.compile import compile_kernel
     from ..gpusim.megablock import compile_megablock
+    from ..minicuda.errors import MiniCudaError
+    from ..minicuda.pretty import emit_kernel
+    from ..npc.pipeline import clear_variant_cache
 
     split = {}
     for column, lower in (
@@ -78,9 +92,38 @@ def _compile_split(kernel) -> dict:
         ("megablock", compile_megablock),
     ):
         t0 = time.perf_counter()
-        lower(kernel, cache=False)
+        lower(bench.kernel, cache=False)
         split[column] = round((time.perf_counter() - t0) * 1e3, 3)
-    return split
+
+    clear_variant_cache()
+    configs = bench.configs()
+    variants = []
+    t0 = time.perf_counter()
+    for config in configs:
+        try:
+            variants.append(bench.compile_variant(config))
+        except MiniCudaError:
+            continue
+    split["np_transform"] = round((time.perf_counter() - t0) * 1e3, 3)
+    digest = hashlib.sha256()
+    for variant in variants:
+        digest.update(emit_kernel(variant.kernel).encode())
+    return split, len(variants), digest.hexdigest()
+
+
+def _output_digest(result) -> str:
+    """sha256 over a launch's final buffer bytes and modeled statistics.
+
+    The cold-vs-warm cache gate asserts this is identical across runs: the
+    disk tier may only make compiles faster, never change what executes.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(result.gmem.buffers()):
+        buf = result.gmem.buffers()[name]
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(buf.data).tobytes())
+    digest.update(repr(result.stats).encode())
+    return digest.hexdigest()
 
 
 def bench_kernel(
@@ -102,6 +145,8 @@ def bench_kernel(
     record's ``"skipped"`` field ("not-requested" by default) so a null
     ``parallel_ms`` is never silent.
     """
+    from ..gpusim.diskcache import disk_cache_stats
+
     bench = BENCHMARKS[name]()
     # Warm the kernel compile caches so lowering cost is excluded from the
     # execute columns (it is a once-per-source cost shared by every later
@@ -110,7 +155,9 @@ def bench_kernel(
     from ..gpusim.megablock import compile_megablock
 
     compile_megablock(bench.kernel)  # warm the #mb cache entry (digest-keyed)
-    compile_ms = _compile_split(bench.kernel)
+    cache_before = disk_cache_stats("variant")
+    compile_ms, np_variants, variants_digest = _compile_split(bench)
+    cache_after = disk_cache_stats("variant")
 
     if profile:
         from ..prof import record_profile
@@ -130,6 +177,19 @@ def bench_kernel(
         "grid": compiled_result.grid,
         "block": compiled_result.block,
         "compile_ms": compile_ms,
+        # How many NP variants the np_transform column covers, and digests
+        # proving cold and warm (disk-tier) runs produce identical code and
+        # identical execution — the cold-vs-warm CI gate compares these.
+        "np_variants": np_variants,
+        "variants_digest": variants_digest,
+        "output_digest": _output_digest(compiled_result),
+        # Disk-tier traffic of this kernel's np_transform measurement
+        # (all zeros when no GPUSIM_CACHE_DIR is configured).
+        "cache": {
+            "disk_hits": cache_after.hits - cache_before.hits,
+            "disk_misses": cache_after.misses - cache_before.misses,
+            "disk_stores": cache_after.stores - cache_before.stores,
+        },
         "interp_ms": round(interp_s * 1e3, 3),
         "compiled_ms": round(compiled_s * 1e3, 3),
         "speedup_compiled": round(interp_s / compiled_s, 3),
@@ -199,6 +259,12 @@ def run_bench(
         for r in records.values()
         if r["megablock_fallback"] is None
     ]
+    from ..gpusim.diskcache import disk_cache_stats, get_disk_cache
+
+    disk = get_disk_cache()
+    aggregate_compile_ms = round(
+        sum(sum(r["compile_ms"].values()) for r in records.values()), 3
+    )
     report = {
         "host": {
             "platform": platform.platform(),
@@ -212,6 +278,15 @@ def run_bench(
             "parallel": parallel,
         },
         "kernels": records,
+        # Sum of every per-kernel compile_ms component: the number a warm
+        # persistent-cache run must beat by >= 5x (see the CI cache job).
+        "aggregate_compile_ms": aggregate_compile_ms,
+        # Process-wide disk-tier counters at report time; dir is null (and
+        # counters zero) when the persistent tier is inactive.
+        "cache": {
+            "dir": str(disk.root) if disk is not None else None,
+            "disk": dataclasses.asdict(disk_cache_stats()),
+        },
         "geomean_speedup": round(float(np.exp(np.mean(np.log(speedups)))), 3),
         "max_speedup": round(max(speedups), 3),
         # Megablock-over-compiled geomean across batch-eligible kernels
@@ -391,11 +466,17 @@ def format_pool_compare(report: dict) -> str:
     return "\n".join(lines)
 
 
-def format_report(report: dict) -> str:
-    lines = [
+def format_report(report: dict, cache_stats: bool = False) -> str:
+    """Readable per-kernel table; ``cache_stats=True`` adds a compile/cache
+    column (np_transform ms next to the disk tier's hit/miss/store traffic
+    for that kernel, straight from the JSON record)."""
+    header = (
         f"{'kernel':6s} {'interp ms':>10s} {'compiled ms':>12s} "
         f"{'megablock ms':>13s} {'mw':>4s} {'parallel ms':>12s} {'speedup':>8s}"
-    ]
+    )
+    if cache_stats:
+        header += f" {'np xform ms':>12s} {'cache h/m/s':>12s}"
+    lines = [header]
     for name, rec in report["kernels"].items():
         par = "-" if rec["parallel_ms"] is None else f"{rec['parallel_ms']:.1f}"
         mega = f"{rec['megablock_ms']:.1f}"
@@ -403,10 +484,20 @@ def format_report(report: dict) -> str:
             mega += "*"  # per-block fallback; see megablock_fallback
         # megawarp column: whole-grid flattened batch / per-block / fallback
         mw = {True: "yes", False: "blk"}.get(rec.get("megablock_megawarp"), "-")
-        lines.append(
+        line = (
             f"{name:6s} {rec['interp_ms']:10.1f} {rec['compiled_ms']:12.1f} "
             f"{mega:>13s} {mw:>4s} {par:>12s} {rec['speedup_best']:7.2f}x"
         )
+        if cache_stats:
+            cache = rec.get("cache", {})
+            traffic = (
+                f"{cache.get('disk_hits', 0)}/{cache.get('disk_misses', 0)}"
+                f"/{cache.get('disk_stores', 0)}"
+            )
+            xform = rec.get("compile_ms", {}).get("np_transform")
+            xform_txt = f"{xform:.1f}" if xform is not None else "-"
+            line += f" {xform_txt:>12s} {traffic:>12s}"
+        lines.append(line)
     mega_geo = report.get("geomean_megablock_over_compiled")
     mega_txt = (
         f"   megablock/compiled {mega_geo:.2f}x" if mega_geo is not None else ""
@@ -415,6 +506,17 @@ def format_report(report: dict) -> str:
         f"geomean {report['geomean_speedup']:.2f}x   "
         f"max {report['max_speedup']:.2f}x{mega_txt}"
     )
+    if cache_stats:
+        agg = report.get("aggregate_compile_ms")
+        cache = report.get("cache", {})
+        where = cache.get("dir") or "inactive"
+        disk = cache.get("disk", {})
+        lines.append(
+            f"aggregate compile {agg:.1f} ms   disk cache [{where}] "
+            f"hits={disk.get('hits', 0)} misses={disk.get('misses', 0)} "
+            f"stores={disk.get('stores', 0)} evictions={disk.get('evictions', 0)} "
+            f"errors={disk.get('errors', 0)}"
+        )
     return "\n".join(lines)
 
 
@@ -457,6 +559,20 @@ def main(argv: Optional[list] = None) -> int:
         help=f"subset of {', '.join(DEFAULT_KERNELS)}",
     )
     parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="add a compile/cache column to the printed table: np_transform "
+        "ms and the persistent disk tier's hit/miss/store traffic per "
+        "kernel (the data is always in the output JSON)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="activate the persistent cache tier rooted at DIR for this run "
+        "(same as exporting GPUSIM_CACHE_DIR)",
+    )
+    parser.add_argument(
         "--pool-compare",
         action="store_true",
         help="compare the persistent supervised worker pool against the "
@@ -490,6 +606,11 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"unknown kernels: {unknown}")
     repeats = 1 if args.quick and args.repeats == 3 else args.repeats
 
+    if args.cache_dir is not None:
+        from ..gpusim import diskcache
+
+        diskcache.configure(args.cache_dir)
+
     if args.pool_compare:
         report = run_pool_compare(
             kernels, repeats=repeats, parallel=args.parallel
@@ -508,7 +629,7 @@ def main(argv: Optional[list] = None) -> int:
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
-    print(format_report(report))
+    print(format_report(report, cache_stats=args.cache_stats))
     print(f"wrote {args.out}")
     if args.compare:
         with open(args.baseline) as fh:

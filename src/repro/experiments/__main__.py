@@ -1,9 +1,20 @@
 """CLI: ``python -m repro.experiments [--fast] [--chart] [--profile]
-[--json PATH] [ids...]``."""
+[--parallel N] [--cache-dir PATH] [--json PATH] [ids...]``."""
 
 import sys
 
 from . import EXPERIMENTS, run_all
+
+
+def _take_value(argv: list[str], flag: str) -> tuple[list[str], str | None]:
+    """Pop ``flag VALUE`` out of argv; (argv, None) when absent."""
+    if flag not in argv:
+        return argv, None
+    i = argv.index(flag)
+    if i + 1 >= len(argv):
+        raise SystemExit(f"{flag} requires a value")
+    value = argv[i + 1]
+    return argv[:i] + argv[i + 2:], value
 
 
 def main(argv: list[str]) -> int:
@@ -14,6 +25,16 @@ def main(argv: list[str]) -> int:
         from . import util
 
         util.PROFILE_LAUNCHES = True
+    argv, parallel = _take_value(argv, "--parallel")
+    if parallel is not None:
+        from . import util
+
+        util.AUTOTUNE_PARALLEL = int(parallel)
+    argv, cache_dir = _take_value(argv, "--cache-dir")
+    if cache_dir is not None:
+        from ..gpusim import diskcache
+
+        diskcache.configure(cache_dir)
     json_path = None
     if "--json" in argv:
         i = argv.index("--json")

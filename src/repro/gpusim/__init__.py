@@ -8,6 +8,7 @@ The substrate that stands in for the paper's GTX 680 / K20c hardware:
 - :mod:`~repro.gpusim.cache` — functional L1 + analytical capacity model
 - :mod:`~repro.gpusim.interp` — warp-level interpreter (divergence masks)
 - :mod:`~repro.gpusim.compile` — closure-compiled execution engine + cache
+- :mod:`~repro.gpusim.diskcache` — persistent content-addressed cache tier
 - :mod:`~repro.gpusim.scheduler` — parallel block scheduler
 - :mod:`~repro.gpusim.pool` — supervised persistent worker pool
 - :mod:`~repro.gpusim.resilience` — deadlines, retries, circuit breaker
@@ -31,6 +32,7 @@ from .compile import (
     kernel_digest,
 )
 from .device import FERMI, GTX680, K20C, DeviceSpec
+from .diskcache import DiskCache, DiskCacheStats, disk_cache_stats, get_disk_cache
 from .diagnostics import FaultContext, FaultReport, render_report
 from .errors import (
     DivergenceError,

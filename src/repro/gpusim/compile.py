@@ -1796,6 +1796,10 @@ class CompileCacheStats:
     #: batched megablock artifacts of either flavor (``megablock``, cache
     #: keys carrying the ``#mb`` suffix).
     variants: dict = field(default_factory=dict)
+    #: Aggregate disk-tier counters (all namespaces; zeros when no
+    #: ``GPUSIM_CACHE_DIR`` / ``cache_dir`` is active) — see
+    #: :mod:`repro.gpusim.diskcache`.
+    disk: Optional[object] = None
 
 
 def _variant_of(key: str) -> str:
@@ -1881,12 +1885,15 @@ def compile_cache_stats() -> CompileCacheStats:
     variants = {"base": 0, "prof": 0, "megablock": 0}
     for key in _CACHE:
         variants[_variant_of(key)] += 1
+    from .diskcache import disk_cache_stats
+
     return CompileCacheStats(
         hits=_CACHE_STATS.hits,
         misses=_CACHE_STATS.misses,
         size=len(_CACHE),
         pid=_CACHE_STATS.pid,
         variants=variants,
+        disk=disk_cache_stats(),
     )
 
 

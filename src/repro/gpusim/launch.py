@@ -196,6 +196,7 @@ def launch(
     parallel: Optional[Union[int, bool, str]] = None,
     profile: bool = False,
     resilience: Optional[ResilienceConfig] = None,
+    cache_dir: Optional[str] = None,
 ) -> LaunchResult:
     """Simulate one kernel launch.
 
@@ -262,7 +263,17 @@ def launch(
     half-open probe succeeds.  An injector whose specs are *all* worker
     faults (``worker_crash`` / ``worker_hang`` / ``worker_slow``) does not
     force the sequential path: the pool resolves those specs itself.
+
+    ``cache_dir`` activates the process-wide persistent cache tier rooted
+    at that directory (equivalent to exporting ``GPUSIM_CACHE_DIR``):
+    NP-transformed variants and autotune outcomes become content-addressed
+    disk entries shared across processes — see :mod:`repro.gpusim.diskcache`.
+    The setting is sticky for the process; pass it once.
     """
+    if cache_dir is not None:
+        from . import diskcache
+
+        diskcache.configure(cache_dir)
     if on_error not in ("raise", "status"):
         raise ValueError(f"on_error must be 'raise' or 'status', got {on_error!r}")
     backend_name = (

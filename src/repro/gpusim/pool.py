@@ -267,6 +267,34 @@ def _worker_main(wid: int, conn, heartbeat, hb_interval: float,
             state = _WorkerState(spec)
             state_seq = seq
             continue
+        if kind == "task":
+            # Generic independent task (no launch broadcast, no shared
+            # state): resolve the runner by dotted name — resolved here, not
+            # at dispatch, because this worker may have been forked before
+            # the runner's module was imported in the parent.
+            _, seq, index, runner, payload, directive = msg
+            conn.send(("start", wid, seq, index))
+            if directive is not None:
+                dkind, delay = directive
+                if dkind == "worker_crash":
+                    os._exit(CRASH_EXIT_CODE)
+                elif dkind == "worker_hang":
+                    while True:  # until the watchdog SIGKILLs us
+                        time.sleep(60.0)
+                elif dkind == "worker_slow":
+                    time.sleep(delay)
+            try:
+                import importlib
+
+                mod_name, func_name = runner.split(":")
+                func = getattr(importlib.import_module(mod_name), func_name)
+                out = func(payload)
+            except Exception as exc:
+                # Runner exceptions stay inside the payload: a task failure
+                # must never look like a worker crash to the supervisor.
+                out = {"task_error": f"{type(exc).__name__}: {exc}"}
+            conn.send(("done", wid, seq, index, out))
+            continue
         if kind != "chunk":  # pragma: no cover - protocol guard
             continue
         _, seq, index, blocks, directive = msg
@@ -696,6 +724,250 @@ class WorkerPool:
             shared_bytes=shared_bytes,
             workers=want,
         )
+
+    # -- independent task execution ------------------------------------------
+
+    def run_tasks(
+        self,
+        runner: str,
+        payloads: List[object],
+        workers: int,
+        config: ResilienceConfig,
+        telemetry: ResilienceTelemetry,
+        injector=None,
+        kernel_name: str = "",
+    ) -> Optional[List[Optional[object]]]:
+        """Run independent pickled tasks across the pool.
+
+        The independent-tasks twin of :meth:`run_launch`, sharing its
+        deadlines, bounded retries, respawn budget, and telemetry — but
+        with per-task failure semantics: a task whose retries are exhausted
+        yields ``None`` at its index while every other task still completes
+        (the sharded autotuner turns those into disqualified points).  Only
+        infrastructure collapse (pipe/pickle trouble, no live workers) fails
+        the whole call, returning ``None`` so the caller reruns everything
+        sequentially.
+
+        ``runner`` is a ``"module.path:function"`` string resolved inside
+        the worker; the function receives one payload and returns a
+        picklable result.  ``injector`` resolves ``worker_crash`` /
+        ``worker_hang`` / ``worker_slow`` specs at dispatch, exactly like
+        the chunk path — a spec's ``block`` filter selects the *task index*
+        here.
+        """
+        with self._lock:
+            try:
+                return self._run_tasks_locked(
+                    runner, payloads, workers, config, telemetry, injector,
+                    kernel_name,
+                )
+            except (OSError, ValueError, TypeError, pickle.PicklingError) as exc:
+                telemetry.record("pool-error", f"{type(exc).__name__}: {exc}")
+                telemetry.degraded = "sequential"
+                return None
+
+    def _run_tasks_locked(self, runner, payloads, workers, config, telemetry,
+                          injector, kernel_name) -> Optional[List[Optional[object]]]:
+        self._seq += 1
+        seq = self._seq
+        want = max(min(workers, len(payloads)), 1)
+        telemetry.pool_mode = "persistent"
+        telemetry.workers = want
+        telemetry.chunks = len(payloads)
+        self.ensure_workers(want, config, telemetry)
+        for worker in sorted(self.alive_workers(), key=lambda w: w.wid)[:want]:
+            worker.launch_seq = seq
+            worker.task = None
+
+        pending = collections.deque(
+            _Task(index=i, blocks=[i]) for i in range(len(payloads))
+        )
+        results: Dict[int, object] = {}
+        done = 0
+        respawns_left = (
+            config.max_respawns if config.max_respawns is not None else want * 2
+        )
+        rng = random.Random(config.seed)
+        chunk_timeout = config.effective_chunk_timeout
+        failed: Optional[str] = None
+
+        def usable() -> List[_Worker]:
+            return [
+                w for w in self._workers.values()
+                if w.alive and w.launch_seq == seq
+            ]
+
+        def retry_or_drop(task: _Task) -> None:
+            """Per-task failure: exhausted retries disqualify one task only."""
+            nonlocal done
+            if task.attempt >= config.max_retries:
+                detail = (
+                    f"task {task.index} failed {task.attempt + 1} times "
+                    f"(max_retries={config.max_retries})"
+                )
+                telemetry.record("retries-exhausted", detail, chunk=task.index)
+                results[task.index] = None
+                done += 1
+                return
+            delay = jittered_backoff(
+                task.attempt, rng, config.backoff_base, config.backoff_cap
+            )
+            telemetry.retries += 1
+            telemetry.record(
+                "retry",
+                f"task {task.index} attempt {task.attempt + 1} "
+                f"after {delay * 1e3:.0f}ms backoff",
+                chunk=task.index,
+            )
+            time.sleep(delay)
+            pending.appendleft(
+                _Task(index=task.index, blocks=task.blocks, attempt=task.attempt + 1)
+            )
+
+        def replace_worker() -> None:
+            nonlocal respawns_left
+            if respawns_left > 0:
+                respawns_left -= 1
+                telemetry.respawns += 1
+                replacement = self._spawn(config, telemetry)
+                replacement.launch_seq = seq
+            elif usable():
+                if telemetry.degraded != "reduced":
+                    telemetry.degraded = "reduced"
+                    telemetry.record(
+                        "degrade-reduced",
+                        f"respawn budget exhausted; continuing on "
+                        f"{len(usable())} worker(s)",
+                    )
+
+        def handle_death(worker: _Worker, reason: str) -> None:
+            telemetry.worker_crashes += 1
+            telemetry.record(
+                "worker-crash",
+                f"worker {worker.wid} {reason} (exitcode "
+                f"{worker.proc.exitcode})",
+                worker=worker.pid,
+                chunk=worker.task.index if worker.task else None,
+            )
+            task = worker.task
+            self._discard(worker)
+            replace_worker()
+            if task is not None:
+                retry_or_drop(task)
+
+        def reap_deaths() -> None:
+            for worker in [
+                w for w in list(self._workers.values())
+                if w.launch_seq == seq and not w.alive
+            ]:
+                handle_death(worker, "died")
+
+        while failed is None and done < len(payloads):
+            reap_deaths()
+            workers_now = usable()
+            if not workers_now:
+                if respawns_left > 0:
+                    replace_worker()
+                    continue
+                failed = "no live workers remain"
+                telemetry.record("no-workers", failed)
+                break
+            for worker in sorted(workers_now, key=lambda w: w.wid):
+                if not pending:
+                    break
+                if worker.task is not None:
+                    continue
+                task = pending.popleft()
+                directive = None
+                if injector is not None:
+                    directive = injector.poll_worker_fault(
+                        kernel_name, task.index, task.blocks,
+                        worker_pid=worker.pid,
+                    )
+                    if directive is not None:
+                        telemetry.record(
+                            "inject-" + directive[0],
+                            f"task {task.index} on worker {worker.wid}",
+                            worker=worker.pid,
+                            chunk=task.index,
+                        )
+                deadline = time.monotonic() + chunk_timeout
+                if directive is not None and directive[0] == "worker_slow":
+                    deadline += directive[1]
+                worker.task = task
+                worker.deadline = deadline
+                telemetry.attempts += 1
+                worker.conn.send(
+                    ("task", seq, task.index, runner, payloads[task.index],
+                     directive)
+                )
+
+            busy = [w for w in usable() if w.task is not None]
+            if not busy:
+                continue  # dispatch again (e.g. after a drop or respawn)
+            now = time.monotonic()
+            timeout = max(min(w.deadline for w in busy) - now, 0.0)
+            waitables = [w.conn for w in usable()] + [
+                w.proc.sentinel for w in usable()
+            ]
+            connection.wait(waitables, timeout=min(timeout + 0.01, 1.0))
+
+            for worker in list(usable()):
+                while True:
+                    try:
+                        if not worker.conn.poll():
+                            break
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        break  # death handled below via the sentinel
+                    kind = msg[0]
+                    if kind == "ready":
+                        continue
+                    if msg[1] != worker.wid or msg[2] != seq:
+                        continue  # stale message from an aborted run
+                    if kind == "start":
+                        continue
+                    if kind == "done":
+                        _, _, _, index, payload = msg
+                        if index not in results:
+                            results[index] = payload
+                            done += 1
+                        worker.tasks_done += 1
+                        worker.task = None
+
+            reap_deaths()
+
+            now = time.monotonic()
+            for worker in list(usable()):
+                if worker.task is not None and now > worker.deadline:
+                    task = worker.task
+                    telemetry.deadline_kills += 1
+                    telemetry.record(
+                        "deadline-kill",
+                        f"task {task.index} exceeded {chunk_timeout:.3g}s on "
+                        f"worker {worker.wid}; SIGKILL",
+                        worker=worker.pid,
+                        chunk=task.index,
+                    )
+                    self._kill(worker)
+                    replace_worker()
+                    retry_or_drop(task)
+
+        if failed is not None:
+            for worker in list(usable()):
+                if worker.task is not None:
+                    telemetry.record(
+                        "abort-kill",
+                        f"worker {worker.wid} still busy at abort",
+                        worker=worker.pid,
+                        chunk=worker.task.index,
+                    )
+                    self._kill(worker)
+            telemetry.degraded = "sequential"
+            telemetry.record("degrade-sequential", failed)
+            return None
+
+        return [results.get(i) for i in range(len(payloads))]
 
 
 _POOL: Optional[WorkerPool] = None

@@ -6,19 +6,46 @@ numbers of slave threads."  Because CUDA-NP generates only a handful of
 variants, exhaustive search is practical — each variant is compiled, run on
 the simulator, checked against the baseline's functional output, and ranked
 by modeled kernel time.
+
+Two amortization layers sit on top of the exhaustive search:
+
+- **Sharding** (``parallel=N``): the variant space fans out across the
+  supervised persistent :class:`~repro.gpusim.pool.WorkerPool`, reusing its
+  deadlines, bounded retries, respawn budget, and the process-wide circuit
+  breaker.  Results are bit-identical to the sequential search (the
+  simulator is deterministic and arguments are materialized in config
+  order either way); a shard whose worker crashes past the retry budget
+  degrades to a disqualified :class:`TunePoint`, never a wrong answer.
+- **Outcome persistence**: when the disk tier is active
+  (``GPUSIM_CACHE_DIR`` / ``launch(..., cache_dir=)``), finished searches
+  are recorded per kernel-digest × device × variant space, and
+  ``reuse=True`` (or ``GPUSIM_AUTOTUNE_REUSE=1``) lets a warm process skip
+  re-measuring: cached per-point modeled seconds are restored onto the
+  points (the timing model is deterministic, so they equal what a
+  re-measurement would produce).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..gpusim import scheduler
 from ..gpusim.device import DeviceSpec, GTX680
 from ..gpusim.diagnostics import FaultReport
+from ..gpusim.diskcache import get_disk_cache
 from ..gpusim.errors import SimError
 from ..gpusim.launch import Dim, LaunchResult, launch, _as_dim3
+from ..gpusim.memory import GlobalMemory
+from ..gpusim.resilience import (
+    ResilienceConfig,
+    ResilienceTelemetry,
+    get_breaker,
+)
 from ..minicuda.errors import MiniCudaError
 from ..minicuda.nodes import Kernel
 from ..minicuda.parser import parse_kernel
@@ -57,7 +84,14 @@ class TunePoint:
     aborting the tuning run: the compiler rejects the configuration
     (``error`` set, ``result`` None), the simulated launch faults
     (``fault`` carries the located :class:`FaultReport`), or the output
-    check rejects it (``output_ok`` False).
+    check rejects it (``output_ok`` False).  A fourth way exists only under
+    sharded tuning: the worker executing the shard crashed or hung past the
+    pool's retry budget (``error`` names it) — degraded, never wrong.
+
+    A point restored from the disk tier's persisted outcomes carries no
+    :class:`~repro.gpusim.launch.LaunchResult`; its modeled time lives in
+    ``cached_seconds`` instead (identical to what a re-measurement would
+    produce — the timing model is deterministic).
     """
 
     variant: CompiledVariant
@@ -66,10 +100,19 @@ class TunePoint:
     output_ok: Optional[bool] = None
     #: Located runtime fault, when the variant's launch failed.
     fault: Optional[FaultReport] = None
+    #: Modeled seconds restored from a persisted autotune outcome (None for
+    #: a freshly measured point).
+    cached_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         """True when this variant ran to completion and passed its check."""
+        if self.result is None and self.cached_seconds is not None:
+            return (
+                self.error is None
+                and self.fault is None
+                and self.output_ok is not False
+            )
         return (
             self.result is not None
             and self.result.ok
@@ -81,6 +124,9 @@ class TunePoint:
     def seconds(self) -> float:
         if not self.ok:
             return float("inf")
+        if self.result is None:
+            assert self.cached_seconds is not None
+            return self.cached_seconds
         return self.result.timing.seconds
 
     @property
@@ -106,6 +152,12 @@ class AutotuneReport:
     kernel_name: str
     baseline: LaunchResult
     points: list[TunePoint] = field(default_factory=list)
+    #: Pool telemetry of the sharded search (None for a sequential search):
+    #: attempts, retries, deadline kills, breaker state, per-event log.
+    resilience: Optional[ResilienceTelemetry] = None
+    #: True when the points were restored from a persisted outcome instead
+    #: of re-measured (see ``autotune(..., reuse=...)``).
+    from_cache: bool = False
 
     @property
     def valid_points(self) -> list[TunePoint]:
@@ -147,6 +199,225 @@ class AutotuneReport:
 OutputCheck = Callable[[LaunchResult], bool]
 
 
+# -- sharded execution -------------------------------------------------------
+
+
+def _run_tune_task(payload: dict) -> dict:
+    """Worker-side shard runner: one variant launch, everything picklable.
+
+    Mirrors the sequential loop's two failure seams exactly: host-side
+    plumbing raising :class:`SimError` before containment lands in
+    ``raised``/``fault``; a contained launch fault rides back on the
+    result's ``error`` report.  Runs with ``on_error="status"`` like the
+    sequential path, never ``parallel`` (the shard *is* the parallelism).
+    """
+    try:
+        result = launch(
+            payload["kernel"],
+            payload["grid"],
+            payload["block"],
+            payload["args"],
+            device=payload["device"],
+            const_arrays=payload["const_arrays"] or None,
+            sample_blocks=payload["sample_blocks"],
+            on_error="status",
+            backend=payload["backend"],
+            profile=payload["profile"],
+            # The shard *is* the parallelism: never let GPUSIM_PARALLEL
+            # nest a block scheduler inside a (daemonic) pool worker.
+            parallel=False,
+        )
+    except SimError as exc:
+        return {
+            "raised": str(exc),
+            "fault": FaultReport.from_exception(
+                exc, kernel=payload["kernel"].name
+            ),
+        }
+    return {
+        "stats": result.stats,
+        "occupancy": result.occupancy,
+        "timing": result.timing,
+        "usage": result.usage,
+        "buffers": {
+            name: buf.data for name, buf in result.gmem.buffers().items()
+        },
+        "sampled_blocks": result.sampled_blocks,
+        "sampled_block_ids": result.sampled_block_ids,
+        "backend": result.backend,
+        "megablock_fallback": result.megablock_fallback,
+        "megablock_megawarp": result.megablock_megawarp,
+        "profile": result.profile,
+        "error": result.error,
+    }
+
+
+def _rebuild_result(
+    variant: CompiledVariant, grid: Dim, device: DeviceSpec, payload: dict
+) -> LaunchResult:
+    """Parent-side reconstruction of a shard's :class:`LaunchResult`."""
+    gmem = GlobalMemory()
+    for name, arr in payload["buffers"].items():
+        gmem.alloc(name, arr)
+    return LaunchResult(
+        kernel_name=variant.kernel.name,
+        grid=_as_dim3(grid),
+        block=_as_dim3(variant.block),
+        device=device,
+        stats=payload["stats"],
+        occupancy=payload["occupancy"],
+        timing=payload["timing"],
+        usage=payload["usage"],
+        gmem=gmem,
+        sampled_blocks=payload["sampled_blocks"],
+        sampled_block_ids=payload["sampled_block_ids"],
+        backend=payload["backend"],
+        megablock_fallback=payload["megablock_fallback"],
+        megablock_megawarp=payload["megablock_megawarp"],
+        profile=payload["profile"],
+        error=payload["error"],
+    )
+
+
+def _resolve_shards(parallel) -> int:
+    """Worker count for the sharded search; < 2 means sequential."""
+    if parallel is None or parallel is False:
+        return 0
+    if parallel is True or parallel == "auto":
+        return os.cpu_count() or 1
+    return int(parallel)
+
+
+# -- persisted outcomes ------------------------------------------------------
+
+
+def _outcome_key(
+    kernel: Kernel,
+    block_size,
+    grid: Dim,
+    device: DeviceSpec,
+    configs: Sequence[NpConfig],
+    sample_blocks,
+    recombine_unrolled: bool,
+    backend,
+) -> Optional[dict]:
+    from ..gpusim.compile import kernel_digest
+
+    digest = kernel_digest(kernel)
+    if digest is None:
+        return None
+    block = block_size if isinstance(block_size, tuple) else (int(block_size),)
+    return {
+        "kind": "autotune",
+        "digest": digest,
+        "block": [int(b) for b in block],
+        "grid": list(_as_dim3(grid)),
+        "device": dataclasses.asdict(device),
+        "configs": [dataclasses.asdict(c) for c in configs],
+        "sample_blocks": sample_blocks,
+        "recombine_unrolled": bool(recombine_unrolled),
+        "backend": backend,
+    }
+
+
+def _record_outcome(key: Optional[dict], report: AutotuneReport) -> None:
+    """Persist a finished search so a warm process can skip re-measuring."""
+    disk = get_disk_cache()
+    if disk is None or key is None:
+        return
+    points = []
+    for p in report.points:
+        points.append(
+            {
+                "config": dataclasses.asdict(p.variant.config),
+                "seconds": None if not p.ok else p.seconds,
+                "output_ok": p.output_ok,
+                "error": p.error,
+                "fault": p.fault.summary() if p.fault is not None else None,
+            }
+        )
+    best_label = None
+    if report.valid_points:
+        best_label = report.best.label
+    disk.put(
+        "autotune",
+        key,
+        {
+            "kernel": report.kernel_name,
+            "baseline_seconds": report.baseline.timing.seconds,
+            "best": best_label,
+            "points": points,
+        },
+    )
+
+
+def _reuse_outcome(
+    key: Optional[dict],
+    kernel: Kernel,
+    block_size,
+    device: DeviceSpec,
+    configs: Sequence[NpConfig],
+    recombine_unrolled: bool,
+    baseline: LaunchResult,
+) -> Optional[AutotuneReport]:
+    """Rebuild a report from a persisted outcome (None on miss/mismatch).
+
+    Variants are still compiled — through the variant disk tier, so warm
+    reuse pays only rehydration — because callers read ``point.variant``;
+    the measurements themselves are restored, not re-run.
+    """
+    disk = get_disk_cache()
+    if disk is None or key is None:
+        return None
+    entry = disk.get("autotune", key)
+    if entry is None:
+        return None
+    cached_points = entry.get("points")
+    if not isinstance(cached_points, list) or len(cached_points) != len(configs):
+        return None
+    report = AutotuneReport(
+        kernel_name=kernel.name, baseline=baseline, from_cache=True
+    )
+    for config, cached in zip(configs, cached_points):
+        try:
+            variant = compile_np(
+                kernel, block_size, config, device=device,
+                recombine_unrolled=recombine_unrolled,
+            )
+        except MiniCudaError as exc:
+            report.points.append(
+                TunePoint(
+                    variant=_placeholder_variant(kernel, block_size, config),
+                    result=None,
+                    error=cached.get("error") or str(exc),
+                )
+            )
+            continue
+        error = cached.get("error")
+        if error is None and cached.get("fault") is not None:
+            error = cached["fault"]
+        report.points.append(
+            TunePoint(
+                variant=variant,
+                result=None,
+                error=error,
+                output_ok=cached.get("output_ok"),
+                cached_seconds=cached.get("seconds"),
+            )
+        )
+    return report
+
+
+def _placeholder_variant(kernel: Kernel, block_size, config: NpConfig):
+    """Stand-in variant for a config the compiler rejected."""
+    return CompiledVariant(
+        kernel=kernel,
+        config=config,
+        master_size=block_size,
+        block=(block_size, config.slave_size),
+    )
+
+
 def autotune(
     kernel: Union[str, Kernel],
     block_size: int,
@@ -162,6 +433,8 @@ def autotune(
     backend: Optional[str] = None,
     parallel: Optional[Union[int, bool, str]] = None,
     profile: bool = False,
+    reuse: Optional[bool] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> AutotuneReport:
     """Exhaustively explore the CUDA-NP variant space for one kernel.
 
@@ -179,20 +452,48 @@ def autotune(
     optional :class:`~repro.gpusim.faults.FaultInjector` threaded through
     every launch.
 
-    ``backend``/``parallel`` are forwarded to every launch (baseline and
-    variants), so the whole search can run on the closure-compiled engine
-    and the parallel block scheduler; repeated searches share the variant
-    compile cache (see :func:`repro.npc.pipeline.variant_cache_stats`).
+    ``parallel`` shards the *variant space* across the persistent
+    supervised :class:`~repro.gpusim.pool.WorkerPool` (an int shard-worker
+    count, or ``True``/``"auto"`` for one per CPU): each shard launches one
+    variant in its own worker process, under the pool's per-task deadlines,
+    bounded retries and the process-wide circuit breaker (``resilience``
+    overrides the policy; ``None`` reads the ``GPUSIM_*`` env knobs).  The
+    returned report is identical to the sequential search's — arguments are
+    materialized in config order either way and the simulator is
+    deterministic — except that a shard whose worker crashes or hangs past
+    the retry budget becomes a disqualified point, and
+    :attr:`AutotuneReport.resilience` carries the pool telemetry.  An open
+    breaker, an unavailable scheduler (no POSIX fork), or a non-worker
+    fault injector silently degrades the search to sequential.
+
+    ``backend`` is forwarded to every launch (baseline and variants), so
+    the whole search can run on the closure-compiled or megablock engine;
+    repeated searches share the variant compile cache (see
+    :func:`repro.npc.pipeline.variant_cache_stats`) and, when the disk tier
+    is active, its cross-process ``variant`` namespace.
+
+    ``reuse=True`` (or ``GPUSIM_AUTOTUNE_REUSE=1``) restores a previously
+    persisted outcome for the same digest × device × variant space instead
+    of re-measuring: points carry their cached modeled seconds
+    (``cached_seconds``) and the report says so via ``from_cache``.  The
+    baseline is always launched fresh (speedups need it; the modeled time
+    is deterministic, so cached and fresh numbers agree).  Finished
+    fault-free searches are recorded automatically whenever the disk tier
+    is active.  Outcomes remember ``output_ok`` verbatim — reuse with a
+    *different* ``check_output`` than the recording run's is on the caller.
 
     ``profile=True`` runs every launch with per-line profiling and records
     each profile in the :mod:`repro.prof` registry under
     ``"autotune/<kernel>/baseline"`` and ``"autotune/<kernel>/<variant>"``
     names, so a tuning table's rows can be drilled into line-by-line.
+    Profiled searches are never restored from (or recorded to) the outcome
+    cache: the profiles are the point.
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
     if configs is None:
         configs = enumerate_configs(kernel, block_size, device)
+    configs = list(configs)
 
     baseline = launch(
         kernel,
@@ -204,7 +505,6 @@ def autotune(
         sample_blocks=sample_blocks,
         faults=faults,
         backend=backend,
-        parallel=parallel,
         profile=profile,
     )
     if check_output is not None and not check_output(baseline):
@@ -218,7 +518,34 @@ def autotune(
             kernel=kernel.name,
         )
 
+    # Outcome persistence is only meaningful for reproducible, unprofiled
+    # searches: injected faults perturb the measurements and profiles are
+    # the whole point of a profiled run.
+    outcome_eligible = faults is None and not profile
+    outcome_key = (
+        _outcome_key(
+            kernel, block_size, grid, device, configs, sample_blocks,
+            recombine_unrolled, backend,
+        )
+        if outcome_eligible
+        else None
+    )
+    if reuse is None:
+        reuse = os.environ.get("GPUSIM_AUTOTUNE_REUSE", "") not in ("", "0")
+    if reuse and outcome_key is not None:
+        cached_report = _reuse_outcome(
+            outcome_key, kernel, block_size, device, configs,
+            recombine_unrolled, baseline,
+        )
+        if cached_report is not None:
+            return cached_report
+
     report = AutotuneReport(kernel_name=kernel.name, baseline=baseline)
+
+    # Compile pass, in config order (identical for sequential and sharded
+    # searches): compile failures become points immediately; survivors carry
+    # (config, variant) into the measurement pass.
+    entries: list[tuple[NpConfig, Optional[CompiledVariant], Optional[TunePoint]]] = []
     for config in configs:
         try:
             variant = compile_np(
@@ -229,62 +556,181 @@ def autotune(
                 recombine_unrolled=recombine_unrolled,
             )
         except MiniCudaError as exc:
-            report.points.append(
-                TunePoint(
-                    variant=CompiledVariant(
-                        kernel=kernel, config=config, master_size=block_size,
-                        block=(block_size, config.slave_size),
+            entries.append(
+                (
+                    config,
+                    None,
+                    TunePoint(
+                        variant=_placeholder_variant(kernel, block_size, config),
+                        result=None,
+                        error=str(exc),
                     ),
-                    result=None,
-                    error=str(exc),
                 )
             )
             continue
-        try:
-            result = launch_variant(
-                variant,
-                grid,
-                make_args(),
-                device=device,
-                const_arrays=const_arrays,
-                sample_blocks=sample_blocks,
-                on_error="status",
-                faults=faults,
-                backend=backend,
-                parallel=parallel,
-                profile=profile,
-            )
-        except SimError as exc:
-            # Host-side plumbing (argument binding, scratch allocation) can
-            # still raise before the launch is containable; capture it as a
-            # disqualified point instead of aborting the whole tuning run.
-            report.points.append(
-                TunePoint(
-                    variant=variant,
-                    result=None,
-                    error=str(exc),
-                    fault=FaultReport.from_exception(exc, kernel=variant.kernel.name),
-                )
-            )
-            continue
-        if result.error is not None:
-            report.points.append(
-                TunePoint(
-                    variant=variant,
-                    result=result,
-                    error=result.error.summary(),
-                    fault=result.error,
-                )
-            )
-            continue
-        ok = check_output(result) if check_output is not None else None
-        if profile:
-            from ..prof import record_profile
+        entries.append((config, variant, None))
 
-            record_profile(
-                f"autotune/{kernel.name}/{config.describe()}",
-                result.profile,
-                kernel=kernel.name,
+    launchable = [e for e in entries if e[1] is not None]
+    shards = _resolve_shards(parallel)
+    shard_results: Optional[dict] = None
+    if (
+        shards >= 2
+        and len(launchable) >= 2
+        and scheduler.available()
+        and (faults is None or faults.worker_only())
+    ):
+        res_cfg = resilience if resilience is not None else ResilienceConfig.from_env()
+        telemetry = ResilienceTelemetry(pool_mode=res_cfg.pool_mode)
+        breaker = get_breaker()
+        if not breaker.allow(res_cfg):
+            telemetry.breaker_state = breaker.state
+            telemetry.degraded = "sequential"
+            telemetry.record(
+                "breaker-skip", "circuit breaker open; tuning sequentially"
             )
-        report.points.append(TunePoint(variant=variant, result=result, output_ok=ok))
+            report.resilience = telemetry
+        else:
+            from ..gpusim.pool import get_pool
+
+            # Materialize arguments in config order — the exact order the
+            # sequential loop calls make_args() — so stochastic factories
+            # feed each config the same arrays either way.
+            payloads = []
+            for config, variant, _ in launchable:
+                gx, gy, gz = _as_dim3(grid)
+                full_args = variant.host_args(dict(make_args()), gx * gy * gz)
+                merged_const = dict(const_arrays or {})
+                merged_const.update(variant.const_arrays)
+                payloads.append(
+                    {
+                        "kernel": variant.kernel,
+                        "grid": grid,
+                        "block": variant.block,
+                        "args": full_args,
+                        "device": device,
+                        "const_arrays": merged_const,
+                        "sample_blocks": sample_blocks,
+                        "backend": backend,
+                        "profile": profile,
+                    }
+                )
+            trips_before = breaker.trips
+            outs = get_pool().run_tasks(
+                "repro.npc.autotune:_run_tune_task",
+                payloads,
+                shards,
+                res_cfg,
+                telemetry,
+                injector=faults,
+                kernel_name=kernel.name,
+            )
+            breaker.record_result(telemetry.worker_faults, res_cfg)
+            telemetry.breaker_trips = breaker.trips - trips_before
+            telemetry.breaker_state = breaker.state
+            report.resilience = telemetry
+            if outs is not None:
+                shard_results = {
+                    id(entry): out for entry, out in zip(launchable, outs)
+                }
+
+    for entry in entries:
+        config, variant, ready_point = entry
+        if ready_point is not None:
+            report.points.append(ready_point)
+            continue
+        if shard_results is not None:
+            point = _point_from_shard(
+                variant, grid, device, shard_results[id(entry)]
+            )
+        else:
+            point = _measure_sequential(
+                variant, grid, make_args, device, const_arrays,
+                sample_blocks, faults, backend, profile,
+            )
+        if point.result is not None and point.error is None:
+            point.output_ok = (
+                check_output(point.result) if check_output is not None else None
+            )
+            if profile:
+                from ..prof import record_profile
+
+                record_profile(
+                    f"autotune/{kernel.name}/{config.describe()}",
+                    point.result.profile,
+                    kernel=kernel.name,
+                )
+        report.points.append(point)
+
+    _record_outcome(outcome_key, report)
     return report
+
+
+def _measure_sequential(
+    variant, grid, make_args, device, const_arrays, sample_blocks, faults,
+    backend, profile,
+) -> TunePoint:
+    """The classic in-process measurement of one variant."""
+    try:
+        result = launch_variant(
+            variant,
+            grid,
+            make_args(),
+            device=device,
+            const_arrays=const_arrays,
+            sample_blocks=sample_blocks,
+            on_error="status",
+            faults=faults,
+            backend=backend,
+            profile=profile,
+        )
+    except SimError as exc:
+        # Host-side plumbing (argument binding, scratch allocation) can
+        # still raise before the launch is containable; capture it as a
+        # disqualified point instead of aborting the whole tuning run.
+        return TunePoint(
+            variant=variant,
+            result=None,
+            error=str(exc),
+            fault=FaultReport.from_exception(exc, kernel=variant.kernel.name),
+        )
+    if result.error is not None:
+        return TunePoint(
+            variant=variant,
+            result=result,
+            error=result.error.summary(),
+            fault=result.error,
+        )
+    return TunePoint(variant=variant, result=result)
+
+
+def _point_from_shard(
+    variant, grid, device, payload: Optional[dict]
+) -> TunePoint:
+    """Parent-side interpretation of one shard's payload, mapping each
+    failure seam to exactly the point the sequential loop would record."""
+    if payload is None:
+        return TunePoint(
+            variant=variant,
+            result=None,
+            error="worker shard failed (pool retries exhausted)",
+        )
+    if "task_error" in payload:
+        return TunePoint(
+            variant=variant, result=None, error=payload["task_error"]
+        )
+    if "raised" in payload:
+        return TunePoint(
+            variant=variant,
+            result=None,
+            error=payload["raised"],
+            fault=payload["fault"],
+        )
+    result = _rebuild_result(variant, grid, device, payload)
+    if result.error is not None:
+        return TunePoint(
+            variant=variant,
+            result=result,
+            error=result.error.summary(),
+            fault=result.error,
+        )
+    return TunePoint(variant=variant, result=result)

@@ -19,7 +19,9 @@ developer put in the pragma (§3.6).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
@@ -27,6 +29,11 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..gpusim.device import DeviceSpec, GTX680
+from ..gpusim.diskcache import (
+    DiskCacheStats,
+    disk_cache_stats,
+    get_disk_cache,
+)
 from ..minicuda.errors import TransformError
 from ..minicuda.nodes import (
     Block,
@@ -93,11 +100,30 @@ class VariantCacheStats:
     hits: int = 0
     misses: int = 0
     size: int = 0
+    #: Process the counters belong to.  Forked workers inherit the parent's
+    #: cache through copy-on-write but must not inherit its hit/miss history
+    #: as their own — see :func:`_check_variant_fork` (the same fix the
+    #: compile cache got).
+    pid: int = 0
+    #: Disk-tier counters for the ``variant`` namespace (zeros when no
+    #: ``GPUSIM_CACHE_DIR`` / ``cache_dir`` is active).
+    disk: DiskCacheStats = dataclasses.field(default_factory=DiskCacheStats)
 
 
 _VARIANT_CACHE: "OrderedDict[tuple, CompiledVariant]" = OrderedDict()
 _VARIANT_CACHE_CAPACITY = 256
-_VARIANT_CACHE_STATS = VariantCacheStats()
+_VARIANT_CACHE_STATS = VariantCacheStats(pid=os.getpid())
+
+
+def _check_variant_fork() -> None:
+    """Reset the counters on first use in a forked child: copy-on-write
+    cache *contents* genuinely serve hits there, but the parent's hit/miss
+    history is not the child's."""
+    pid = os.getpid()
+    if pid != _VARIANT_CACHE_STATS.pid:
+        _VARIANT_CACHE_STATS.pid = pid
+        _VARIANT_CACHE_STATS.hits = 0
+        _VARIANT_CACHE_STATS.misses = 0
 
 
 def _variant_cache_key(
@@ -134,18 +160,78 @@ def _share_variant(variant: CompiledVariant) -> CompiledVariant:
 
 
 def variant_cache_stats() -> VariantCacheStats:
+    """Per-process variant-cache counters (honest under forked workers: a
+    child's counters restart at zero, ``pid`` says whose they are) plus the
+    disk tier's ``variant``-namespace counters."""
+    _check_variant_fork()
     return VariantCacheStats(
         hits=_VARIANT_CACHE_STATS.hits,
         misses=_VARIANT_CACHE_STATS.misses,
         size=len(_VARIANT_CACHE),
+        pid=_VARIANT_CACHE_STATS.pid,
+        disk=disk_cache_stats("variant"),
     )
 
 
 def clear_variant_cache() -> None:
+    _check_variant_fork()
     _VARIANT_CACHE.clear()
     _VARIANT_CACHE_STATS.hits = 0
     _VARIANT_CACHE_STATS.misses = 0
     _VARIANT_CACHE_STATS.size = 0
+
+
+def _variant_disk_key(cache_key: tuple) -> dict:
+    """JSON-able disk key carrying exactly the in-memory key's dimensions."""
+    digest, block, config, device, recombine_unrolled = cache_key
+    return {
+        "kind": "variant",
+        "digest": digest,
+        "block": list(block),
+        "config": dataclasses.asdict(config),
+        "device": dataclasses.asdict(device),
+        "recombine_unrolled": bool(recombine_unrolled),
+    }
+
+
+def _variant_from_disk(cache_key: tuple) -> Optional[CompiledVariant]:
+    """Rehydrate a variant from the disk tier (None on miss/corruption).
+
+    The payload is the pickled :class:`CompiledVariant` — the same AST the
+    worker pool already ships over pipes — so the rehydrated variant emits
+    byte-identical source (and therefore the same compile digest) as the
+    one the transform pipeline produced; re-parsing the stored ``source``
+    text would instead inline the ``#define`` constants at lex time.
+    """
+    disk = get_disk_cache()
+    if disk is None:
+        return None
+    variant = disk.get_blob("variant", _variant_disk_key(cache_key))
+    if not isinstance(variant, CompiledVariant):
+        return None
+    return variant
+
+
+def _variant_to_disk(cache_key: tuple, variant: CompiledVariant) -> None:
+    disk = get_disk_cache()
+    if disk is None:
+        return
+    try:
+        source = emit_kernel(variant.kernel)
+    except Exception:
+        source = None
+    disk.put_blob(
+        "variant",
+        _variant_disk_key(cache_key),
+        _share_variant(variant),
+        extra={
+            "kernel": variant.kernel.name,
+            "config": variant.config.describe(),
+            # Inspectable (not rehydrated from) transform output.
+            "source": source,
+            "notes": list(variant.notes),
+        },
+    )
 
 
 def compile_np(
@@ -162,7 +248,11 @@ def compile_np(
 
     Successful compilations are memoized in a digest-keyed cache shared by
     the autotuner, the oracle and direct callers (see
-    :func:`variant_cache_stats` / :func:`clear_variant_cache`).
+    :func:`variant_cache_stats` / :func:`clear_variant_cache`).  When the
+    disk tier is active (``GPUSIM_CACHE_DIR`` / ``launch(..., cache_dir=)``)
+    an in-memory miss falls through to it: a warm process rehydrates the
+    transformed variant from disk instead of re-running the whole pipeline,
+    and fresh compilations are persisted for the next process.
     """
     if isinstance(kernel, str):
         kernel = parse_kernel(kernel)
@@ -170,12 +260,19 @@ def compile_np(
         kernel, block_size, config, device, recombine_unrolled
     )
     if cache_key is not None:
+        _check_variant_fork()
         cached = _VARIANT_CACHE.get(cache_key)
         if cached is not None:
             _VARIANT_CACHE_STATS.hits += 1
             _VARIANT_CACHE.move_to_end(cache_key)
             return _share_variant(cached)
         _VARIANT_CACHE_STATS.misses += 1
+        rehydrated = _variant_from_disk(cache_key)
+        if rehydrated is not None:
+            _VARIANT_CACHE[cache_key] = _share_variant(rehydrated)
+            while len(_VARIANT_CACHE) > _VARIANT_CACHE_CAPACITY:
+                _VARIANT_CACHE.popitem(last=False)
+            return rehydrated
     kernel = clone(kernel)
     notes: list[str] = []
     const_arrays: dict[str, np.ndarray] = {}
@@ -290,6 +387,7 @@ def compile_np(
         _VARIANT_CACHE[cache_key] = _share_variant(variant)
         while len(_VARIANT_CACHE) > _VARIANT_CACHE_CAPACITY:
             _VARIANT_CACHE.popitem(last=False)
+        _variant_to_disk(cache_key, variant)
     return variant
 
 

@@ -143,6 +143,42 @@ def pool_events(result) -> List[Dict[str, object]]:
 #: 0..num_smx-1; the pool row sits far above so new devices never collide).
 POOL_ROW = 1000
 
+#: Trace thread id of the "disk cache" row (above the pool row for the same
+#: collision-avoidance reason).
+CACHE_ROW = 2000
+
+
+def cache_events() -> List[Dict[str, object]]:
+    """Chrome instant ("i") events for the persistent cache tier's activity.
+
+    Each :class:`~repro.gpusim.diskcache.CacheEvent` recorded since the tier
+    was activated (hits, misses, stores, evictions, corrupt-entry errors)
+    becomes a thread-scoped instant on a dedicated "disk cache" row, in host
+    microseconds relative to the first event.  Empty when the tier is
+    inactive (no ``GPUSIM_CACHE_DIR`` / ``launch(..., cache_dir=)``).
+    """
+    from ..gpusim.diskcache import cache_events as _raw_events
+
+    raw = _raw_events()
+    if not raw:
+        return []
+    t0 = min(ev.ts for ev in raw)
+    events: List[Dict[str, object]] = []
+    for ev in raw:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": CACHE_ROW,
+                "ts": (ev.ts - t0) * 1e6,
+                "name": f"{ev.namespace}:{ev.kind}",
+                "cat": "diskcache",
+                "args": {"key": ev.key, "detail": ev.detail},
+            }
+        )
+    return events
+
 
 def chrome_trace(result) -> Dict[str, object]:
     """Chrome ``trace_event`` JSON object for a profiled launch.
@@ -152,7 +188,9 @@ def chrome_trace(result) -> Dict[str, object]:
     timestamps are microseconds of modeled time.  When the launch ran on
     the resilient parallel path, a "worker pool" row carries instant
     events for the pool lifecycle (spawns, retries, kills, breaker
-    transitions) in host microseconds — see :func:`pool_events`.
+    transitions) in host microseconds — see :func:`pool_events`.  When the
+    persistent cache tier is active, a "disk cache" row does the same for
+    its hits/misses/stores/evictions — see :func:`cache_events`.
     """
     timeline = build_timeline(result)
     # Modeled cycles → microseconds of device time.
@@ -192,6 +230,19 @@ def chrome_trace(result) -> Dict[str, object]:
             }
         )
         events.extend(lifecycle)
+
+    cache_row = cache_events()
+    if cache_row:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": CACHE_ROW,
+                "name": "thread_name",
+                "args": {"name": "disk cache"},
+            }
+        )
+        events.extend(cache_row)
 
     for iv in timeline.intervals:
         ts = iv.start * us_per_cycle

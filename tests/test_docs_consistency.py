@@ -99,6 +99,47 @@ class TestReadme:
         assert "resilience" in fields
         assert hasattr(Stream, "synchronize")
 
+    def test_caching_section_documents_real_knobs(self):
+        """Every GPUSIM_* knob in the Caching section must be one the cache
+        tier (or the autotuner) actually reads, and the documented API
+        surface — cache_dir=, --cache-stats, the disk stats fields, the
+        autotune sharding/reuse params — must exist."""
+        import inspect
+
+        from repro import bench
+        from repro.gpusim import diskcache
+        from repro.gpusim.compile import compile_cache_stats
+        from repro.gpusim.launch import launch
+        from repro.npc import autotune as autotune_mod
+        from repro.npc.autotune import AutotuneReport, autotune
+        from repro.npc.pipeline import variant_cache_stats
+
+        readme = (ROOT / "README.md").read_text()
+        assert "## Caching" in readme
+        section = readme.split("## Caching", 1)[1].split("\n## ", 1)[0]
+        knob_src = inspect.getsource(diskcache) + inspect.getsource(autotune_mod)
+        for knob in re.findall(r"`(GPUSIM_[A-Z_]+)`", section):
+            assert knob in knob_src, f"{knob} documented but never read"
+        for knob in ("GPUSIM_CACHE_DIR", "GPUSIM_CACHE_MAX_ENTRIES",
+                     "GPUSIM_AUTOTUNE_REUSE"):
+            assert knob in section, f"{knob} missing from Caching section"
+        # Documented API surface.
+        assert "cache_dir" in inspect.signature(launch).parameters
+        for param in ("parallel", "reuse", "resilience"):
+            assert param in inspect.signature(autotune).parameters
+        report_fields = set(AutotuneReport.__dataclass_fields__)
+        assert {"resilience", "from_cache"} <= report_fields
+        assert hasattr(variant_cache_stats(), "disk")
+        assert hasattr(compile_cache_stats(), "disk")
+        # The bench flags and record fields the section leans on.
+        bench_src = inspect.getsource(bench)
+        for needle in ("--cache-stats", "--cache-dir", '"np_transform"',
+                       '"variants_digest"', '"output_digest"',
+                       '"aggregate_compile_ms"'):
+            assert needle in bench_src, needle
+        for column in ("np_transform", "variants_digest", "output_digest"):
+            assert column in section, column
+
     def test_megablock_section_documents_real_api(self):
         """The Performance section's megablock claims must hold: the
         backend name validates, the env knob is documented, the fallback
