@@ -1,0 +1,206 @@
+"""End-to-end smoke test for the multi-tenant kernel server.
+
+Exercises the real deployment surface — a ``python -m repro.serve``
+subprocess, not an in-process server object — and asserts the four
+contracts the serve layer advertises:
+
+1. **Bit-identity**: a served launch returns byte-for-byte the buffers a
+   direct in-process ``launch()`` produces, for all ten paper benchmarks.
+2. **Coalescing**: concurrent byte-identical requests from three tenants
+   merge into one launch; the server's own counters prove it
+   (``launches + coalesced == completed`` and ``coalesced >= 1``).
+3. **Breaker-aware shedding**: with the circuit breaker forced open the
+   server sheds with ``503`` + ``Retry-After`` instead of queueing.
+4. **Clean drain**: SIGTERM stops the listener, finishes in-flight work,
+   retires every pool worker (their pids stop existing), and the process
+   exits 0 — "no orphaned workers" is checked from the outside with
+   ``os.kill(pid, 0)``.
+
+Run:  PYTHONPATH=src python examples/serve_smoke.py
+"""
+
+import concurrent.futures
+import errno
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.bench import _serve_verify, _wire_args
+from repro.kernels import BENCHMARKS
+from repro.serve.client import ServeClient, ServeError
+
+STARTUP_TIMEOUT_S = 30.0
+DRAIN_TIMEOUT_S = 60.0
+TENANTS = 3
+
+
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def wait_ready(client: ServeClient, proc: subprocess.Popen) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died during startup (rc={proc.returncode})")
+        try:
+            if client.health()["ok"]:
+                return
+        except (ServeError, OSError):
+            time.sleep(0.1)
+    raise RuntimeError("server did not become healthy in time")
+
+
+def check_bit_identity(client: ServeClient) -> None:
+    verified = _serve_verify(client, tuple(BENCHMARKS))
+    bad = [name for name, ok in verified.items() if not ok]
+    assert not bad, f"served buffers differ from direct launch(): {bad}"
+    print(f"[1/4] bit-identity vs direct launch(): "
+          f"all {len(verified)} benchmarks OK")
+
+
+def check_coalescing(client: ServeClient, url: str) -> None:
+    bench = BENCHMARKS["MC"]()
+
+    def duplicate_round():
+        barrier = threading.Barrier(TENANTS)
+
+        def one(tid: int):
+            tenant = ServeClient(url)
+            barrier.wait()
+            # Byte-identical payloads, released simultaneously: one
+            # launches, the rest should ride it.
+            return tenant.launch(
+                bench.source, bench.grid, bench.block_size,
+                _wire_args(bench), const_arrays=bench.const_arrays(),
+                tenant=f"smoke-{tid}",
+            )
+
+        with concurrent.futures.ThreadPoolExecutor(TENANTS) as pool:
+            return [f.result()
+                    for f in [pool.submit(one, t) for t in range(TENANTS)]]
+
+    # Coalescing needs the followers to arrive while the leader is still
+    # in flight; over HTTP that is probabilistic, so retry a few rounds
+    # before declaring it broken.  The counter *invariant* must hold on
+    # every round regardless.
+    before = client.stats()["counters"]
+    dup, coalesced = [], 0
+    for _ in range(5):
+        dup = duplicate_round()
+        after = client.stats()["counters"]
+        window = {k: after[k] - before[k]
+                  for k in ("launches", "coalesced", "completed")}
+        assert window["launches"] + window["coalesced"] == window["completed"], (
+            window)
+        coalesced = window["coalesced"]
+        if coalesced >= 1:
+            break
+        before = after
+    assert coalesced >= 1, "no coalescing observed in 5 concurrent rounds"
+    blobs = {
+        b"".join(np.ascontiguousarray(a).tobytes()
+                 for _, a in sorted(ServeClient.arrays(r).items()))
+        for r in dup
+    }
+    assert len(blobs) == 1, "coalesced fan-out responses were not identical"
+
+    # A distinct (perturbed) request must NOT coalesce with anything.
+    distinct_args = _wire_args(bench)
+    first = next(k for k, v in distinct_args.items()
+                 if isinstance(v, np.ndarray))
+    distinct_args[first] = distinct_args[first].copy()
+    distinct_args[first].flat[0] += np.asarray(1, distinct_args[first].dtype)
+    before = client.stats()["counters"]
+    client.launch(
+        bench.source, bench.grid, bench.block_size, distinct_args,
+        const_arrays=bench.const_arrays(), tenant="smoke-distinct",
+    )
+    after = client.stats()["counters"]
+    assert after["coalesced"] == before["coalesced"], (
+        "perturbed payload coalesced with a duplicate")
+    print(f"[2/4] coalescing: {coalesced} of {TENANTS} concurrent duplicates "
+          f"rode one launch; fan-out bit-identical; distinct payload did not "
+          f"coalesce")
+
+
+def check_breaker_shedding(client: ServeClient) -> None:
+    bench = BENCHMARKS["MC"]()
+    client.debug_breaker("open")
+    try:
+        client.launch(
+            bench.source, bench.grid, bench.block_size, _wire_args(bench),
+            const_arrays=bench.const_arrays(), tenant="smoke-shed",
+        )
+    except ServeError as exc:
+        assert exc.status == 503, exc
+        assert exc.retry_after is not None, "503 without Retry-After"
+    else:
+        raise AssertionError("breaker open but request was admitted")
+    finally:
+        client.debug_breaker("reset")
+    print("[3/4] breaker open => 503 + Retry-After, reset re-admits")
+
+
+def check_sigterm_drain(client: ServeClient, proc: subprocess.Popen) -> None:
+    bench = BENCHMARKS["MC"]()
+    # Force the pool to exist inside the server so the drain has real
+    # worker processes to retire.
+    client.launch(
+        bench.source, bench.grid, bench.block_size, _wire_args(bench),
+        const_arrays=bench.const_arrays(), tenant="smoke-pool", parallel=2,
+    )
+    pids = [w["pid"] for w in client.health()["workers"] if w["alive"]]
+    assert pids, "parallel launch did not spawn pool workers"
+
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=DRAIN_TIMEOUT_S)
+    assert rc == 0, f"server exited {rc} (unclean drain)"
+
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue  # retired, as required
+        except OSError as exc:
+            if exc.errno == errno.ESRCH:
+                continue
+            raise
+        raise AssertionError(f"orphaned pool worker pid {pid} survived drain")
+    print(f"[4/4] SIGTERM drain: exit 0, all {len(pids)} pool workers retired")
+
+
+def main() -> int:
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", str(port), "--debug"],
+        env=env,
+    )
+    client = ServeClient(url)
+    try:
+        wait_ready(client, proc)
+        check_bit_identity(client)
+        check_coalescing(client, url)
+        check_breaker_shedding(client)
+        check_sigterm_drain(client, proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    print("serve smoke: ALL OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -466,6 +466,232 @@ def format_pool_compare(report: dict) -> str:
     return "\n".join(lines)
 
 
+def _wire_args(bench) -> dict:
+    """A benchmark's ``make_args()`` coerced to wire-safe values.
+
+    numpy scalar types don't JSON-serialize; arrays pass through (the
+    client base64-encodes them).
+    """
+    args = {}
+    for name, value in bench.make_args().items():
+        if isinstance(value, np.ndarray):
+            args[name] = value
+        elif isinstance(value, (float, np.floating)):
+            args[name] = float(value)
+        else:
+            args[name] = int(value)
+    return args
+
+
+def _serve_verify(client, kernels: Sequence[str]) -> dict:
+    """Served responses must be bit-identical to direct ``launch()``.
+
+    One request per kernel, compared byte-for-byte against an in-process
+    baseline launch on the same (deterministic, seeded) arguments.
+    """
+    verified = {}
+    for name in kernels:
+        bench = BENCHMARKS[name]()
+        direct = bench.run_baseline()
+        resp = client.launch(
+            bench.source, bench.grid, bench.block_size, _wire_args(bench),
+            const_arrays=bench.const_arrays(), tenant="verify",
+        )
+        served = type(client).arrays(resp)
+        ok = set(served) == set(direct.gmem.buffers()) and all(
+            np.ascontiguousarray(served[bname]).tobytes()
+            == np.ascontiguousarray(buf.data).tobytes()
+            for bname, buf in direct.gmem.buffers().items()
+        )
+        verified[name] = bool(ok)
+    return verified
+
+
+def run_serve_bench(
+    kernels: Sequence[str] = QUICK_KERNELS,
+    tenants: int = 3,
+    requests: int = 20,
+    duplicate_every: int = 2,
+    url: Optional[str] = None,
+) -> dict:
+    """Closed-loop load generation against the kernel server.
+
+    ``tenants`` client threads each issue ``requests`` launches
+    back-to-back (closed loop: next request only after the response).
+    Every ``duplicate_every``-th round the tenants rendezvous on a
+    barrier and submit byte-identical payloads, so the server's request
+    coalescing actually gets concurrent duplicates to merge; other
+    rounds use per-tenant argument perturbations and stay distinct.
+
+    With ``url=None`` an in-process :class:`~repro.serve.app.KernelServer`
+    is started on an ephemeral port and drained afterwards; pass a URL to
+    load an external server instead.  Returns the JSON-ready report
+    (latency percentiles, throughput, server-side coalescing counters,
+    per-kernel bit-identity verification).
+    """
+    import threading
+
+    from ..serve.client import ServeClient, ServeError
+
+    server = None
+    server_thread = None
+    if url is None:
+        from ..serve.app import KernelServer
+
+        server = KernelServer(("127.0.0.1", 0), max_inflight=max(tenants * 2, 8))
+        port = server.server_address[1]
+        url = f"http://127.0.0.1:{port}"
+        server_thread = threading.Thread(
+            target=server.serve_forever, name="bench-serve", daemon=True
+        )
+        server_thread.start()
+
+    client = ServeClient(url)
+    try:
+        verified = _serve_verify(client, kernels)
+
+        payloads = []
+        for name in kernels:
+            bench = BENCHMARKS[name]()
+            payloads.append({
+                "name": name,
+                "kernel": bench.source,
+                "grid": bench.grid,
+                "block": bench.block_size,
+                "args": _wire_args(bench),
+                "const_arrays": bench.const_arrays(),
+            })
+
+        stats_before = client.stats()
+        barrier = threading.Barrier(tenants)
+        latencies: list = [[] for _ in range(tenants)]
+        failures = [0] * tenants
+
+        def tenant_loop(tid: int) -> None:
+            tenant_client = ServeClient(url)
+            for i in range(requests):
+                payload = payloads[i % len(payloads)]
+                args = payload["args"]
+                duplicate = duplicate_every and i % duplicate_every == 0
+                if duplicate:
+                    # Rendezvous so the identical payloads are actually
+                    # concurrent — otherwise a fast server finishes each
+                    # before the next arrives and nothing coalesces.
+                    barrier.wait()
+                else:
+                    # Distinct rounds: nudge one buffer element so every
+                    # (tenant, round) payload has its own coalescing key.
+                    args = _perturb(args, tid, i)
+                t0 = time.perf_counter()
+                try:
+                    client_resp = tenant_client.launch(
+                        payload["kernel"], payload["grid"], payload["block"],
+                        args, const_arrays=payload["const_arrays"],
+                        tenant=f"tenant-{tid}",
+                    )
+                    assert client_resp["ok"] is True
+                except (ServeError, AssertionError, OSError):
+                    failures[tid] += 1
+                else:
+                    latencies[tid].append(time.perf_counter() - t0)
+
+        t_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=tenant_loop, args=(tid,), daemon=True)
+            for tid in range(tenants)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t_start
+
+        stats_after = client.stats()
+    finally:
+        if server is not None:
+            server.drain(30.0)
+            server.server_close()
+
+    all_lat = sorted(s for per in latencies for s in per)
+    total = tenants * requests
+    failed = sum(failures)
+
+    def pct(p: float) -> Optional[float]:
+        if not all_lat:
+            return None
+        idx = min(int(len(all_lat) * p), len(all_lat) - 1)
+        return round(all_lat[idx] * 1e3, 3)
+
+    before = stats_before["counters"]
+    after = stats_after["counters"]
+    window = {
+        key: after[key] - before[key] for key in after
+    }
+    return {
+        "config": {
+            "url": url,
+            "kernels": list(kernels),
+            "tenants": tenants,
+            "requests_per_tenant": requests,
+            "duplicate_every": duplicate_every,
+        },
+        "verified_bit_identical": verified,
+        "requests": total,
+        "failures": failed,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round((total - failed) / elapsed, 3) if elapsed else None,
+        "latency_ms": {
+            "p50": pct(0.50),
+            "p90": pct(0.90),
+            "p99": pct(0.99),
+            "mean": (
+                round(float(np.mean(all_lat)) * 1e3, 3) if all_lat else None
+            ),
+            "max": round(all_lat[-1] * 1e3, 3) if all_lat else None,
+        },
+        # Server-side accounting over the load window (the coalescing
+        # proof: launches + coalesced == completed, coalesced > 0 when
+        # duplicates rendezvoused).
+        "server": window,
+        "batcher": stats_after["batcher"],
+    }
+
+
+def _perturb(args: dict, tid: int, i: int) -> dict:
+    """Make one tenant's round-``i`` payload distinct from every other's."""
+    out = dict(args)
+    for name, value in out.items():
+        if isinstance(value, np.ndarray) and value.size:
+            value = value.copy()
+            flat = value.reshape(-1)
+            # Dtype-preserving nudge keyed to (tenant, round).
+            flat[0] = flat[0] + np.asarray(1 + tid + i, dtype=value.dtype)
+            out[name] = value
+            break
+    return out
+
+
+def format_serve_report(report: dict) -> str:
+    lat = report["latency_ms"]
+    window = report["server"]
+    verified = report["verified_bit_identical"]
+    bad = [k for k, ok in verified.items() if not ok]
+    lines = [
+        f"serve load: {report['requests']} requests from "
+        f"{report['config']['tenants']} tenants over {report['elapsed_s']}s "
+        f"({report['throughput_rps']} req/s, {report['failures']} failures)",
+        f"latency ms: p50={lat['p50']} p90={lat['p90']} p99={lat['p99']} "
+        f"mean={lat['mean']} max={lat['max']}",
+        f"server window: launches={window.get('launches')} "
+        f"coalesced={window.get('coalesced')} "
+        f"completed={window.get('completed')} "
+        f"shed={window.get('shed_breaker', 0) + window.get('shed_capacity', 0)}",
+        "bit-identity vs direct launch(): "
+        + ("ALL OK" if not bad else f"MISMATCH in {bad}"),
+    ]
+    return "\n".join(lines)
+
+
 def format_report(report: dict, cache_stats: bool = False) -> str:
     """Readable per-kernel table; ``cache_stats=True`` adds a compile/cache
     column (np_transform ms next to the disk tier's hit/miss/store traffic
@@ -573,6 +799,39 @@ def main(argv: Optional[list] = None) -> int:
         "(same as exporting GPUSIM_CACHE_DIR)",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="closed-loop load generation against the kernel server "
+        "(in-process on an ephemeral port unless --serve-url is given); "
+        "writes throughput/latency percentiles and coalescing counters "
+        "to BENCH_serve.json",
+    )
+    parser.add_argument(
+        "--serve-url",
+        default=None,
+        metavar="URL",
+        help="load an already-running server instead of starting one",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="concurrent client tenants for --serve (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=20,
+        help="requests per tenant for --serve (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duplicate-every",
+        type=int,
+        default=2,
+        help="every Nth --serve round sends byte-identical concurrent "
+        "payloads to exercise coalescing; 0 disables (default: %(default)s)",
+    )
+    parser.add_argument(
         "--pool-compare",
         action="store_true",
         help="compare the persistent supervised worker pool against the "
@@ -610,6 +869,23 @@ def main(argv: Optional[list] = None) -> int:
         from ..gpusim import diskcache
 
         diskcache.configure(args.cache_dir)
+
+    if args.serve:
+        report = run_serve_bench(
+            kernels,
+            tenants=args.tenants,
+            requests=args.requests,
+            duplicate_every=args.duplicate_every,
+            url=args.serve_url,
+        )
+        out = args.out if args.out != "BENCH_gpusim.json" else "BENCH_serve.json"
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(format_serve_report(report))
+        print(f"wrote {out}")
+        bad = [k for k, ok in report["verified_bit_identical"].items() if not ok]
+        return 1 if bad or report["failures"] else 0
 
     if args.pool_compare:
         report = run_pool_compare(

@@ -56,7 +56,7 @@ from .resilience import (
     get_breaker,
     reset_breaker,
 )
-from .stream import LaunchFuture, Stream, default_stream, launch_async
+from .stream import Event, LaunchFuture, Stream, default_stream, launch_async
 from .report import compare_report, profile_report
 from .occupancy import Occupancy, ResourceUsage, compute_occupancy
 from .stats import KernelStats, PerWarpStats

@@ -60,8 +60,11 @@ FORMAT_VERSION = 1
 #: Default per-namespace entry cap (override with GPUSIM_CACHE_MAX_ENTRIES).
 DEFAULT_MAX_ENTRIES = 4096
 
-#: Known namespaces (subdirectories of the cache root).
-NAMESPACES = ("variant", "autotune")
+#: Known namespaces (subdirectories of the cache root).  "variant" holds
+#: NP-transformed kernel ASTs, "autotune" finished search outcomes, and
+#: "kernel" the serve layer's parsed-source ASTs (keyed by raw-source
+#: sha256, so a restarted server process skips re-parsing hot kernels).
+NAMESPACES = ("variant", "autotune", "kernel")
 
 
 @dataclass

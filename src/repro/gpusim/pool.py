@@ -446,6 +446,46 @@ class WorkerPool:
                 else:
                     self._discard(worker)
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: finish in-flight work, then retire every worker.
+
+        Unlike :meth:`shutdown` (which assumes the pool is quiescent), drain
+        first waits for the launch/task run currently holding the pool lock
+        to complete — the server's SIGTERM path must not yank workers out
+        from under a request that is already executing.  Returns True when
+        every worker exited cleanly within ``timeout`` (``None`` = wait
+        forever); stragglers are SIGKILLed and make the drain report False,
+        so "no orphaned pool workers" is a checkable claim, not a hope.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        acquired = self._lock.acquire(
+            timeout=-1 if deadline is None
+            else max(deadline - time.monotonic(), 0.0)
+        )
+        if not acquired:
+            return False
+        clean = True
+        try:
+            for worker in list(self._workers.values()):
+                try:
+                    worker.conn.send(("exit",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+            for worker in list(self._workers.values()):
+                join_for = (
+                    5.0 if deadline is None
+                    else max(deadline - time.monotonic(), 0.0)
+                )
+                worker.proc.join(timeout=join_for)
+                if worker.alive:
+                    clean = False
+                    self._kill(worker)
+                else:
+                    self._discard(worker)
+        finally:
+            self._lock.release()
+        return clean
+
     # -- launch execution ----------------------------------------------------
 
     def run_launch(
@@ -993,6 +1033,21 @@ def shutdown_pool() -> None:
     if _POOL is not None and _POOL_PID == os.getpid():
         _POOL.shutdown()
     _POOL = None
+
+
+def drain_pool(timeout: Optional[float] = None) -> bool:
+    """Gracefully drain the process-wide pool (server shutdown path).
+
+    True when there was no pool to drain or every worker exited cleanly
+    within ``timeout``; see :meth:`WorkerPool.drain`.
+    """
+    global _POOL
+    if _POOL is None or _POOL_PID != os.getpid():
+        _POOL = None
+        return True
+    clean = _POOL.drain(timeout)
+    _POOL = None
+    return clean
 
 
 atexit.register(shutdown_pool)

@@ -265,6 +265,17 @@ class CircuitBreaker:
                 f"{config.breaker_threshold}",
             )
 
+    def force_open(self, reason: str = "forced open") -> None:
+        """Trip the breaker open directly (admin/debug seam).
+
+        The serve layer's debug endpoint uses this to make breaker-aware
+        load shedding testable without having to crash real workers; the
+        transition is recorded like any organic trip.
+        """
+        self.trips += 1
+        self._skips = 0
+        self._move("open", reason)
+
     def reset(self) -> None:
         self.state = "closed"
         self.fault_count = 0

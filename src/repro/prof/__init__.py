@@ -28,7 +28,13 @@ from .registry import (
     registry_to_json,
 )
 from .report import top_lines_report
-from .timeline import build_timeline, chrome_trace, pool_events, save_trace
+from .timeline import (
+    build_timeline,
+    chrome_trace,
+    pool_events,
+    save_trace,
+    serve_events,
+)
 
 __all__ = [
     "BlockCost",
@@ -44,5 +50,6 @@ __all__ = [
     "record_profile",
     "registry_to_json",
     "save_trace",
+    "serve_events",
     "top_lines_report",
 ]

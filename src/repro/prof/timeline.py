@@ -147,6 +147,9 @@ POOL_ROW = 1000
 #: collision-avoidance reason).
 CACHE_ROW = 2000
 
+#: Trace thread id of the "serve" request-traffic row (above the cache row).
+SERVE_ROW = 3000
+
 
 def cache_events() -> List[Dict[str, object]]:
     """Chrome instant ("i") events for the persistent cache tier's activity.
@@ -180,6 +183,41 @@ def cache_events() -> List[Dict[str, object]]:
     return events
 
 
+def serve_events() -> List[Dict[str, object]]:
+    """Chrome instant ("i") events for the kernel server's request traffic.
+
+    Each :class:`~repro.serve.metrics.ServeEvent` recorded by a server in
+    this process (request arrivals, admissions, coalesces onto an
+    in-flight launch, completions, sheds) becomes a thread-scoped instant
+    on a dedicated "serve" row, in host microseconds relative to the
+    first event.  Empty when no server ran.  Imported lazily, like
+    :func:`cache_events`, so the profiler never pulls in the serve layer
+    unless it was used.
+    """
+    from ..serve.metrics import serve_events as _raw_events
+
+    raw = _raw_events()
+    if not raw:
+        return []
+    t0 = min(ev.ts for ev in raw)
+    events: List[Dict[str, object]] = []
+    for ev in raw:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": SERVE_ROW,
+                "ts": (ev.ts - t0) * 1e6,
+                "name": f"{ev.kind}:{ev.tenant}" if ev.tenant else ev.kind,
+                "cat": "serve",
+                "args": {"tenant": ev.tenant, "key": ev.key,
+                         "detail": ev.detail},
+            }
+        )
+    return events
+
+
 def chrome_trace(result) -> Dict[str, object]:
     """Chrome ``trace_event`` JSON object for a profiled launch.
 
@@ -190,7 +228,10 @@ def chrome_trace(result) -> Dict[str, object]:
     events for the pool lifecycle (spawns, retries, kills, breaker
     transitions) in host microseconds — see :func:`pool_events`.  When the
     persistent cache tier is active, a "disk cache" row does the same for
-    its hits/misses/stores/evictions — see :func:`cache_events`.
+    its hits/misses/stores/evictions — see :func:`cache_events`.  When a
+    kernel server handled requests in this process, a "serve" row carries
+    the request lifecycle (arrive/admit/coalesce/complete/shed) — see
+    :func:`serve_events`.
     """
     timeline = build_timeline(result)
     # Modeled cycles → microseconds of device time.
@@ -243,6 +284,19 @@ def chrome_trace(result) -> Dict[str, object]:
             }
         )
         events.extend(cache_row)
+
+    serve_row = serve_events()
+    if serve_row:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": SERVE_ROW,
+                "name": "thread_name",
+                "args": {"name": "serve"},
+            }
+        )
+        events.extend(serve_row)
 
     for iv in timeline.intervals:
         ts = iv.start * us_per_cycle

@@ -3,7 +3,25 @@
 import copy
 import json
 
-from repro.bench import QUICK_KERNELS, bench_kernel, compare_reports, main
+import pytest
+
+from repro.bench import (
+    QUICK_KERNELS,
+    bench_kernel,
+    compare_reports,
+    main,
+    run_serve_bench,
+)
+from repro.serve.metrics import clear_serve_events
+
+
+@pytest.fixture(autouse=True)
+def _isolate_serve_events():
+    """The in-process server records into a process-global event deque;
+    clear it so serve traffic from the --serve tests doesn't leak a
+    "serve" row into later tests' Chrome-trace exports."""
+    yield
+    clear_serve_events()
 
 
 def test_bench_kernel_record():
@@ -111,6 +129,46 @@ class TestCompareReports:
         ok, table = compare_reports(fresh, _fake_report(2.0))
         assert ok  # MC still comparable
         assert "not-in-baseline" in table
+
+
+def test_serve_bench_schema_round_trips(tmp_path):
+    """The --serve load generator's report must carry the documented
+    schema, honour the counter invariant, and verify bit-identity."""
+    report = run_serve_bench(
+        kernels=("MC",), tenants=2, requests=2, duplicate_every=2
+    )
+    # Schema round-trips through JSON unchanged.
+    assert report == json.loads(json.dumps(report))
+    assert set(report) >= {
+        "config", "verified_bit_identical", "requests", "failures",
+        "elapsed_s", "throughput_rps", "latency_ms", "server", "batcher",
+    }
+    assert report["config"]["tenants"] == 2
+    assert report["requests"] == 4 and report["failures"] == 0
+    lat = report["latency_ms"]
+    assert set(lat) == {"p50", "p90", "p99", "mean", "max"}
+    assert lat["p50"] > 0 and lat["p99"] >= lat["p50"]
+    assert report["throughput_rps"] > 0
+    # Served responses were byte-for-byte what a direct launch produced.
+    assert report["verified_bit_identical"] == {"MC": True}
+    # Server-side window accounting: every completed request was either a
+    # real launch or a coalesced follower.
+    window = report["server"]
+    assert window["launches"] + window["coalesced"] == window["completed"]
+    assert window["completed"] == 4
+
+
+def test_serve_cli_writes_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main([
+        "--serve", "--kernels", "MC", "--tenants", "2", "--requests", "2",
+    ]) == 0
+    report = json.loads((tmp_path / "BENCH_serve.json").read_text())
+    assert report["failures"] == 0
+    printed = capsys.readouterr().out
+    assert "serve load:" in printed
+    assert "bit-identity vs direct launch(): ALL OK" in printed
+    assert "wrote BENCH_serve.json" in printed
 
 
 def test_compare_cli_exit_codes(tmp_path):
